@@ -1,0 +1,65 @@
+"""Benchmarks: ablation studies beyond the paper's headline figures —
+backend swap (Section IV-A), placement policy, pipeline_limit, flushing
+schedule, and offload bucket size."""
+
+import pytest
+
+from conftest import print_rows, run_once
+from repro.experiments import (
+    backend_ablation,
+    bucket_size_ablation,
+    pipeline_limit_ablation,
+    placement_ablation,
+    schedule_ablation,
+)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_backend_ablation(benchmark):
+    rows = run_once(benchmark, backend_ablation)
+    print_rows("Ablation: AxoNN pipeline with MPI vs NCCL p2p", rows)
+    by = {r["p2p_backend"]: r for r in rows}
+    assert by["mpi"]["pipeline_s"] < by["nccl"]["pipeline_s"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_placement_ablation(benchmark):
+    rows = run_once(benchmark, placement_ablation)
+    print_rows("Ablation: grid placement policy", rows)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_pipeline_limit_ablation(benchmark):
+    rows = run_once(benchmark, pipeline_limit_ablation)
+    print_rows("Ablation: pipeline_limit sweep", rows)
+    times = [r["pipeline_s"] for r in rows]
+    assert times[0] == max(times)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_schedule_ablation(benchmark):
+    rows = run_once(benchmark, schedule_ablation)
+    print_rows("Ablation: 1F1B vs GPipe (DeepSpeed baseline)", rows)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bucket_size_ablation(benchmark):
+    rows = run_once(benchmark, bucket_size_ablation)
+    print_rows("Ablation: offload bucket-size sweep", rows)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_scheduling_jitter_ablation(benchmark):
+    from repro.experiments import scheduling_jitter_ablation
+    rows = run_once(benchmark, scheduling_jitter_ablation)
+    print_rows("Ablation: message-driven vs static 1F1B under compute "
+               "jitter (same MPI backend)", rows)
+    assert all(0.8 < r["ratio"] < 1.25 for r in rows)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_full_grid_validation(benchmark):
+    from repro.experiments import full_grid_validation
+    rows = run_once(benchmark, full_grid_validation)
+    print_rows("Validation: one-row symmetry vs full-grid simulation", rows)
+    assert all(r["relative_gap"] < 0.05 for r in rows)

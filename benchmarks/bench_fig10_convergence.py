@@ -1,0 +1,24 @@
+"""Benchmark: paper Fig. 10 — loss curves of serial training vs AxoNN's
+hybrid-parallel training must coincide (scaled-down GPT on the synthetic
+corpus; G_inter = 2 as in the paper)."""
+
+import pytest
+
+from conftest import print_claims, print_rows, run_once
+from repro.experiments import fig10_claims, fig10_curves
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_convergence(benchmark):
+    curves = run_once(benchmark, fig10_curves, n_batches=40)
+    rows = [
+        {"batch": i, "serial_loss": s, "axonn_loss": a,
+         "abs_diff": abs(s - a)}
+        for i, (s, a) in enumerate(zip(curves["serial"], curves["axonn"]))
+        if i % 5 == 0
+    ]
+    print_rows("Fig. 10: training loss, serial vs AxoNN (every 5th batch)",
+               rows)
+    claims = fig10_claims(curves)
+    print_claims("Fig. 10", claims)
+    assert all(claims.values())

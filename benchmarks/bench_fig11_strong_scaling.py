@@ -1,0 +1,17 @@
+"""Benchmark: paper Fig. 11 — strong scaling of the 12 B model from 48 to
+384 GPUs with the batch size scaling 4096 -> 32768 (G_data grows, other
+Table II hyperparameters held)."""
+
+import pytest
+
+from conftest import print_claims, print_rows, run_once
+from repro.experiments import fig11_claims, strong_scaling_rows
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_strong_scaling(benchmark):
+    rows = run_once(benchmark, strong_scaling_rows)
+    print_rows("Fig. 11: strong scaling (12B model)", rows)
+    claims = fig11_claims(rows)
+    print_claims("Fig. 11", claims)
+    assert all(claims.values())

@@ -1,0 +1,21 @@
+"""Benchmark: paper Fig. 1 — the inter-layer parallelism occupancy diagram
+(warm-up wavefront, steady state, drain bubble), regenerated from a traced
+simulation."""
+
+import pytest
+
+from conftest import print_rows, run_once
+from repro.experiments import pipeline_occupancy, render_occupancy
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_pipeline_diagram(benchmark):
+    occ = run_once(benchmark, pipeline_occupancy, g_inter=4, microbatches=8)
+    print("\n" + render_occupancy(occ))
+    rows = [{"stage": st["stage"], "busy_s": st["busy_s"],
+             "idle_pct": 100 * st["idle_fraction"]}
+            for st in occ["stages"]]
+    print_rows("Fig. 1: per-stage occupancy", rows)
+    # The bubble exists and is bounded; stage idle fractions are similar.
+    idles = [st["idle_fraction"] for st in occ["stages"]]
+    assert 0.05 < max(idles) < 0.6

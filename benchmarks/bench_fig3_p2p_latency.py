@@ -1,0 +1,18 @@
+"""Benchmark: paper Fig. 3 — point-to-point latency, MPI vs NCCL,
+intra-node vs inter-node, over the OSU message-size sweep."""
+
+import pytest
+
+from conftest import print_claims, print_rows, run_once
+from repro.experiments import fig3_claims, fig3_rows
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_p2p_latency(benchmark):
+    rows = run_once(benchmark, fig3_rows)
+    for r in rows:
+        r["latency_us"] = r.pop("latency_s") * 1e6
+    print_rows("Fig. 3: osu_latency ping-pong (one-way, microseconds)", rows)
+    claims = fig3_claims(fig3_rows())
+    print_claims("Fig. 3", claims)
+    assert all(claims.values())

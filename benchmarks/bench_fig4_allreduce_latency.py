@@ -1,0 +1,18 @@
+"""Benchmark: paper Fig. 4 — all-reduce latency, MPI vs NCCL, over 6 GPUs
+(one node) and 12 GPUs (two nodes)."""
+
+import pytest
+
+from conftest import print_claims, print_rows, run_once
+from repro.experiments import fig4_claims, fig4_rows
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_allreduce_latency(benchmark):
+    rows = run_once(benchmark, fig4_rows)
+    claims = fig4_claims(rows)
+    for r in rows:
+        r["latency_ms"] = r.pop("latency_s") * 1e3
+    print_rows("Fig. 4: all-reduce latency (milliseconds)", rows)
+    print_claims("Fig. 4", claims)
+    assert all(claims.values())

@@ -1,0 +1,18 @@
+"""Benchmark: paper Fig. 5 — time in the inter-layer parallel phase for
+G_inter in {6, 12, 24, 48} (12 B model, 48 GPUs, batch 2048, mbs 1,
+optimizer states removed)."""
+
+import pytest
+
+from conftest import print_claims, print_rows, run_once
+from repro.experiments import fig5_claims, fig5_rows
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_ginter_sweep(benchmark):
+    rows = run_once(benchmark, fig5_rows)
+    print_rows("Fig. 5: inter-layer phase time vs G_inter "
+               "(12B, 48 GPUs, batch 2048)", rows)
+    claims = fig5_claims(rows)
+    print_claims("Fig. 5", claims)
+    assert all(claims.values())

@@ -1,0 +1,22 @@
+"""Benchmark: paper Fig. 6 — batch-time breakdown with and without the
+memory optimizations (12 B model, 48 GPUs, batch 2048), plus the
+Section V-B memory-accounting anchors (20 phi -> 4 phi + 16 bsize,
+520 GB -> ~130 GB)."""
+
+import pytest
+
+from conftest import print_claims, print_rows, run_once
+from repro.experiments import fig6_claims, fig6_rows, memory_savings_summary
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_memopt_breakdown(benchmark):
+    rows = run_once(benchmark, fig6_rows)
+    print_rows("Fig. 6: breakdown of batch times (12B, 48 GPUs)", rows)
+    claims = fig6_claims(rows)
+    print_claims("Fig. 6", claims)
+    summary = memory_savings_summary()
+    print_rows("Section V-B memory accounting",
+               [{k: round(v, 2) for k, v in summary.items()}])
+    assert all(claims.values())
+    assert 4.0 < summary["state_saving_ratio"] < 5.0

@@ -1,0 +1,25 @@
+"""Benchmark: paper Fig. 7 — the Nsight-style two-stream profile showing
+the all-reduce chunks and optimizer buckets interleaving."""
+
+import pytest
+
+from conftest import print_claims, run_once
+from repro.experiments import fig7_claims, fig7_profile
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_overlap_timeline(benchmark):
+    profile = run_once(benchmark, fig7_profile)
+    print("\n== Fig. 7: simulated two-stream profile "
+          "(a=allreduce chunk, o=optimizer bucket) ==")
+    # Show only the data-parallel-phase tracks (aux + compute of gpu0).
+    ascii_timeline = profile["ascii"]
+    for line in ascii_timeline.splitlines():
+        if "gpu0" in line or line.startswith("timeline"):
+            print(line)
+    print(f"allreduce busy: {profile['allreduce_busy_s']:.3f}s  "
+          f"optimizer busy: {profile['optimizer_busy_s']:.3f}s  "
+          f"overlapped: {profile['overlap_s']:.3f}s")
+    claims = fig7_claims(profile)
+    print_claims("Fig. 7", claims)
+    assert all(claims.values())

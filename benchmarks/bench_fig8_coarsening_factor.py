@@ -1,0 +1,16 @@
+"""Benchmark: paper Fig. 8 — combined all-reduce + optimizer time versus
+the coarsening factor k (12 B model, 48 GPUs, memopt, bsize 16M)."""
+
+import pytest
+
+from conftest import print_claims, print_rows, run_once
+from repro.experiments import fig8_claims, fig8_rows
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_coarsening_factor(benchmark):
+    rows = run_once(benchmark, fig8_rows)
+    print_rows("Fig. 8: all-reduce + optimizer phase time vs k", rows)
+    claims = fig8_claims(rows)
+    print_claims("Fig. 8", claims)
+    assert all(claims.values())

@@ -1,0 +1,18 @@
+"""Benchmark: paper Fig. 9 — weak scaling of AxoNN vs DeepSpeed vs
+Megatron-LM: estimated training time (days, left plot) and percentage of
+peak half-precision throughput (right plot) for the 12/24/50/100 B models
+on 48/96/192/384 GPUs at batch size 16384 (Table II configurations)."""
+
+import pytest
+
+from conftest import print_claims, print_rows, run_once
+from repro.experiments import fig9_claims, weak_scaling_rows
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_weak_scaling(benchmark):
+    rows = run_once(benchmark, weak_scaling_rows)
+    print_rows("Fig. 9: weak scaling (training days + % of peak)", rows)
+    claims = fig9_claims(rows)
+    print_claims("Fig. 9", claims)
+    assert all(claims.values())

@@ -1,0 +1,16 @@
+"""Benchmark: paper Table I — the weak-scaling transformer zoo; the
+analytic parameter counts must land on 12/24/50/100 billion."""
+
+import pytest
+
+from conftest import print_claims, print_rows, run_once
+from repro.experiments import table1_claims, table1_rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_model_zoo(benchmark):
+    rows = run_once(benchmark, table1_rows)
+    print_rows("Table I: weak-scaling model configurations", rows)
+    claims = table1_claims(rows)
+    print_claims("Table I", claims)
+    assert all(claims.values())

@@ -1,0 +1,58 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one paper table/figure: it runs the
+experiment once under ``benchmark.pedantic`` (so pytest-benchmark records
+the wall time) and prints the figure's rows/series in a terminal table, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's artefacts
+end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_rows(title: str, rows: Sequence[Dict[str, object]],
+                float_fmt: str = "{:.4g}") -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return f"\n== {title} ==\n(no rows)\n"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def fmt(value) -> str:
+        if isinstance(value, bool) or value is None:
+            return str(value)
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    table = [[fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [max(len(c), *(len(line[i]) for line in table))
+              for i, c in enumerate(columns)]
+    sep = "  "
+    header = sep.join(c.ljust(w) for c, w in zip(columns, widths))
+    lines = [f"\n== {title} ==", header, "-" * len(header)]
+    lines += [sep.join(v.ljust(w) for v, w in zip(line, widths))
+              for line in table]
+    return "\n".join(lines) + "\n"
+
+
+def print_rows(title: str, rows: Sequence[Dict[str, object]]) -> None:
+    print(format_rows(title, rows))
+
+
+def print_claims(title: str, claims: Dict[str, bool]) -> None:
+    print(f"\n== {title}: paper-claim checklist ==")
+    for name, ok in claims.items():
+        print(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+    print()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

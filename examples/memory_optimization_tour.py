@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Tour of AxoNN's memory optimizations (paper Section V).
+
+Walks through the three pieces on both substrates:
+
+1. the ``20 phi -> 4 phi + 16 bsize`` byte accounting and the G_inter
+   reduction it unlocks (simulated cluster, Fig. 6);
+2. the all-reduce/optimizer overlap and the coarsening factor k (Fig. 8),
+   with the two-stream ASCII profile (Fig. 7);
+3. the *functional* bucketed CPU-offload optimizer: numerically identical
+   to monolithic AdamW while touching only 16*bsize device bytes.
+
+Run:  python examples/memory_optimization_tour.py
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    fig6_rows,
+    fig7_profile,
+    fig8_rows,
+    memory_savings_summary,
+)
+from repro.nn import GPT, GPTConfig, LossScaler, MixedPrecisionAdamW
+from repro.runtime import BucketedOffloadAdamW
+
+
+def part1_memory_accounting() -> None:
+    print("=" * 72)
+    print("1. Memory accounting (Section V-B)")
+    print("=" * 72)
+    s = memory_savings_summary()
+    print(f"  per-GPU state, baseline (20 phi):  "
+          f"{s['state_bytes_per_gpu_baseline_gb']:7.2f} GB")
+    print(f"  per-GPU state, memopt (4 phi+16b): "
+          f"{s['state_bytes_per_gpu_memopt_gb']:7.2f} GB  "
+          f"({s['state_saving_ratio']:.1f}x saving; paper: ~5x)")
+    print(f"  cluster total without memopt:      "
+          f"{s['cluster_total_without_gb']:7.1f} GB  (paper: 520 GB)")
+    print(f"  cluster total with memopt:         "
+          f"{s['cluster_total_with_gb']:7.1f} GB  (paper: 130.24 GB)\n")
+
+    print("  Fig. 6 — what the saved memory buys (G_inter 24 -> 6):")
+    for r in fig6_rows():
+        print(f"    {r['variant']:>16}: pipeline {r['pipeline_s']:6.2f}s  "
+              f"all-reduce {r['allreduce_s']:5.2f}s  "
+              f"optimizer {r['optimizer_s']:5.2f}s  "
+              f"total {r['total_s']:6.2f}s")
+    print()
+
+
+def part2_overlap() -> None:
+    print("=" * 72)
+    print("2. Overlapping the all-reduce with the optimizer (Section V-C)")
+    print("=" * 72)
+    print("  Fig. 8 — combined phase time vs coarsening factor k:")
+    for r in fig8_rows():
+        print(f"    {r['label']:>12}: {r['combined_s']:.3f}s")
+    profile = fig7_profile(batch_size=96)
+    print("\n  Fig. 7 — two-stream profile "
+          "(a = all-reduce chunk, o = optimizer bucket):")
+    for line in profile["ascii"].splitlines():
+        if "gpu0" in line:
+            print("   " + line)
+    print(f"    optimizer work hidden under the all-reduce: "
+          f"{profile['overlap_s']:.3f}s of "
+          f"{profile['optimizer_busy_s']:.3f}s\n")
+
+
+def part3_functional_offload() -> None:
+    print("=" * 72)
+    print("3. Functional bucketed CPU-offload optimizer")
+    print("=" * 72)
+    cfg = GPTConfig(vocab_size=32, seq_len=8, n_layer=2, n_head=2,
+                    hidden=16, init_seed=3)
+    reference = GPT(cfg)
+    offloaded = GPT(cfg)  # identical weights by construction
+    scaler = LossScaler(init_scale=64, dynamic=False)
+    mono = MixedPrecisionAdamW(reference.parameters(), lr=1e-2,
+                               scaler=scaler)
+    bucketed = BucketedOffloadAdamW(offloaded.parameters(),
+                                    bucket_size=1000, lr=1e-2,
+                                    scaler=LossScaler(init_scale=64,
+                                                      dynamic=False))
+    rng = np.random.default_rng(0)
+    for step in range(5):
+        grads = [(rng.standard_normal(p.data.shape) * 64).astype(np.float16)
+                 for p in reference.parameters()]
+        mono.step(grads)
+        bucketed.step(np.concatenate([g.reshape(-1) for g in grads]))
+    drift = max(
+        np.abs(a.data - b.data).max()
+        for a, b in zip(reference.parameters(), offloaded.parameters())
+    )
+    print(f"  parameters: {reference.num_parameters():,}; "
+          f"bucket: 1000 params "
+          f"({bucketed.num_buckets} buckets/step)")
+    print(f"  device bytes for optimizer state: "
+          f"{bucketed.device_optimizer_bytes():,} "
+          f"(vs {20 * reference.num_parameters():,} resident)")
+    print(f"  host<->device traffic per step: "
+          f"{bucketed.h2d_bytes // bucketed.steps:,} B each way")
+    print(f"  max parameter drift vs monolithic AdamW after 5 steps: "
+          f"{drift:.2e}  (bit-level agreement)\n")
+
+
+if __name__ == "__main__":
+    part1_memory_accounting()
+    part2_overlap()
+    part3_functional_offload()

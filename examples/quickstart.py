@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: train a small GPT with AxoNN's hybrid parallel algorithm.
+
+This is the 60-second tour of the *functional* half of the library: a
+2 x 2 grid of simulated GPUs (2-way inter-layer pipeline x 2-way data
+parallelism, the paper's Fig. 2 shape) trains a scaled-down GPT on the
+synthetic corpus with the message-driven scheduler of Algorithm 2 — and the
+loss matches single-device training exactly.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.nn import GPTConfig, LMBatches, SyntheticCorpus
+from repro.runtime import AxoNNTrainer, SerialTrainer
+
+
+def main() -> None:
+    cfg = GPTConfig(vocab_size=64, seq_len=16, n_layer=4, n_head=4,
+                    hidden=32, init_seed=7)
+
+    # Deterministic synthetic corpus (the wikitext-103 stand-in).
+    corpus = SyntheticCorpus(cfg.vocab_size, length=20_000, seed=0)
+    batches = LMBatches(corpus, batch_size=8, seq_len=cfg.seq_len)
+
+    # AxoNN on a G_inter x G_data = 2 x 2 grid of simulated GPUs.
+    parallel = AxoNNTrainer(cfg, g_inter=2, g_data=2, microbatch_size=2,
+                            lr=1e-3)
+    # Single-GPU reference with identical initialization.
+    serial = SerialTrainer(cfg, lr=1e-3)
+
+    print(f"model: {serial.model.num_parameters():,} parameters, "
+          f"grid: {parallel.grid.g_inter} x {parallel.grid.g_data} "
+          f"({parallel.grid.world_size} ranks)")
+    print(f"{'batch':>5} {'axonn loss':>12} {'serial loss':>12} "
+          f"{'messages':>9}")
+    for i in range(15):
+        x, y = batches.batch(i)
+        report = parallel.train_batch(x, y)
+        serial_loss = serial.train_batch(x, y)
+        print(f"{i:>5} {report.loss:>12.6f} {serial_loss:>12.6f} "
+              f"{report.messages:>9}")
+
+    print("\nThe two loss columns coincide: AxoNN's asynchronous, "
+          "message-driven\nexecution preserves exact optimizer semantics "
+          "(paper Fig. 10).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Full training lifecycle on the parallel runtime: train with AxoNN's
+mixed-precision + CPU-offload configuration, checkpoint, restore, evaluate
+held-out perplexity, and sample from the trained model.
+
+This exercises every production feature of the functional runtime in one
+script:
+
+* hybrid message-driven training (Algorithms 1-2) on a 2 x 2 grid;
+* mixed precision with dynamic loss scaling and a globally synchronized
+  overflow skip (Section II-A / IV-B);
+* the bucketed CPU-offload optimizer (Section V-B);
+* checkpoint/resume and pipeline-parallel evaluation;
+* autoregressive sampling showing the model learned the corpus statistics.
+
+Run:  python examples/train_and_generate.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.nn import GPT, GPTConfig, LMBatches, SyntheticCorpus, generate, \
+    sequence_log_prob
+from repro.runtime import (
+    AxoNNTrainer,
+    evaluate_parallel,
+    load_trainer,
+    save_trainer,
+)
+
+
+def main() -> None:
+    cfg = GPTConfig(vocab_size=48, seq_len=16, n_layer=4, n_head=4,
+                    hidden=32, init_seed=99)
+    corpus = SyntheticCorpus(cfg.vocab_size, 40_000, seed=11,
+                             markov_weight=0.85)
+    batches = LMBatches(corpus, batch_size=16, seq_len=cfg.seq_len)
+
+    trainer = AxoNNTrainer(cfg, g_inter=2, g_data=2, microbatch_size=4,
+                           lr=3e-3, precision="mixed", offload=True,
+                           bucket_size=2048)
+    print(f"grid: 2 x 2 ranks | precision: mixed (fp16 grads, dynamic "
+          f"loss scale) | optimizer: bucketed CPU offload")
+    print(f"initial held-out: "
+          f"{evaluate_parallel(trainer, batches, 4)['perplexity']:.2f} ppl "
+          f"(uniform would be {cfg.vocab_size})")
+
+    for i in range(40):
+        report = trainer.train_batch(*batches.batch(i))
+        if i % 10 == 0:
+            print(f"  batch {i:>3}: loss {report.loss:.4f}  "
+                  f"scale {report.loss_scale:g}  "
+                  f"applied={report.applied}")
+
+    with tempfile.NamedTemporaryFile(suffix=".npz") as tmp:
+        save_trainer(trainer, tmp.name)
+        restored = AxoNNTrainer(cfg, g_inter=2, g_data=2,
+                                microbatch_size=4, lr=3e-3,
+                                precision="mixed", offload=True,
+                                bucket_size=2048)
+        load_trainer(restored, tmp.name)
+    print(f"checkpoint round trip: resumed at batch "
+          f"{restored.batches_trained}")
+
+    final = evaluate_parallel(restored, batches, 4)
+    print(f"final held-out: {final['perplexity']:.2f} ppl")
+
+    # Reassemble the shards into a serial model for generation.
+    model = GPT(cfg)
+    slots = {f"slot{k}": layer
+             for k, layer in enumerate(model.layer_sequence())}
+    gathered = restored.gather_state()
+    for key, value in gathered.items():
+        slot, _, pname = key.partition(".")
+        params = dict(slots[slot].named_parameters())
+        params[pname].data[...] = value
+
+    prompt = corpus.tokens[:4]
+    sample = generate(model, prompt, 24, rng=np.random.default_rng(1),
+                      temperature=0.8)
+    print(f"\nprompt tokens:  {prompt.tolist()}")
+    print(f"sampled tokens: {sample[4:].tolist()}")
+    real = corpus.tokens[200:209]
+    shuffled = np.random.default_rng(0).permutation(real)
+    print(f"log p(real corpus window)      = "
+          f"{sequence_log_prob(model, real):.3f}")
+    print(f"log p(same tokens, shuffled)   = "
+          f"{sequence_log_prob(model, shuffled):.3f}")
+    print("The model prefers real corpus order: it learned the Markov "
+          "structure\nthrough the fully parallel, mixed-precision, "
+          "offloaded training path.")
+
+
+if __name__ == "__main__":
+    main()

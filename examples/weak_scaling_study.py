@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's weak-scaling comparison (Fig. 9) on the simulated
+Summit: AxoNN vs DeepSpeed vs Megatron-LM training 12-100 B parameter
+transformers on 48-384 GPUs at batch size 16384.
+
+Each framework runs its tuned Table II configuration on the discrete-event
+cluster model; the script prints the estimated training time (Eq. 2, days
+for 300 B tokens) and the percentage of peak half-precision throughput
+(Eq. 3) exactly as the paper reports them.
+
+Run:  python examples/weak_scaling_study.py [--models 12B 24B]
+"""
+
+import argparse
+
+from repro.experiments import fig9_claims, weak_scaling_rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--models", nargs="+",
+                        default=["12B", "24B", "50B", "100B"],
+                        choices=["12B", "24B", "50B", "100B"])
+    parser.add_argument("--batch-size", type=int, default=16384)
+    args = parser.parse_args()
+
+    print(f"Weak scaling, batch size {args.batch_size} "
+          f"(each framework at its Table II configuration)\n")
+    rows = weak_scaling_rows(models=args.models,
+                             batch_size=args.batch_size)
+    header = (f"{'model':>6} {'GPUs':>5} {'framework':>10} "
+              f"{'batch time':>11} {'train days':>11} {'% peak':>7}")
+    print(header)
+    print("-" * len(header))
+    for r in rows:
+        print(f"{r['model']:>6} {r['gpus']:>5} {r['framework']:>10} "
+              f"{r['batch_time_s']:>10.1f}s {r['training_days']:>11.1f} "
+              f"{r['pct_peak']:>7.1f}")
+
+    print("\nPaper-claim checklist:")
+    for name, ok in fig9_claims(rows).items():
+        print(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+
+    ax = {r["model"]: r for r in rows if r["framework"] == "axonn"}
+    ds = {r["model"]: r for r in rows if r["framework"] == "deepspeed"}
+    for model in args.models:
+        saved = ds[model]["training_days"] - ax[model]["training_days"]
+        print(f"  {model}: AxoNN saves {saved:.0f} days of training vs "
+              f"DeepSpeed (paper: 22-37 days)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept so ``pip install -e .`` works on fully offline machines that lack the
+``wheel`` package (pip falls back to ``setup.py develop`` when the PEP 517
+editable build is unavailable).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""Baseline frameworks: Megatron-LM and DeepSpeed as performance models.
+
+Public surface:
+
+* :class:`ThreeDConfig` — a 3D-parallel configuration (Table II row);
+* :func:`simulate_baseline_batch` / :class:`BaselineResult`;
+* :func:`one_f_one_b_schedule`, :func:`gpipe_schedule`,
+  :func:`bubble_fraction` — static flushing pipeline schedules.
+"""
+
+from .config import ThreeDConfig
+from .functional_pipeline import FlushingPipelineTrainer
+from .intra_layer import (
+    ColumnParallelLinear,
+    CommCounter,
+    RowParallelLinear,
+    TensorParallelAttention,
+    TensorParallelMLP,
+)
+from .frameworks import (
+    BaselineResult,
+    baseline_stage_costs,
+    check_baseline_memory,
+    simulate_baseline_batch,
+)
+from .zero1 import Zero1AdamW
+from .schedules import (
+    bubble_fraction,
+    gpipe_schedule,
+    max_inflight,
+    one_f_one_b_schedule,
+)
+
+__all__ = [
+    "ThreeDConfig",
+    "FlushingPipelineTrainer",
+    "ColumnParallelLinear",
+    "CommCounter",
+    "RowParallelLinear",
+    "TensorParallelAttention",
+    "TensorParallelMLP",
+    "BaselineResult",
+    "baseline_stage_costs",
+    "check_baseline_memory",
+    "simulate_baseline_batch",
+    "bubble_fraction",
+    "gpipe_schedule",
+    "max_inflight",
+    "one_f_one_b_schedule",
+    "Zero1AdamW",
+]

@@ -1,0 +1,80 @@
+"""Static pipeline schedules for the flushing baselines.
+
+Megatron-LM and DeepSpeed realize inter-layer parallelism with *pipelining
+with flushing* (paper Section VIII): worker GPUs follow a precomputed
+operation order and update weights only after all microbatches of a batch
+have drained.  Two schedules are provided:
+
+* **1F1B** (PipeDream-Flush, what Megatron-LM ships): stage *i* warms up
+  with ``S - 1 - i`` forwards, then alternates one-forward-one-backward,
+  then drains — in-flight activations bounded by the pipeline depth;
+* **GPipe**: all forwards, then all backwards — simpler, but the in-flight
+  activation count grows with the number of microbatches.
+
+Unlike AxoNN's message-driven scheduler, the order is *fixed*: a stage that
+could run a ready forward pass while waiting for a gradient simply waits —
+one of the two structural disadvantages the paper attributes to the
+baselines (the other being blocking NCCL point-to-point sends).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["one_f_one_b_schedule", "gpipe_schedule", "max_inflight",
+           "bubble_fraction"]
+
+Op = Tuple[str, int]  # ("F"|"B", microbatch)
+
+
+def one_f_one_b_schedule(stage: int, n_stages: int,
+                         n_microbatches: int) -> List[Op]:
+    """Operation order of ``stage`` under 1F1B."""
+    if not 0 <= stage < n_stages:
+        raise ValueError(f"stage {stage} outside [0, {n_stages})")
+    if n_microbatches < 1:
+        raise ValueError("need at least one microbatch")
+    warmup = min(n_stages - 1 - stage, n_microbatches)
+    ops: List[Op] = [("F", mb) for mb in range(warmup)]
+    fwd, bwd = warmup, 0
+    while fwd < n_microbatches:
+        ops.append(("F", fwd))
+        fwd += 1
+        ops.append(("B", bwd))
+        bwd += 1
+    while bwd < n_microbatches:
+        ops.append(("B", bwd))
+        bwd += 1
+    return ops
+
+
+def gpipe_schedule(stage: int, n_stages: int,
+                   n_microbatches: int) -> List[Op]:
+    """Operation order of ``stage`` under GPipe (flush after all forwards)."""
+    if not 0 <= stage < n_stages:
+        raise ValueError(f"stage {stage} outside [0, {n_stages})")
+    if n_microbatches < 1:
+        raise ValueError("need at least one microbatch")
+    return ([("F", mb) for mb in range(n_microbatches)]
+            + [("B", mb) for mb in range(n_microbatches)])
+
+
+def max_inflight(ops: List[Op]) -> int:
+    """Peak number of microbatches with a live forward activation."""
+    live = 0
+    peak = 0
+    for kind, _mb in ops:
+        if kind == "F":
+            live += 1
+            peak = max(peak, live)
+        else:
+            live -= 1
+    return peak
+
+
+def bubble_fraction(n_stages: int, n_microbatches: int) -> float:
+    """Idle fraction of a flushing pipeline:
+    ``(S - 1) / (m + S - 1)`` (Narayanan et al.)."""
+    if n_stages < 1 or n_microbatches < 1:
+        raise ValueError("stages and microbatches must be >= 1")
+    return (n_stages - 1) / (n_microbatches + n_stages - 1)

@@ -1,0 +1,127 @@
+"""Functional ZeRO stage-1 optimizer (Rajbhandari et al.) — DeepSpeed's
+memory strategy with real numerics.
+
+ZeRO-1 partitions the *optimizer state* (fp32 master weights + Adam
+moments) across the data-parallel group: replica ``r`` of ``world`` owns
+an equal slice of the flattened parameter space, updates only that slice
+after the gradient all-reduce, and broadcasts (all-gathers) the updated
+parameters so every replica resumes with identical weights.
+
+Per-replica state memory is therefore ``16 phi / world`` bytes instead of
+``16 phi`` — the accounting :meth:`repro.core.memory_model.MemoryModel.
+state_bytes_zero1` charges.  Because Adam is elementwise, the sharded
+update equals the monolithic one exactly; the tests assert bit-level
+agreement with :class:`~repro.nn.AdamW`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from ..nn.optim import adam_step
+from ..nn.tensor import Tensor
+
+__all__ = ["Zero1AdamW"]
+
+
+class Zero1AdamW:
+    """AdamW with optimizer state sharded across a data-parallel group.
+
+    One instance manages *all* replicas' parameter sets (keyed by replica
+    index), mirroring how the functional trainers hold every rank
+    in-process.  Each replica owns the slice ``bounds[r]`` of the flat
+    space; :meth:`step` assumes gradients are already all-reduced (summed)
+    and identical across replicas, as Algorithm 1's data-parallel phase
+    guarantees.
+    """
+
+    def __init__(self, replica_params: Dict[int, List[Tensor]],
+                 lr: float = 1e-3, betas=(0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.01):
+        if not replica_params:
+            raise ValueError("need at least one replica")
+        self.replicas = dict(sorted(replica_params.items()))
+        shapes = [[p.data.shape for p in params]
+                  for params in self.replicas.values()]
+        if any(s != shapes[0] for s in shapes[1:]):
+            raise ValueError("replicas must hold identically-shaped "
+                             "parameter lists")
+        self.world = len(self.replicas)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+        sizes = [p.size for p in next(iter(self.replicas.values()))]
+        self.offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(
+            np.int64)
+        self.numel = int(self.offsets[-1])
+        #: flat-slice [start, end) owned by each replica
+        self.bounds: Dict[int, Tuple[int, int]] = {}
+        base, extra = divmod(self.numel, self.world)
+        start = 0
+        for idx, r in enumerate(self.replicas):
+            size = base + (1 if idx < extra else 0)
+            self.bounds[r] = (start, start + size)
+            start += size
+        # Owned state shards only: 16 bytes/param over numel/world params.
+        first = next(iter(self.replicas.values()))
+        flat_init = np.concatenate(
+            [p.data.reshape(-1).astype(np.float32) for p in first])
+        self.master_shards: Dict[int, np.ndarray] = {}
+        self.exp_avg_shards: Dict[int, np.ndarray] = {}
+        self.exp_avg_sq_shards: Dict[int, np.ndarray] = {}
+        for r, (a, b) in self.bounds.items():
+            self.master_shards[r] = flat_init[a:b].copy()
+            self.exp_avg_shards[r] = np.zeros(b - a, dtype=np.float32)
+            self.exp_avg_sq_shards[r] = np.zeros(b - a, dtype=np.float32)
+        self.steps = 0
+        #: bytes moved by the post-step parameter all-gather, cumulative
+        self.allgather_bytes = 0
+
+    # ------------------------------------------------------------------
+    def state_bytes_per_replica(self) -> int:
+        """Owned optimizer-state bytes (fp32 master + two moments)."""
+        a, b = self.bounds[next(iter(self.bounds))]
+        return 12 * (b - a)
+
+    def zero_grad(self) -> None:
+        for params in self.replicas.values():
+            for p in params:
+                p.zero_grad()
+
+    def _flat_grads(self) -> np.ndarray:
+        """Gradients from replica 0 (post-all-reduce they are identical;
+        a mismatch is a bug upstream)."""
+        first = next(iter(self.replicas.values()))
+        parts = []
+        for p in first:
+            g = p.grad if p.grad is not None else np.zeros_like(p.data)
+            parts.append(g.reshape(-1).astype(np.float32))
+        return np.concatenate(parts)
+
+    def step(self, flat_grads: np.ndarray | None = None) -> None:
+        """Sharded update + parameter all-gather."""
+        if flat_grads is None:
+            flat_grads = self._flat_grads()
+        if flat_grads.shape != (self.numel,):
+            raise ValueError(
+                f"expected flat gradient of {self.numel} elements")
+        self.steps += 1
+        updated = np.empty(self.numel, dtype=np.float32)
+        for r, (a, b) in self.bounds.items():
+            if b == a:
+                continue
+            adam_step(self.master_shards[r], flat_grads[a:b],
+                      self.exp_avg_shards[r], self.exp_avg_sq_shards[r],
+                      self.steps, self.lr, self.beta1, self.beta2,
+                      self.eps, self.weight_decay, decoupled=True)
+            updated[a:b] = self.master_shards[r]
+        # All-gather: every replica receives every owned slice (each rank
+        # contributes numel/world and receives the rest).
+        self.allgather_bytes += 4 * self.numel * (self.world - 1)
+        for params in self.replicas.values():
+            for p, a, b in zip(params, self.offsets, self.offsets[1:]):
+                p.data[...] = updated[a:b].reshape(p.data.shape)

@@ -1,0 +1,245 @@
+"""Command-line interface: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro fig3                 # p2p microbenchmark
+    python -m repro fig9 --models 12B    # weak scaling, one model
+    python -m repro all --fast           # everything, reduced sizes
+    python -m repro fig9 --csv out.csv   # also write the rows as CSV
+
+Each command prints the figure's rows as an aligned table plus the paper-
+claim checklist, mirroring what the benchmark harness asserts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import experiments as ex
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _format_rows(title: str, rows: Sequence[Dict[str, object]]) -> str:
+    if not rows:
+        return f"\n== {title} ==\n(no rows)\n"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    table = [[fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [max(len(c), *(len(line[i]) for line in table))
+              for i, c in enumerate(columns)]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    lines = [f"\n== {title} ==", header, "-" * len(header)]
+    lines += ["  ".join(v.ljust(w) for v, w in zip(line, widths))
+              for line in table]
+    return "\n".join(lines)
+
+
+def _emit(title: str, rows, claims: Optional[Dict[str, bool]],
+          csv_path: Optional[str]) -> bool:
+    print(_format_rows(title, rows))
+    ok = True
+    if claims is not None:
+        print(f"\n== {title}: paper-claim checklist ==")
+        for name, passed in claims.items():
+            print(f"  [{'PASS' if passed else 'FAIL'}] {name}")
+            ok = ok and passed
+    if csv_path:
+        columns: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        with open(csv_path, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=columns)
+            writer.writeheader()
+            writer.writerows(rows)
+        print(f"\nwrote {len(rows)} rows to {csv_path}")
+    return ok
+
+
+# -- commands -----------------------------------------------------------------
+
+def cmd_fig1(args) -> bool:
+    from .experiments import pipeline_occupancy, render_occupancy
+    occ = pipeline_occupancy(g_inter=4, microbatches=4 if args.fast else 8)
+    print("\n== Fig. 1: inter-layer parallelism occupancy ==")
+    print(render_occupancy(occ))
+    rows = [{"stage": st["stage"], "busy_s": st["busy_s"],
+             "idle_fraction": st["idle_fraction"]}
+            for st in occ["stages"]]
+    return _emit("Fig. 1: per-stage occupancy", rows, None, args.csv)
+
+
+def cmd_fig3(args) -> bool:
+    sizes = [2 ** e for e in range(10, 27, 4)] if args.fast else None
+    rows = ex.fig3_rows(sizes=sizes)
+    return _emit("Fig. 3: p2p latency (s)", rows, ex.fig3_claims(rows),
+                 args.csv)
+
+
+def cmd_fig4(args) -> bool:
+    sizes = [2 ** e for e in range(16, 29, 4)] if args.fast else None
+    rows = ex.fig4_rows(sizes=sizes)
+    return _emit("Fig. 4: all-reduce latency (s)", rows,
+                 ex.fig4_claims(rows), args.csv)
+
+
+def cmd_fig5(args) -> bool:
+    batch = 512 if args.fast else 2048
+    rows = ex.fig5_rows(batch_size=batch)
+    return _emit(f"Fig. 5: inter-layer phase vs G_inter (batch {batch})",
+                 rows, ex.fig5_claims(rows), args.csv)
+
+
+def cmd_fig6(args) -> bool:
+    rows = ex.fig6_rows()
+    ok = _emit("Fig. 6: batch-time breakdown", rows, ex.fig6_claims(rows),
+               args.csv)
+    summary = ex.memory_savings_summary()
+    print(_format_rows("Section V-B memory accounting",
+                       [{k: round(v, 2) for k, v in summary.items()}]))
+    return ok
+
+
+def cmd_fig7(args) -> bool:
+    profile = ex.fig7_profile(batch_size=96 if args.fast else 512)
+    print("\n== Fig. 7: two-stream profile "
+          "(a = all-reduce chunk, o = optimizer bucket) ==")
+    for line in profile["ascii"].splitlines():
+        if "gpu0" in line or line.startswith("timeline"):
+            print(line)
+    rows = [{
+        "allreduce_busy_s": profile["allreduce_busy_s"],
+        "optimizer_busy_s": profile["optimizer_busy_s"],
+        "overlap_s": profile["overlap_s"],
+        "allreduce_chunks": profile["n_allreduce_chunks"],
+        "optimizer_buckets": profile["n_optimizer_buckets"],
+    }]
+    return _emit("Fig. 7: overlap statistics", rows,
+                 ex.fig7_claims(profile), args.csv)
+
+
+def cmd_fig8(args) -> bool:
+    rows = ex.fig8_rows()
+    return _emit("Fig. 8: all-reduce + optimizer vs k", rows,
+                 ex.fig8_claims(rows), args.csv)
+
+
+def cmd_fig9(args) -> bool:
+    models = tuple(args.models) if args.models else (
+        ("12B",) if args.fast else ("12B", "24B", "50B", "100B"))
+    rows = ex.weak_scaling_rows(models=models)
+    return _emit("Fig. 9: weak scaling", rows, ex.fig9_claims(rows),
+                 args.csv)
+
+
+def cmd_fig10(args) -> bool:
+    curves = ex.fig10_curves(n_batches=10 if args.fast else 40)
+    rows = [{"batch": i, "serial": s, "axonn": a, "abs_diff": abs(s - a)}
+            for i, (s, a) in enumerate(zip(curves["serial"],
+                                           curves["axonn"]))]
+    return _emit("Fig. 10: loss curves", rows, ex.fig10_claims(curves),
+                 args.csv)
+
+
+def cmd_fig11(args) -> bool:
+    counts = (48, 96) if args.fast else (48, 96, 192, 384)
+    rows = ex.strong_scaling_rows(gpu_counts=counts)
+    return _emit("Fig. 11: strong scaling", rows, ex.fig11_claims(rows),
+                 args.csv)
+
+
+def cmd_table1(args) -> bool:
+    rows = ex.table1_rows()
+    return _emit("Table I: model zoo", rows, ex.table1_claims(rows),
+                 args.csv)
+
+
+def cmd_table2(args) -> bool:
+    models = tuple(args.models) if args.models else (
+        ("12B",) if args.fast else ("12B", "24B", "50B", "100B"))
+    rows = ex.table2_rows(models=models)
+    return _emit("Table II: tuned hyperparameters", rows,
+                 ex.table2_claims(rows), args.csv)
+
+
+def cmd_ablations(args) -> bool:
+    ok = True
+    ok &= _emit("Backend ablation", ex.backend_ablation(), None, None)
+    ok &= _emit("Placement ablation", ex.placement_ablation(), None, None)
+    ok &= _emit("pipeline_limit ablation", ex.pipeline_limit_ablation(),
+                None, None)
+    ok &= _emit("Schedule ablation", ex.schedule_ablation(), None, None)
+    ok &= _emit("Bucket-size ablation", ex.bucket_size_ablation(),
+                None, None)
+    ok &= _emit("Scheduling-under-jitter ablation",
+                ex.scheduling_jitter_ablation(), None, None)
+    ok &= _emit("Full-grid validation", ex.full_grid_validation(),
+                None, args.csv)
+    return ok
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig1": cmd_fig1,
+    "fig3": cmd_fig3,
+    "fig4": cmd_fig4,
+    "fig5": cmd_fig5,
+    "fig6": cmd_fig6,
+    "fig7": cmd_fig7,
+    "fig8": cmd_fig8,
+    "fig9": cmd_fig9,
+    "fig10": cmd_fig10,
+    "fig11": cmd_fig11,
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "ablations": cmd_ablations,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the AxoNN paper's tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all", "list"],
+                        help="which artefact to regenerate")
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced sizes for a quick look")
+    parser.add_argument("--models", nargs="+", default=None,
+                        choices=["12B", "24B", "50B", "100B"],
+                        help="restrict fig9/table2 to these models")
+    parser.add_argument("--csv", default=None,
+                        help="also write the rows to this CSV file")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            doc = (EXPERIMENTS[name].__doc__ or "").strip()
+            print(f"  {name:<10} {doc}")
+        print("  all        run every experiment")
+        return 0
+
+    targets = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    ok = True
+    for name in targets:
+        ok = EXPERIMENTS[name](args) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Simulated GPU cluster substrate (Summit-calibrated).
+
+Public surface:
+
+* :func:`summit`, :class:`ClusterSpec`, :class:`NodeSpec`, :class:`GPUSpec` —
+  hardware description;
+* :class:`Machine` — an assembled simulated cluster;
+* :class:`GridPlacement` — 2D virtual grid -> physical GPU mapping;
+* :class:`MemoryPool` / :class:`OutOfMemoryError` — byte accounting;
+* :class:`Calibration` & friends — the tunable cost models.
+"""
+
+from .calibration import (
+    Calibration,
+    CommCostModel,
+    ComputeModel,
+    default_calibration,
+    validate_calibration,
+)
+from .gpu import SimGPU
+from .machine import Machine
+from .memory import MemoryPool, OutOfMemoryError
+from .network import Fabric
+from .placement import GridPlacement
+from .specs import GB, KB, MB, ClusterSpec, GPUSpec, NodeSpec, summit
+
+__all__ = [
+    "Calibration",
+    "CommCostModel",
+    "ComputeModel",
+    "default_calibration",
+    "validate_calibration",
+    "SimGPU",
+    "Machine",
+    "MemoryPool",
+    "OutOfMemoryError",
+    "Fabric",
+    "GridPlacement",
+    "ClusterSpec",
+    "GPUSpec",
+    "NodeSpec",
+    "summit",
+    "GB",
+    "MB",
+    "KB",
+]

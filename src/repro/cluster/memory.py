@@ -1,0 +1,110 @@
+"""Byte-accurate memory accounting for device and host memories.
+
+A :class:`MemoryPool` tracks named allocations against a fixed capacity and
+raises :class:`OutOfMemoryError` on oversubscription.  This is what makes
+configurations in the tuning study *infeasible* exactly the way they were on
+Summit's 16 GB V100s — the mechanism behind the paper's observation that 48
+GPUs is the least count on which all three frameworks can train the 12 B
+model, and behind the 520 GB -> 130 GB saving of Section V-B.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["MemoryPool", "OutOfMemoryError"]
+
+
+class OutOfMemoryError(MemoryError):
+    """An allocation exceeded pool capacity."""
+
+    def __init__(self, pool: "MemoryPool", label: str, nbytes: int):
+        self.pool_name = pool.name
+        self.label = label
+        self.requested = nbytes
+        self.in_use = pool.used
+        self.capacity = pool.capacity
+        super().__init__(
+            f"{pool.name}: cannot allocate {nbytes} B for {label!r}: "
+            f"{pool.used} B of {pool.capacity} B already in use"
+        )
+
+
+class MemoryPool:
+    """Named-allocation arena with peak tracking."""
+
+    def __init__(self, capacity: int, name: str = "mem"):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.name = name
+        self._allocs: Dict[str, int] = {}
+        self._used = 0
+        self._peak = 0
+
+    # -- state ----------------------------------------------------------------
+    @property
+    def used(self) -> int:
+        """Bytes currently allocated."""
+        return self._used
+
+    @property
+    def peak(self) -> int:
+        """High-water mark of :attr:`used`."""
+        return self._peak
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._used
+
+    def allocations(self) -> Dict[str, int]:
+        """Copy of the live allocation table."""
+        return dict(self._allocs)
+
+    def held(self, label: str) -> int:
+        """Bytes held under ``label`` (0 if absent)."""
+        return self._allocs.get(label, 0)
+
+    # -- mutation ---------------------------------------------------------------
+    def allocate(self, label: str, nbytes: int) -> None:
+        """Allocate ``nbytes`` under ``label`` (labels may be grown)."""
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        if self._used + nbytes > self.capacity:
+            raise OutOfMemoryError(self, label, nbytes)
+        self._allocs[label] = self._allocs.get(label, 0) + nbytes
+        self._used += nbytes
+        self._peak = max(self._peak, self._used)
+
+    def free_label(self, label: str) -> int:
+        """Release everything held under ``label``; returns bytes freed."""
+        nbytes = self._allocs.pop(label, 0)
+        self._used -= nbytes
+        return nbytes
+
+    def release(self, label: str, nbytes: int) -> None:
+        """Shrink ``label`` by ``nbytes``."""
+        held = self._allocs.get(label, 0)
+        if nbytes > held:
+            raise ValueError(
+                f"{self.name}: releasing {nbytes} B from {label!r} "
+                f"which holds only {held} B"
+            )
+        if nbytes == held:
+            self._allocs.pop(label)
+        else:
+            self._allocs[label] = held - nbytes
+        self._used -= nbytes
+
+    def would_fit(self, nbytes: int) -> bool:
+        """True if an allocation of ``nbytes`` would currently succeed."""
+        return self._used + nbytes <= self.capacity
+
+    def reset(self) -> None:
+        """Drop all allocations (keeps the peak statistic)."""
+        self._allocs.clear()
+        self._used = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<MemoryPool {self.name}: {self._used}/{self.capacity} B, "
+                f"peak {self._peak}>")

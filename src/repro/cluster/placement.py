@@ -1,0 +1,91 @@
+"""Mapping of the virtual 2D GPU grid onto physical cluster GPUs.
+
+AxoNN arranges GPUs in a ``G_inter x G_data`` virtual grid (paper Fig. 2):
+row *j* is one pipeline (inter-layer parallelism), column *i* is one
+data-parallel gradient-reduction group.
+
+Two placement policies are provided:
+
+* ``"pipeline-contiguous"`` (default, what AxoNN does): consecutive pipeline
+  stages of the same pipeline are packed onto the same node first, so the
+  frequent per-microbatch activation/gradient point-to-point messages use
+  the fast intra-node NVLink whenever possible.
+* ``"data-contiguous"``: members of a data-parallel group are packed
+  together instead, favoring the per-batch gradient all-reduce.
+
+The placement ablation benchmark quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .specs import ClusterSpec
+
+__all__ = ["GridPlacement", "Coord"]
+
+Coord = Tuple[int, int]  # (i = pipeline stage, j = data-parallel group)
+
+
+@dataclass(frozen=True)
+class GridPlacement:
+    """Bijection between grid coordinates and physical GPU ids."""
+
+    spec: ClusterSpec
+    g_inter: int
+    g_data: int
+    policy: str = "pipeline-contiguous"
+
+    def __post_init__(self):
+        if self.g_inter < 1 or self.g_data < 1:
+            raise ValueError("grid dimensions must be >= 1")
+        if self.g_inter * self.g_data > self.spec.num_gpus:
+            raise ValueError(
+                f"grid {self.g_inter}x{self.g_data} needs "
+                f"{self.g_inter * self.g_data} GPUs, cluster has "
+                f"{self.spec.num_gpus}"
+            )
+        if self.policy not in ("pipeline-contiguous", "data-contiguous"):
+            raise ValueError(f"unknown placement policy {self.policy!r}")
+
+    # -- mapping ---------------------------------------------------------------
+    def gpu_of(self, i: int, j: int) -> int:
+        """Physical GPU id of grid coordinate (stage ``i``, group ``j``)."""
+        if not (0 <= i < self.g_inter and 0 <= j < self.g_data):
+            raise ValueError(f"coordinate ({i}, {j}) outside "
+                             f"{self.g_inter}x{self.g_data} grid")
+        if self.policy == "pipeline-contiguous":
+            return j * self.g_inter + i
+        return i * self.g_data + j
+
+    def coord_of(self, gpu_id: int) -> Coord:
+        """Inverse of :meth:`gpu_of`."""
+        n = self.g_inter * self.g_data
+        if not 0 <= gpu_id < n:
+            raise ValueError(f"gpu {gpu_id} outside the {n}-GPU grid")
+        if self.policy == "pipeline-contiguous":
+            return gpu_id % self.g_inter, gpu_id // self.g_inter
+        return gpu_id // self.g_data, gpu_id % self.g_data
+
+    # -- groups ---------------------------------------------------------------
+    def pipeline(self, j: int) -> List[int]:
+        """GPU ids of pipeline (row) ``j``, stage order."""
+        return [self.gpu_of(i, j) for i in range(self.g_inter)]
+
+    def data_group(self, i: int) -> List[int]:
+        """GPU ids of data-parallel group (column) ``i``."""
+        return [self.gpu_of(i, j) for j in range(self.g_data)]
+
+    # -- locality statistics ----------------------------------------------------
+    def pipeline_edge_locality(self, j: int = 0) -> Dict[str, int]:
+        """Count intra- vs inter-node hops along pipeline ``j``."""
+        gpus = self.pipeline(j)
+        intra = sum(
+            1 for a, b in zip(gpus, gpus[1:]) if self.spec.same_node(a, b)
+        )
+        return {"intra": intra, "inter": len(gpus) - 1 - intra}
+
+    def data_group_nodes(self, i: int = 0) -> int:
+        """Number of distinct nodes spanned by data-parallel group ``i``."""
+        return len({self.spec.node_of(g) for g in self.data_group(i)})

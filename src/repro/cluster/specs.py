@@ -1,0 +1,123 @@
+"""Hardware specifications for the simulated cluster.
+
+All numbers for the default cluster come from the paper's Section VI
+description of ORNL Summit:
+
+* 6 NVIDIA V100 GPUs per node (two Power9 sockets x 3 GPUs),
+* 16 GB DRAM per GPU,
+* 125 Tflop/s peak half-precision throughput per GPU,
+* 50 GB/s peak intra-node GPU-GPU bandwidth (NVLink),
+* 12.5 GB/s peak inter-node bandwidth.
+
+Specs are immutable dataclasses so a cluster configuration can be hashed,
+compared and embedded in experiment records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["GPUSpec", "NodeSpec", "ClusterSpec", "summit", "GB", "MB", "KB"]
+
+KB = 1024
+MB = 1024 ** 2
+GB = 1024 ** 3
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One accelerator."""
+
+    #: peak half-precision throughput, flop/s
+    peak_half_flops: float
+    #: device DRAM capacity, bytes
+    dram_bytes: int
+    #: host <-> device DMA bandwidth, bytes/s (NVLink CPU link on Summit)
+    h2d_bandwidth: float
+    #: DMA engine latency per transfer, seconds
+    dma_latency: float = 5e-6
+
+    def __post_init__(self):
+        if self.peak_half_flops <= 0 or self.dram_bytes <= 0:
+            raise ValueError("GPU peak flops and DRAM must be positive")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One multi-GPU node."""
+
+    gpu: GPUSpec
+    gpus_per_node: int
+    #: GPU-GPU bandwidth within the node (NVLink), bytes/s
+    intra_node_bandwidth: float
+    #: node injection bandwidth to the interconnect, bytes/s
+    inter_node_bandwidth: float
+    #: host DRAM capacity available as offload scratch, bytes
+    host_dram_bytes: int
+    #: aggregate host memory bandwidth shared by the node's GPUs, bytes/s
+    host_mem_bandwidth: float
+
+    def __post_init__(self):
+        if self.gpus_per_node < 1:
+            raise ValueError("need at least one GPU per node")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of identical nodes."""
+
+    name: str
+    node: NodeSpec
+    num_nodes: int
+
+    def __post_init__(self):
+        if self.num_nodes < 1:
+            raise ValueError("need at least one node")
+
+    @property
+    def num_gpus(self) -> int:
+        return self.num_nodes * self.node.gpus_per_node
+
+    @property
+    def peak_half_flops(self) -> float:
+        """Aggregate peak half-precision flop/s of the whole cluster."""
+        return self.num_gpus * self.node.gpu.peak_half_flops
+
+    def with_nodes(self, num_nodes: int) -> "ClusterSpec":
+        """Same hardware, different node count."""
+        return replace(self, num_nodes=num_nodes)
+
+    def node_of(self, gpu_id: int) -> int:
+        """Node index hosting global GPU ``gpu_id``."""
+        self._check_gpu(gpu_id)
+        return gpu_id // self.node.gpus_per_node
+
+    def local_index(self, gpu_id: int) -> int:
+        """Index of ``gpu_id`` within its node."""
+        self._check_gpu(gpu_id)
+        return gpu_id % self.node.gpus_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    def _check_gpu(self, gpu_id: int) -> None:
+        if not 0 <= gpu_id < self.num_gpus:
+            raise ValueError(f"gpu id {gpu_id} outside [0, {self.num_gpus})")
+
+
+def summit(num_nodes: int = 8) -> ClusterSpec:
+    """The paper's testbed: ORNL Summit (Section VI numbers)."""
+    v100 = GPUSpec(
+        peak_half_flops=125e12,
+        dram_bytes=16 * GB,
+        h2d_bandwidth=50e9,
+    )
+    node = NodeSpec(
+        gpu=v100,
+        gpus_per_node=6,
+        intra_node_bandwidth=50e9,
+        inter_node_bandwidth=12.5e9,
+        host_dram_bytes=512 * GB,
+        host_mem_bandwidth=270e9,
+    )
+    return ClusterSpec(name="summit", node=node, num_nodes=num_nodes)

@@ -1,0 +1,39 @@
+"""Simulated communication backends (MPI-like and NCCL-like).
+
+Public surface:
+
+* :class:`Message`, :class:`Messenger` — backend-faithful point-to-point
+  messaging with per-GPU inboxes;
+* :func:`allreduce`, :func:`chunked_allreduce` — collectives with stream
+  placement semantics;
+* :func:`osu_latency`, :func:`osu_allreduce` — the Fig. 3 / Fig. 4
+  microbenchmarks.
+"""
+
+from .algorithms import ring_allreduce_des, ring_step_count
+from .collectives import allreduce, broadcast_time, chunked_allreduce
+from .message import TAG_BACKWARD, TAG_DATA, TAG_FORWARD, Message
+from .messenger import Messenger
+from .microbench import (
+    DEFAULT_COLL_SIZES,
+    DEFAULT_P2P_SIZES,
+    osu_allreduce,
+    osu_latency,
+)
+
+__all__ = [
+    "ring_allreduce_des",
+    "ring_step_count",
+    "allreduce",
+    "broadcast_time",
+    "chunked_allreduce",
+    "Message",
+    "Messenger",
+    "TAG_FORWARD",
+    "TAG_BACKWARD",
+    "TAG_DATA",
+    "osu_latency",
+    "osu_allreduce",
+    "DEFAULT_P2P_SIZES",
+    "DEFAULT_COLL_SIZES",
+]

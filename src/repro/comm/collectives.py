@@ -1,0 +1,100 @@
+"""Collective operations over groups of simulated GPUs.
+
+The data-parallel phase of every framework reduces parameter gradients with
+an all-reduce (paper Algorithm 1, line 13).  The cost comes from the
+backend's ring/tree model (:meth:`CommCostModel.allreduce_time`); this module
+adds the *scheduling* semantics:
+
+* ``stream="compute"`` — the collective occupies every participant's compute
+  stream (the default NCCL behaviour: nothing else runs during the
+  all-reduce);
+* ``stream="aux"`` — the collective runs on the auxiliary stream, leaving
+  the compute stream free (how AxoNN overlaps the all-reduce with the
+  optimizer, Section V-C);
+* ``stream=None`` — network-only (used by cost probes).
+
+``chunked_allreduce`` splits one large reduction into equal chunks and
+yields per-chunk completion events — the primitive behind the coarsening
+factor ``k`` study (paper Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from ..cluster import Machine
+from ..cluster.calibration import CommCostModel
+from ..sim import Event
+
+__all__ = ["allreduce", "chunked_allreduce", "broadcast_time"]
+
+
+def _acquire_streams(machine: Machine, ranks: List[int], stream: str):
+    streams = []
+    for r in sorted(ranks):
+        gpu = machine.gpu(r)
+        res = gpu.compute_stream if stream == "compute" else gpu.aux_stream
+        streams.append(res)
+    return streams
+
+
+def allreduce(machine: Machine, ranks: List[int], nbytes: int,
+              model: CommCostModel, stream: Optional[str] = "compute",
+              label: str = "allreduce") -> Generator:
+    """Process: all-reduce ``nbytes`` per rank over GPU ids ``ranks``.
+
+    Returns the collective's duration.
+    """
+    if len(ranks) != len(set(ranks)):
+        raise ValueError("duplicate ranks in collective group")
+    if len(ranks) <= 1:
+        return 0.0
+    grants = []
+    if stream is not None:
+        if stream not in ("compute", "aux"):
+            raise ValueError(f"stream must be 'compute', 'aux' or None, "
+                             f"got {stream!r}")
+        for res in _acquire_streams(machine, ranks, stream):
+            req = res.request()
+            yield req
+            grants.append((res, req))
+    start = machine.env.now
+    try:
+        yield from machine.fabric.allreduce(ranks, nbytes, model, label=label)
+    finally:
+        for res, req in reversed(grants):
+            res.release(req)
+    return machine.env.now - start
+
+
+def chunked_allreduce(machine: Machine, ranks: List[int], total_bytes: int,
+                      num_chunks: int, model: CommCostModel,
+                      stream: Optional[str] = "aux",
+                      on_chunk: Optional[Callable[[int], None]] = None,
+                      label: str = "allreduce-chunk") -> Generator:
+    """Process: all-reduce ``total_bytes`` in ``num_chunks`` equal pieces.
+
+    Chunks are issued back-to-back (chunk *c+1* starts as soon as chunk *c*
+    finishes its network time); ``on_chunk(c)`` fires at each completion so
+    the caller can enqueue the optimizer step for the corresponding buckets
+    — the paper's overlap mechanism (Section V-C).
+    """
+    if num_chunks < 1:
+        raise ValueError(f"num_chunks must be >= 1, got {num_chunks}")
+    chunk = total_bytes // num_chunks
+    remainder = total_bytes - chunk * (num_chunks - 1)
+    for c in range(num_chunks):
+        nbytes = chunk if c < num_chunks - 1 else remainder
+        yield from allreduce(machine, ranks, nbytes, model, stream=stream,
+                             label=f"{label}{c}")
+        if on_chunk is not None:
+            on_chunk(c)
+
+
+def broadcast_time(model: CommCostModel, nbytes: int, ranks: int,
+                   intra_node: bool) -> float:
+    """Modeled broadcast time (ring pipeline: one traversal, not two)."""
+    if ranks <= 1:
+        return 0.0
+    bw = model.coll_bw_intra if intra_node else model.coll_bw_inter
+    return (ranks - 1) * model.coll_alpha + nbytes / bw

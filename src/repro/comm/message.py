@@ -1,0 +1,39 @@
+"""Message descriptors for the simulated point-to-point layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["Message", "TAG_FORWARD", "TAG_BACKWARD", "TAG_DATA"]
+
+#: activation message travelling down the pipeline (paper Fig. 2, blue)
+TAG_FORWARD = "forward"
+#: output-gradient message travelling up the pipeline (paper Fig. 2, red)
+TAG_BACKWARD = "backward"
+#: generic payload (microbenchmarks etc.)
+TAG_DATA = "data"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message between two simulated GPUs.
+
+    ``src``/``dst`` are physical GPU ids.  ``tag`` is what the
+    message-driven scheduler dispatches on: AxoNN decides between a forward
+    and a backward pass purely from which neighbour a message arrived from
+    (Algorithm 2, lines 13/21) — the tag encodes that provenance.
+    """
+
+    src: int
+    dst: int
+    nbytes: int
+    tag: str = TAG_DATA
+    #: microbatch id or other scheduler payload
+    meta: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self):
+        if self.nbytes < 0:
+            raise ValueError(f"negative message size: {self.nbytes}")
+        if self.src == self.dst:
+            raise ValueError(f"message to self (gpu {self.src})")

@@ -1,0 +1,88 @@
+"""OSU-style communication microbenchmarks on the simulated fabric.
+
+These regenerate the measurements behind the paper's backend choice:
+
+* :func:`osu_latency` — the ``osu_latency`` ping-pong of Fig. 3, for MPI and
+  NCCL, intra-node and inter-node, across message sizes.
+* :func:`osu_allreduce` — the all-reduce benchmark of Fig. 4 over 6 GPUs
+  (one node) and 12 GPUs (two nodes).
+
+Each function runs a fresh simulation per (backend, size) point and returns
+plain dict rows, so benchmarks and tests share one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..cluster import Machine, summit
+from .collectives import allreduce
+from .message import Message
+from .messenger import Messenger
+
+__all__ = ["osu_latency", "osu_allreduce", "DEFAULT_P2P_SIZES",
+           "DEFAULT_COLL_SIZES"]
+
+#: Fig. 3 x-axis: 8 B .. 128 MB
+DEFAULT_P2P_SIZES: List[int] = [8 * 4 ** e for e in range(13)]
+#: Fig. 4 x-axis: 512 B .. 8 GB (per process)
+DEFAULT_COLL_SIZES: List[int] = [512 * 4 ** e for e in range(13)]
+
+
+def osu_latency(backend: str, intra_node: bool,
+                sizes: Optional[Sequence[int]] = None,
+                machine: Optional[Machine] = None) -> List[Dict[str, object]]:
+    """Ping-pong latency sweep; returns one row per message size.
+
+    One-way latency is half of the measured round trip, following the OSU
+    convention.
+    """
+    sizes = list(sizes if sizes is not None else DEFAULT_P2P_SIZES)
+    rows: List[Dict[str, object]] = []
+    for nbytes in sizes:
+        m = machine or Machine(spec=summit(2))
+        model = m.cal.backend(backend)
+        dst = 1 if intra_node else m.spec.node.gpus_per_node  # first GPU of node 1
+        messenger = Messenger(m, model)
+
+        def pingpong(m=m, messenger=messenger, nbytes=nbytes, dst=dst):
+            yield messenger.isend(Message(0, dst, nbytes, tag="ping"))
+            yield messenger.irecv(dst)
+            yield messenger.isend(Message(dst, 0, nbytes, tag="pong"))
+            yield messenger.irecv(0)
+
+        m.env.process(pingpong())
+        m.run()
+        rows.append({
+            "backend": backend,
+            "scope": "intra-node" if intra_node else "inter-node",
+            "bytes": nbytes,
+            "latency_s": m.now / 2.0,
+        })
+        machine = None  # never reuse a dirtied caller machine
+    return rows
+
+
+def osu_allreduce(backend: str, ranks: int,
+                  sizes: Optional[Sequence[int]] = None) -> List[Dict[str, object]]:
+    """All-reduce latency sweep over the first ``ranks`` GPUs.
+
+    With 6 ranks the group is one full Summit node (the paper's intra-node
+    case); with 12 it spans two nodes (inter-node case).
+    """
+    sizes = list(sizes if sizes is not None else DEFAULT_COLL_SIZES)
+    rows: List[Dict[str, object]] = []
+    for nbytes in sizes:
+        m = Machine(spec=summit(max(2, (ranks + 5) // 6)))
+        model = m.cal.backend(backend)
+        group = list(range(ranks))
+        m.env.process(allreduce(m, group, nbytes, model, stream=None))
+        m.run()
+        rows.append({
+            "backend": backend,
+            "ranks": ranks,
+            "scope": "intra-node" if ranks <= 6 else "inter-node",
+            "bytes": nbytes,
+            "latency_s": m.now,
+        })
+    return rows

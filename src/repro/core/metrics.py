@@ -1,0 +1,47 @@
+"""The paper's evaluation metrics (Section VI-D).
+
+* :func:`estimated_training_days` — Eq. (2): time to train on 300 B tokens,
+  ``3e11 * t / (b * s)``, reported in days;
+* :func:`achieved_flops` — Eq. (3): hardware flop/s from the batch time;
+* :func:`percent_of_peak` — achieved / aggregate peak half-precision.
+"""
+
+from __future__ import annotations
+
+from .model_stats import TransformerSpec
+
+__all__ = ["estimated_training_days", "achieved_flops", "percent_of_peak",
+           "GPT3_TOKENS"]
+
+#: GPT-3's training-token budget the paper normalizes to.
+GPT3_TOKENS = 3e11
+
+SECONDS_PER_DAY = 86_400.0
+
+
+def estimated_training_days(batch_time_s: float, batch_size: int,
+                            seq_len: int) -> float:
+    """Eq. (2) converted to days."""
+    if batch_time_s <= 0 or batch_size < 1 or seq_len < 1:
+        raise ValueError("batch time, batch size and seq len must be positive")
+    tokens_per_batch = batch_size * seq_len
+    total_seconds = GPT3_TOKENS * batch_time_s / tokens_per_batch
+    return total_seconds / SECONDS_PER_DAY
+
+
+def achieved_flops(spec: TransformerSpec, batch_size: int,
+                   batch_time_s: float) -> float:
+    """Eq. (3): model flop/s achieved over the batch."""
+    if batch_time_s <= 0:
+        raise ValueError("batch time must be positive")
+    return spec.flops_per_batch(batch_size) / batch_time_s
+
+
+def percent_of_peak(spec: TransformerSpec, batch_size: int,
+                    batch_time_s: float, num_gpus: int,
+                    peak_per_gpu: float = 125e12) -> float:
+    """Achieved percentage of aggregate peak half-precision throughput."""
+    if num_gpus < 1:
+        raise ValueError("num_gpus must be >= 1")
+    peak = num_gpus * peak_per_gpu
+    return 100.0 * achieved_flops(spec, batch_size, batch_time_s) / peak

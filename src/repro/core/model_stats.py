@@ -1,0 +1,157 @@
+"""Analytic statistics of GPT-style transformers.
+
+Everything the performance model needs to know about a model configuration:
+
+* parameter counts (validated against the paper's Table I: the 12/24/50/100
+  billion parameter configurations);
+* flops per batch, using Narayanan et al.'s lower bound — the paper's
+  Eq. (3):  ``96 b s l h^2 (1 + s/6h + V/16lh)`` (this *includes* the
+  activation-recompute forward);
+* per-layer forward flops for the discrete-event compute model;
+* point-to-point message sizes (fp16 boundary activations — the paper's
+  "1-50 MB region of interest");
+* gradient bytes for the data-parallel all-reduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["TransformerSpec", "WEAK_SCALING_MODELS", "GPT2_SMALL",
+           "paper_table1_specs"]
+
+BYTES_HALF = 2
+BYTES_FULL = 4
+
+
+@dataclass(frozen=True)
+class TransformerSpec:
+    """Architecture + training-shape description used by the perf model."""
+
+    name: str
+    n_layer: int
+    hidden: int
+    n_head: int
+    vocab_size: int = 51200
+    seq_len: int = 512
+
+    def __post_init__(self):
+        if self.hidden % self.n_head != 0:
+            raise ValueError("hidden must be divisible by n_head")
+        for fld in ("n_layer", "hidden", "n_head", "vocab_size", "seq_len"):
+            if getattr(self, fld) < 1:
+                raise ValueError(f"{fld} must be >= 1")
+
+    # -- parameters -----------------------------------------------------------
+    @property
+    def params_per_layer(self) -> int:
+        """One transformer layer: 12 h^2 weights + 13 h bias/norm terms."""
+        h = self.hidden
+        return 12 * h * h + 13 * h
+
+    @property
+    def embedding_params(self) -> int:
+        """Token + positional embeddings and the (untied) LM head."""
+        return (2 * self.vocab_size + self.seq_len) * self.hidden
+
+    @property
+    def total_params(self) -> int:
+        return self.n_layer * self.params_per_layer + self.embedding_params
+
+    @property
+    def billions(self) -> float:
+        return self.total_params / 1e9
+
+    # -- flops ------------------------------------------------------------------
+    def flops_per_batch(self, batch_size: int) -> float:
+        """Eq. (3) numerator: total flops to process one batch (fwd + bwd +
+        recompute), Narayanan et al.'s lower bound."""
+        b, s, l, h, v = (batch_size, self.seq_len, self.n_layer,
+                         self.hidden, self.vocab_size)
+        return 96 * b * s * l * h * h * (
+            1 + s / (6 * h) + v / (16 * l * h)
+        )
+
+    def layer_forward_flops(self, microbatch: int) -> float:
+        """Forward flops of one transformer layer on one microbatch:
+        ``b s (24 h^2 + 4 s h)`` (QKV/proj/MLP GEMMs + attention scores)."""
+        b, s, h = microbatch, self.seq_len, self.hidden
+        return b * s * (24 * h * h + 4 * s * h)
+
+    def head_forward_flops(self, microbatch: int) -> float:
+        """Forward flops of the LM-head GEMM: ``2 b s h V``."""
+        return 2 * microbatch * self.seq_len * self.hidden * self.vocab_size
+
+    # -- bytes ---------------------------------------------------------------
+    def activation_message_bytes(self, microbatch: int) -> int:
+        """fp16 boundary activation (b, s, h) — the inter-layer p2p payload."""
+        return BYTES_HALF * microbatch * self.seq_len * self.hidden
+
+    def layer_activation_bytes(self, microbatch: int,
+                               internal_factor: float = 4.0) -> int:
+        """Live activation memory of one layer for one microbatch.
+
+        ``internal_factor`` scales the boundary size up for the layer's
+        internal buffers (attention matrices, 4h MLP) that are live during
+        (re)computation.
+        """
+        return int(internal_factor
+                   * self.activation_message_bytes(microbatch))
+
+    def gradient_bytes_half(self, params: int) -> int:
+        """fp16 gradient payload of ``params`` parameters (the all-reduce
+        message of Section IV-B)."""
+        return BYTES_HALF * params
+
+    # -- sharding ------------------------------------------------------------
+    def params_per_stage(self, g_inter: int) -> int:
+        """Parameter count of the *largest* pipeline stage (ceil split of
+        layers; embeddings/head on the boundary stages)."""
+        if g_inter < 1:
+            raise ValueError("g_inter must be >= 1")
+        if g_inter > self.n_layer:
+            raise ValueError(
+                f"cannot split {self.n_layer} layers over {g_inter} stages"
+            )
+        layers_heavy = -(-self.n_layer // g_inter)
+        body = layers_heavy * self.params_per_layer
+        if g_inter == 1:
+            return body + self.embedding_params
+        # Boundary stages carry the embedding / head in addition to blocks.
+        boundary_extra = self.embedding_params // 2 + self.hidden
+        return body + boundary_extra
+
+    def layers_per_stage(self, g_inter: int) -> int:
+        return -(-self.n_layer // g_inter)
+
+
+#: The paper's Table I weak-scaling model zoo.
+WEAK_SCALING_MODELS: Dict[str, TransformerSpec] = {
+    "12B": TransformerSpec("12B", n_layer=48, hidden=4512, n_head=24),
+    "24B": TransformerSpec("24B", n_layer=48, hidden=6336, n_head=36),
+    "50B": TransformerSpec("50B", n_layer=96, hidden=6528, n_head=48),
+    "100B": TransformerSpec("100B", n_layer=96, hidden=9360, n_head=60),
+}
+
+#: GPT-2 small (the Fig. 10 validation model).
+GPT2_SMALL = TransformerSpec("GPT2-small", n_layer=12, hidden=768, n_head=12,
+                             vocab_size=51200, seq_len=512)
+
+
+def paper_table1_specs() -> List[Dict[str, object]]:
+    """Table I rows: nodes, GPUs, parameters, layers, hidden, heads."""
+    gpu_counts = {"12B": (8, 48), "24B": (16, 96), "50B": (32, 192),
+                  "100B": (64, 384)}
+    rows = []
+    for name, spec in WEAK_SCALING_MODELS.items():
+        nodes, gpus = gpu_counts[name]
+        rows.append({
+            "nodes": nodes,
+            "gpus": gpus,
+            "params_billions": round(spec.billions, 1),
+            "layers": spec.n_layer,
+            "hidden": spec.hidden,
+            "heads": spec.n_head,
+        })
+    return rows

@@ -1,0 +1,380 @@
+"""Discrete-event programs for AxoNN's three execution phases.
+
+The performance twin of :mod:`repro.runtime`: the same algorithms, but the
+payloads are byte counts and the work items are kernel durations on the
+simulated cluster.
+
+Phase 1 — *inter-layer* (Algorithm 2): one data-parallel pipeline row is
+simulated in full (rows are statistically identical; tests validate the
+symmetry).  Stage processes are message-driven — they receive from either
+neighbour and start the corresponding forward/backward pass, with the
+paper's ``pipeline_limit`` in-flight bound.
+
+Phase 2 — *data-parallel* (Algorithm 1, line 13): a gradient all-reduce
+over each column.
+
+Phase 3 — *optimizer*: either resident on the GPU (baseline; bound by HBM
+bandwidth over the ``20 phi`` state) or bucketed through the CPU
+(Section V-B), optionally overlapped with the chunked all-reduce via the
+coarsening factor ``k`` (Section V-C).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+import numpy as np
+
+from ..cluster import GridPlacement, Machine
+from ..comm import Message, Messenger, TAG_BACKWARD, TAG_FORWARD
+from ..nn.checkpoint import optimal_checkpoint_interval
+from .config import AxoNNConfig
+
+__all__ = ["StageCost", "stage_costs", "run_pipeline_phase",
+           "run_pipeline_phase_all_rows", "run_data_parallel_and_optimizer",
+           "optimizer_time_on_gpu", "offload_bucket_time", "jitter_factor"]
+
+
+def jitter_factor(sigma: float, seed: int, stage: int, microbatch: int,
+                  kind: int) -> float:
+    """Deterministic lognormal compute-time perturbation.
+
+    Models real-machine variability (clock throttling, stragglers, OS
+    noise).  Keyed by (seed, stage, microbatch, fwd/bwd) so both the
+    message-driven and the static schedulers see the *same* perturbed
+    kernel durations — only their reaction differs.
+    """
+    if sigma <= 0:
+        return 1.0
+    rng = np.random.default_rng((seed, stage, microbatch, kind))
+    return float(np.exp(sigma * rng.standard_normal()))
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Per-microbatch execution costs of one pipeline stage."""
+
+    stage: int
+    n_block_layers: int
+    params: int
+    fwd_flops: float
+    bwd_flops: float      # backward proper (2x forward) + head backward
+    recompute_flops: float  # checkpoint recompute during backward
+    work_granularity: float  # per-kernel work for the efficiency model
+    activation_bytes: int   # boundary message size
+
+
+def stage_costs(cfg: AxoNNConfig) -> List[StageCost]:
+    """Cost table for every stage of the pipeline."""
+    spec = cfg.spec
+    mbs = cfg.microbatch_size
+    layer_fwd = spec.layer_forward_flops(mbs)
+    head_fwd = spec.head_forward_flops(mbs)
+    base, extra = divmod(spec.n_layer, cfg.g_inter)
+    costs = []
+    for i in range(cfg.g_inter):
+        n_layers = base + (1 if i < extra else 0)
+        fwd = n_layers * layer_fwd
+        bwd = 2 * fwd
+        recompute = fwd  # full activation recompute of the stage's blocks
+        if i == cfg.g_inter - 1:
+            fwd += head_fwd
+            bwd += 2 * head_fwd
+        phi = n_layers * spec.params_per_layer
+        if i == 0 or i == cfg.g_inter - 1:
+            phi += spec.embedding_params // 2
+        costs.append(StageCost(
+            stage=i,
+            n_block_layers=n_layers,
+            params=phi,
+            fwd_flops=fwd,
+            bwd_flops=bwd,
+            recompute_flops=recompute,
+            work_granularity=layer_fwd,
+            activation_bytes=spec.activation_message_bytes(mbs),
+        ))
+    return costs
+
+
+def run_pipeline_phase(machine: Machine, cfg: AxoNNConfig,
+                       placement: Optional[GridPlacement] = None,
+                       row: int = 0,
+                       track_memory: bool = False) -> Generator:
+    """Process: Algorithm 2 on one pipeline row; returns the phase duration.
+
+    Spawns one message-driven process per stage and waits for all of them.
+
+    With ``track_memory`` every in-flight microbatch allocates its
+    checkpointed activations on the owning GPU's memory pool (one
+    ``layers/ac`` set of checkpoints per microbatch, plus the transient
+    ``1 + ac`` recompute workspace during the backward pass).  The pool's
+    peak then *emerges* from the schedule — the quantity Eq. (1) predicts —
+    and an over-committed configuration raises
+    :class:`~repro.cluster.memory.OutOfMemoryError` mid-flight, exactly
+    like the real machine.
+    """
+    placement = placement or GridPlacement(machine.spec, cfg.g_inter,
+                                           cfg.g_data,
+                                           policy=cfg.placement_policy)
+    gpus = placement.pipeline(row)
+    costs = stage_costs(cfg)
+    model = machine.cal.backend(cfg.backend_p2p)
+    messenger = Messenger(machine, model)
+    m = cfg.microbatches_per_shard
+    limit = cfg.effective_pipeline_limit
+    env = machine.env
+    start = env.now
+    # Activation accounting (Eq. 1 units).
+    layers_per_stage = cfg.spec.layers_per_stage(cfg.g_inter)
+    ac = optimal_checkpoint_interval(cfg.spec.n_layer, layers_per_stage)
+    act_unit = cfg.spec.layer_activation_bytes(cfg.microbatch_size)
+    checkpoint_bytes = (layers_per_stage // ac) * act_unit
+    recompute_bytes = (1 + ac) * act_unit
+
+    def stage_proc(i: int) -> Generator:
+        gpu = machine.gpu(gpus[i])
+        cost = costs[i]
+        prev_gpu = gpus[i - 1] if i > 0 else None
+        next_gpu = gpus[i + 1] if i < cfg.g_inter - 1 else None
+        queue = deque(range(m))
+
+        handling = machine.cal.p2p_handling_overhead
+        sigma, jseed = cfg.compute_jitter, cfg.jitter_seed
+
+        def fwd(mb: int) -> Generator:
+            if track_memory:
+                gpu.memory.allocate(f"row{row}.ckpt{mb}", checkpoint_bytes)
+            factor = jitter_factor(sigma, jseed, i, mb, 0)
+            yield from gpu.compute(cost.fwd_flops * factor,
+                                   label=f"fwd{mb}",
+                                   category="compute",
+                                   work=cost.work_granularity,
+                                   extra_time=handling)
+
+        def bwd(mb: int) -> Generator:
+            if track_memory:
+                gpu.memory.allocate(f"row{row}.recompute", recompute_bytes)
+            factor = jitter_factor(sigma, jseed, i, mb, 1)
+            yield from gpu.compute(
+                (cost.recompute_flops + cost.bwd_flops) * factor,
+                label=f"bwd{mb}", category="compute",
+                work=cost.work_granularity,
+                extra_time=handling)
+            if track_memory:
+                gpu.memory.free_label(f"row{row}.recompute")
+                gpu.memory.free_label(f"row{row}.ckpt{mb}")
+
+        if cfg.g_inter == 1:
+            for mb in queue:
+                yield from fwd(mb)
+                yield from bwd(mb)
+            return
+
+        # Warm-up: first stage injects pipeline_limit microbatches.
+        if i == 0:
+            for _ in range(min(limit, m)):
+                mb = queue.popleft()
+                yield from fwd(mb)
+                messenger.isend(Message(gpus[0], next_gpu,
+                                        cost.activation_bytes,
+                                        tag=TAG_FORWARD,
+                                        meta={"mb": mb}))
+
+        expected = (m if prev_gpu is not None else 0) + \
+                   (m if next_gpu is not None else 0)
+        received = 0
+        while received < expected:
+            msg = yield messenger.irecv(gpus[i])
+            received += 1
+            if msg.tag == TAG_FORWARD:
+                mb = msg.meta["mb"]
+                yield from fwd(mb)
+                if i == cfg.g_inter - 1:
+                    yield from bwd(mb)  # BACKWARD(1) on the last stage
+                    messenger.isend(Message(gpus[i], prev_gpu,
+                                            cost.activation_bytes,
+                                            tag=TAG_BACKWARD,
+                                            meta={"mb": mb}))
+                else:
+                    messenger.isend(Message(gpus[i], next_gpu,
+                                            cost.activation_bytes,
+                                            tag=TAG_FORWARD,
+                                            meta={"mb": mb}))
+            else:  # backward gradient from downstream
+                mb = msg.meta["mb"]
+                yield from bwd(mb)
+                if i == 0:
+                    if queue:
+                        nxt = queue.popleft()
+                        yield from fwd(nxt)
+                        messenger.isend(Message(gpus[0], next_gpu,
+                                                cost.activation_bytes,
+                                                tag=TAG_FORWARD,
+                                                meta={"mb": nxt}))
+                else:
+                    messenger.isend(Message(gpus[i], prev_gpu,
+                                            cost.activation_bytes,
+                                            tag=TAG_BACKWARD,
+                                            meta={"mb": mb}))
+
+    procs = [env.process(stage_proc(i), name=f"stage{i}")
+             for i in range(cfg.g_inter)]
+    yield env.all_of(procs)
+    return env.now - start
+
+
+def run_pipeline_phase_all_rows(machine: Machine, cfg: AxoNNConfig,
+                                placement: Optional[GridPlacement] = None
+                                ) -> Generator:
+    """Process: Algorithm 2 on *every* data-parallel row concurrently.
+
+    The default simulation exploits data-parallel symmetry and runs one
+    row; this variant runs the whole grid, so rows that share nodes (small
+    G_inter) contend for NVLink ports and NICs.  Used to validate the
+    symmetry assumption and to quantify inter-row interference.
+    Returns the makespan of the slowest row.
+    """
+    placement = placement or GridPlacement(machine.spec, cfg.g_inter,
+                                           cfg.g_data,
+                                           policy=cfg.placement_policy)
+    env = machine.env
+    start = env.now
+    rows = [env.process(run_pipeline_phase(machine, cfg, placement, row=j),
+                        name=f"row{j}")
+            for j in range(cfg.g_data)]
+    yield env.all_of(rows)
+    return env.now - start
+
+
+def optimizer_time_on_gpu(machine: Machine, params: int) -> float:
+    """Resident (no-offload) optimizer step duration: an elementwise pass
+    over the 20-bytes-per-parameter state, HBM-bandwidth bound."""
+    cal = machine.cal
+    bytes_touched = 20 * params
+    return bytes_touched / cal.hbm_bandwidth + cal.kernel_launch_overhead
+
+
+def offload_bucket_time(machine: Machine, gpu_id: int,
+                        bucket_params: int) -> float:
+    """Duration of one offloaded optimizer bucket: fetch master+state
+    (12 B/param), CPU Adam math, write back (12 B/param)."""
+    gpu = machine.gpu(gpu_id)
+    cal = machine.cal
+    dma = gpu.dma_time(12 * bucket_params)
+    cpu = bucket_params * cal.adam_flops_per_param / cal.cpu_flops
+    return dma + cpu + dma + cal.optimizer_bucket_overhead
+
+
+def run_data_parallel_and_optimizer(machine: Machine, cfg: AxoNNConfig,
+                                    placement: Optional[GridPlacement] = None,
+                                    stage: int = 0) -> Generator:
+    """Process: Algorithm 1 line 13 + optimizer for one stage's column.
+
+    Returns ``(allreduce_seconds, optimizer_seconds, combined_seconds)``
+    where *combined* is the makespan of the phase (with overlap it is less
+    than the sum).
+    """
+    placement = placement or GridPlacement(machine.spec, cfg.g_inter,
+                                           cfg.g_data,
+                                           policy=cfg.placement_policy)
+    env = machine.env
+    cal = machine.cal
+    coll = cal.backend(cfg.backend_coll)
+    costs = stage_costs(cfg)
+    phi = costs[stage].params
+    column = placement.data_group(stage)
+    gpu_id = column[0]
+    gpu = machine.gpu(gpu_id)
+    intra = placement.data_group_nodes(stage) == 1
+    grad_bytes = cfg.spec.gradient_bytes_half(phi)
+    start = env.now
+    ar_busy = 0.0
+    opt_busy = 0.0
+
+    # Every stage's column reduces *simultaneously*; columns whose members
+    # share a node share its NIC, dividing the effective ring bandwidth.
+    # With pipeline-contiguous placement, min(G_inter, gpus/node) columns
+    # land on each node — the contention that makes the data-parallel phase
+    # grow from 0.62 s to 4.32 s in the paper's Fig. 6 when G_inter drops
+    # from 24 to 6 (more data and more ranks per column).
+    nic_sharing = 1 if intra else min(cfg.g_inter,
+                                      machine.spec.node.gpus_per_node)
+
+    def allreduce_chunk(nbytes: int) -> float:
+        return (nic_sharing * coll.allreduce_time(nbytes, cfg.g_data, intra)
+                + cal.coll_launch_overhead)
+
+    if not cfg.include_optimizer:
+        # Fig. 5 setting: optimizer states removed; only the all-reduce runs.
+        dur = allreduce_chunk(grad_bytes)
+        yield from gpu.busy(dur, label="allreduce", category="allreduce",
+                            stream=gpu.aux_stream)
+        return dur, 0.0, env.now - start
+
+    if not cfg.memopt:
+        # Baseline: monolithic all-reduce then resident optimizer.
+        ar = allreduce_chunk(grad_bytes)
+        yield from gpu.busy(ar, label="allreduce", category="allreduce",
+                            stream=gpu.aux_stream)
+        opt = optimizer_time_on_gpu(machine, phi)
+        yield from gpu.busy(opt, label="optimizer", category="optimizer",
+                            stream=gpu.compute_stream)
+        return ar, opt, env.now - start
+
+    # Memory-optimized path: bucketed CPU offload, chunked all-reduce with
+    # coarsening factor k, optimizer chunks enqueued as reductions finish.
+    bsize = min(cfg.bucket_size, phi)
+    n_buckets = -(-phi // bsize)
+    k = cfg.coarsening_k
+    n_chunks = -(-n_buckets // k)
+
+    if not cfg.overlap:
+        ar = allreduce_chunk(grad_bytes)
+        yield from gpu.busy(ar, label="allreduce", category="allreduce",
+                            stream=gpu.aux_stream)
+        for b in range(n_buckets):
+            params_here = min(bsize, phi - b * bsize)
+            dur = offload_bucket_time(machine, gpu_id, params_here)
+            yield from gpu.busy(dur, label=f"opt-bucket{b}",
+                                category="optimizer",
+                                stream=gpu.compute_stream)
+        return ar, env.now - start - ar, env.now - start
+
+    # Overlapped: all-reduce chunks on the aux stream feed optimizer bucket
+    # work on the compute stream through a ready-queue (Fig. 7's two rows).
+    from ..sim import Store
+    ready: Store = Store(env, name="chunk-ready")
+
+    def allreduce_proc() -> Generator:
+        nonlocal ar_busy
+        remaining = phi
+        for c in range(n_chunks):
+            chunk_params = min(k * bsize, remaining)
+            remaining -= chunk_params
+            dur = allreduce_chunk(
+                cfg.spec.gradient_bytes_half(chunk_params))
+            yield from gpu.busy(dur, label=f"allreduce-chunk{c}",
+                                category="allreduce",
+                                stream=gpu.aux_stream)
+            ar_busy += dur
+            ready.put(chunk_params)
+
+    def optimizer_proc() -> Generator:
+        nonlocal opt_busy
+        for _ in range(n_chunks):
+            chunk_params = yield ready.get()
+            while chunk_params > 0:
+                params_here = min(bsize, chunk_params)
+                chunk_params -= params_here
+                dur = offload_bucket_time(machine, gpu_id, params_here)
+                yield from gpu.busy(dur, label="opt-bucket",
+                                    category="optimizer",
+                                    stream=gpu.compute_stream)
+                opt_busy += dur
+
+    procs = [env.process(allreduce_proc(), name="allreduce"),
+             env.process(optimizer_proc(), name="optimizer")]
+    yield env.all_of(procs)
+    return ar_busy, opt_busy, env.now - start

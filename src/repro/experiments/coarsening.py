@@ -1,0 +1,50 @@
+"""Experiment: Fig. 8 — combined all-reduce + optimizer time vs the
+coarsening factor k.
+
+Paper setting: 12 B model, 48 GPUs, memory optimization on.  k=1 suffers
+from per-call overheads (worse than no overlap at all); large k gravitates
+toward sequential behaviour; the optimum sits at an intermediate value."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core import AxoNNConfig, WEAK_SCALING_MODELS, simulate_batch
+
+__all__ = ["fig8_rows", "fig8_claims", "DEFAULT_K_VALUES"]
+
+DEFAULT_K_VALUES = (1, 2, 4, 8, 16, 32, 128)
+
+
+def fig8_rows(k_values: Sequence[int] = DEFAULT_K_VALUES,
+              num_gpus: int = 48, model: str = "12B",
+              bucket_size: int = 16_000_000) -> List[Dict[str, object]]:
+    spec = WEAK_SCALING_MODELS[model]
+    base = AxoNNConfig(
+        spec=spec, num_gpus=num_gpus, g_inter=6, g_data=num_gpus // 6,
+        microbatch_size=1, batch_size=num_gpus * 4, memopt=True,
+        bucket_size=bucket_size)
+    rows = [{
+        "k": 0,  # sentinel: no overlap
+        "label": "no-overlap",
+        "combined_s": simulate_batch(base.with_(overlap=False))
+        .dp_opt_combined_s,
+    }]
+    for k in k_values:
+        r = simulate_batch(base.with_(coarsening_k=k))
+        rows.append({"k": k, "label": f"k={k}",
+                     "combined_s": r.dp_opt_combined_s})
+    return rows
+
+
+def fig8_claims(rows: List[Dict[str, object]]) -> Dict[str, bool]:
+    no_overlap = next(r["combined_s"] for r in rows if r["k"] == 0)
+    overlapped = {r["k"]: r["combined_s"] for r in rows if r["k"] > 0}
+    best_k = min(overlapped, key=overlapped.get)
+    largest_k = max(overlapped)
+    return {
+        "k1_worse_than_no_overlap": overlapped[1] > no_overlap,
+        "optimum_at_intermediate_k": 2 <= best_k <= 32,
+        "best_beats_no_overlap": overlapped[best_k] < no_overlap,
+        "large_k_degrades": overlapped[largest_k] > overlapped[best_k],
+    }

@@ -1,0 +1,44 @@
+"""Experiment: Fig. 5 — inter-layer phase time vs G_inter.
+
+Paper setting (Section V-B): 12 B model on 48 GPUs, batch 2048, microbatch
+1, optimizer states removed, G_inter in {6, 12, 24, 48}.  Theorem 5.3
+predicts the phase time grows with G_inter via the rising communication-to-
+computation ratio."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core import AxoNNConfig, WEAK_SCALING_MODELS, simulate_batch
+
+__all__ = ["fig5_rows", "fig5_claims", "PAPER_G_INTER_VALUES"]
+
+PAPER_G_INTER_VALUES = (6, 12, 24, 48)
+
+
+def fig5_rows(g_inter_values: Sequence[int] = PAPER_G_INTER_VALUES,
+              num_gpus: int = 48, batch_size: int = 2048,
+              model: str = "12B") -> List[Dict[str, object]]:
+    spec = WEAK_SCALING_MODELS[model]
+    rows = []
+    for g_inter in g_inter_values:
+        cfg = AxoNNConfig(
+            spec=spec, num_gpus=num_gpus, g_inter=g_inter,
+            g_data=num_gpus // g_inter, microbatch_size=1,
+            batch_size=batch_size, include_optimizer=False, memopt=False)
+        result = simulate_batch(cfg)
+        rows.append({
+            "g_inter": g_inter,
+            "g_data": cfg.g_data,
+            "inter_layer_phase_s": result.pipeline_s,
+        })
+    return rows
+
+
+def fig5_claims(rows: List[Dict[str, object]]) -> Dict[str, bool]:
+    times = [r["inter_layer_phase_s"] for r in
+             sorted(rows, key=lambda r: r["g_inter"])]
+    return {
+        "phase_time_increases_with_g_inter": times == sorted(times),
+        "spread_is_material": times[-1] > 1.3 * times[0],
+    }

@@ -1,0 +1,66 @@
+"""Experiment: Figs. 3-4 — the OSU-style communication microbenchmarks.
+
+Regenerates the measurements that motivated AxoNN's backend split (MPI for
+point-to-point, NCCL for collectives)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..cluster import MB
+from ..comm import DEFAULT_COLL_SIZES, DEFAULT_P2P_SIZES, osu_allreduce, \
+    osu_latency
+
+__all__ = ["fig3_rows", "fig4_rows", "fig3_claims", "fig4_claims"]
+
+
+def fig3_rows(sizes: Optional[Sequence[int]] = None) -> List[Dict[str, object]]:
+    """Fig. 3: p2p ping-pong latency, 4 series (backend x scope)."""
+    sizes = sizes if sizes is not None else DEFAULT_P2P_SIZES
+    rows: List[Dict[str, object]] = []
+    for backend in ("mpi", "nccl"):
+        for intra in (True, False):
+            rows.extend(osu_latency(backend, intra, sizes))
+    return rows
+
+
+def fig4_rows(sizes: Optional[Sequence[int]] = None) -> List[Dict[str, object]]:
+    """Fig. 4: all-reduce latency, 4 series (backend x 6/12 ranks)."""
+    sizes = sizes if sizes is not None else DEFAULT_COLL_SIZES
+    rows: List[Dict[str, object]] = []
+    for backend in ("mpi", "nccl"):
+        for ranks in (6, 12):
+            rows.extend(osu_allreduce(backend, ranks, sizes))
+    return rows
+
+
+def _series(rows, **match):
+    return {r["bytes"]: r["latency_s"] for r in rows
+            if all(r[k] == v for k, v in match.items())}
+
+
+def fig3_claims(rows: List[Dict[str, object]]) -> Dict[str, bool]:
+    """The paper's Fig. 3 qualitative claims, evaluated on the rows."""
+    mpi_intra = _series(rows, backend="mpi", scope="intra-node")
+    nccl_intra = _series(rows, backend="nccl", scope="intra-node")
+    mpi_inter = _series(rows, backend="mpi", scope="inter-node")
+    nccl_inter = _series(rows, backend="nccl", scope="inter-node")
+    roi = [b for b in mpi_intra if 1 * MB <= b <= 50 * MB]
+    return {
+        "mpi_beats_nccl_intra_node_in_roi": all(
+            mpi_intra[b] < nccl_intra[b] for b in roi),
+        "inter_node_nearly_identical": all(
+            0.5 < mpi_inter[b] / nccl_inter[b] < 2.0 for b in roi),
+    }
+
+
+def fig4_claims(rows: List[Dict[str, object]]) -> Dict[str, bool]:
+    """The paper's Fig. 4 qualitative claims, evaluated on the rows."""
+    out = {}
+    for ranks in (6, 12):
+        mpi = _series(rows, backend="mpi", ranks=ranks)
+        nccl = _series(rows, backend="nccl", ranks=ranks)
+        big = [b for b in mpi if b >= 4 * MB]
+        out[f"nccl_beats_mpi_{ranks}_ranks_large"] = all(
+            nccl[b] < mpi[b] for b in big)
+    return out

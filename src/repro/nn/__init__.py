@@ -1,0 +1,117 @@
+"""NumPy deep-learning framework (the PyTorch stand-in).
+
+Public surface:
+
+* :class:`Tensor`, :func:`no_grad` — reverse-mode autograd;
+* :mod:`repro.nn.functional` (imported as ``F``) — fused NN ops;
+* :class:`Module` & the layer zoo — parameter containers;
+* :class:`GPT`, :class:`GPTConfig`, :func:`build_layer` — the transformer;
+* :class:`Adam`, :class:`AdamW`, :class:`SGD` — optimizers;
+* :class:`MixedPrecisionAdamW`, :class:`LossScaler` — fp16 training;
+* :func:`checkpoint`, :class:`CheckpointedStack` — activation checkpointing;
+* :class:`SyntheticCorpus`, :class:`LMBatches` — the dataset substitute.
+"""
+
+from . import functional
+from .clip import (
+    clip_grad_norm_,
+    combine_partial_norms,
+    global_grad_norm,
+    partial_sq_norm,
+)
+from .generation import generate, sequence_log_prob
+from .schedule import (
+    ConstantLR,
+    LinearWarmupLR,
+    StepDecayLR,
+    WarmupCosineLR,
+)
+from .checkpoint import (
+    CheckpointedStack,
+    activation_memory_factor,
+    checkpoint,
+    factors,
+    optimal_checkpoint_interval,
+)
+from .data import LMBatches, SyntheticCorpus
+from .mixed_precision import (
+    LossScaler,
+    MixedPrecisionAdamW,
+    cast_params_half,
+    grads_have_overflow,
+)
+from .modules import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    Sequential,
+)
+from .optim import SGD, Adam, AdamW, Optimizer, adam_step
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+from .transformer import (
+    GPT,
+    Block,
+    CausalSelfAttention,
+    GPTConfig,
+    GPTEmbedding,
+    GPTHead,
+    MLP,
+    build_layer,
+    num_layer_slots,
+)
+
+F = functional
+
+__all__ = [
+    "clip_grad_norm_",
+    "combine_partial_norms",
+    "global_grad_norm",
+    "partial_sq_norm",
+    "generate",
+    "sequence_log_prob",
+    "ConstantLR",
+    "LinearWarmupLR",
+    "StepDecayLR",
+    "WarmupCosineLR",
+    "F",
+    "functional",
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Linear",
+    "LayerNorm",
+    "Embedding",
+    "Dropout",
+    "Sequential",
+    "GPT",
+    "GPTConfig",
+    "GPTEmbedding",
+    "GPTHead",
+    "Block",
+    "CausalSelfAttention",
+    "MLP",
+    "build_layer",
+    "num_layer_slots",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "adam_step",
+    "MixedPrecisionAdamW",
+    "LossScaler",
+    "cast_params_half",
+    "grads_have_overflow",
+    "checkpoint",
+    "CheckpointedStack",
+    "factors",
+    "optimal_checkpoint_interval",
+    "activation_memory_factor",
+    "SyntheticCorpus",
+    "LMBatches",
+]

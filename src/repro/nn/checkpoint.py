@@ -1,0 +1,114 @@
+"""Activation (gradient) checkpointing.
+
+Implements Chen et al.'s sublinear-memory technique the way the paper uses
+it (Section V-A): during the forward pass only the *inputs* of selected
+segments are stored; inside a segment no graph is recorded.  During the
+backward pass each segment re-runs its forward with grad enabled and then
+backpropagates through the rebuilt subgraph.
+
+:func:`optimal_checkpoint_interval` computes the paper's ``ac = sqrt(N)``
+rule (Eq. 1): it returns the factor of ``layers_per_gpu`` closest to
+``sqrt(N)``, which minimizes the per-GPU activation memory
+
+    M_activation  ∝  G_inter * N / (G_inter * ac) + 1 + ac .
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence
+
+from .modules import Module
+from .tensor import Tensor, no_grad
+
+__all__ = ["checkpoint", "CheckpointedStack", "factors",
+           "optimal_checkpoint_interval", "activation_memory_factor"]
+
+
+def checkpoint(fn: Callable[[Tensor], Tensor], x: Tensor) -> Tensor:
+    """Run ``fn(x)`` without recording, recompute in backward.
+
+    The returned tensor participates in the surrounding graph; when its
+    gradient arrives, ``fn`` is re-executed with grad enabled on a detached
+    copy of ``x`` to rebuild the segment's graph, the segment is
+    backpropagated, and the input gradient is passed on.
+    """
+    x_detached = Tensor(x.data, requires_grad=True)
+    with no_grad():
+        out = fn(Tensor(x.data))
+
+    def backward(g, fn=fn, x=x, x_detached=x_detached):
+        inner_in = Tensor(x_detached.data, requires_grad=True)
+        out2 = fn(inner_in)
+        out2.backward(g)
+        if x.requires_grad and inner_in.grad is not None:
+            x._accumulate(inner_in.grad)
+
+    return Tensor._make(out.data, (x,), backward)
+
+
+class CheckpointedStack(Module):
+    """A stack of layers applying checkpointing every ``interval`` layers.
+
+    Layers ``[i*interval, (i+1)*interval)`` form segment *i*; only segment
+    inputs are kept live during the forward pass.  ``interval=0`` disables
+    checkpointing (plain sequential execution).
+    """
+
+    def __init__(self, layers: Sequence[Module], interval: int):
+        super().__init__()
+        if interval < 0:
+            raise ValueError("interval must be >= 0")
+        self.stack = list(layers)
+        for i, layer in enumerate(self.stack):
+            setattr(self, f"stacked{i}", layer)
+        self.interval = interval
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.interval == 0:
+            for layer in self.stack:
+                x = layer(x)
+            return x
+        for seg_start in range(0, len(self.stack), self.interval):
+            segment = self.stack[seg_start:seg_start + self.interval]
+
+            def run_segment(t: Tensor, segment=segment) -> Tensor:
+                for layer in segment:
+                    t = layer(t)
+                return t
+
+            x = checkpoint(run_segment, x)
+        return x
+
+
+def factors(n: int) -> List[int]:
+    """Sorted positive factors of ``n``."""
+    if n < 1:
+        raise ValueError(f"factors of non-positive {n}")
+    out = set()
+    for d in range(1, int(math.isqrt(n)) + 1):
+        if n % d == 0:
+            out.add(d)
+            out.add(n // d)
+    return sorted(out)
+
+
+def optimal_checkpoint_interval(n_layers_total: int,
+                                layers_per_gpu: int) -> int:
+    """The paper's rule: the factor of ``layers_per_gpu`` closest to
+    ``sqrt(N)`` (Section V-A), N being the total layer count."""
+    if layers_per_gpu < 1 or n_layers_total < 1:
+        raise ValueError("layer counts must be positive")
+    target = math.sqrt(n_layers_total)
+    return min(factors(layers_per_gpu), key=lambda f: (abs(f - target), f))
+
+
+def activation_memory_factor(n_layers_total: int, g_inter: int,
+                             ac: int) -> float:
+    """The paper's Eq. (1) activation-memory proportionality:
+
+        M ∝ G_inter * (N / (G_inter * ac)) + 1 + ac
+    """
+    if ac < 1:
+        raise ValueError("ac must be >= 1")
+    return g_inter * (n_layers_total / (g_inter * ac)) + 1 + ac

@@ -1,0 +1,61 @@
+"""Gradient clipping by global norm.
+
+Standard practice in large-transformer training (Megatron-LM and DeepSpeed
+both clip at 1.0).  The global norm spans *all* parameters, which in the
+pipeline-parallel setting requires combining per-stage partial norms — the
+helper :func:`combine_partial_norms` gives the reduction each data-parallel
+framework performs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["global_grad_norm", "clip_grad_norm_", "partial_sq_norm",
+           "combine_partial_norms"]
+
+
+def partial_sq_norm(params: Iterable[Tensor]) -> float:
+    """Sum of squared gradient entries over these parameters (fp64 for a
+    stable reduction)."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            g = p.grad.astype(np.float64, copy=False)
+            total += float((g * g).sum())
+    return total
+
+
+def combine_partial_norms(partials: Sequence[float]) -> float:
+    """Global norm from per-shard squared-norm partials."""
+    if any(s < 0 for s in partials):
+        raise ValueError("squared norms cannot be negative")
+    return math.sqrt(sum(partials))
+
+
+def global_grad_norm(params: Iterable[Tensor]) -> float:
+    """L2 norm of the concatenated gradient vector."""
+    return combine_partial_norms([partial_sq_norm(params)])
+
+
+def clip_grad_norm_(params: Iterable[Tensor], max_norm: float,
+                    eps: float = 1e-6) -> float:
+    """Scale gradients in place so the global norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (PyTorch convention).
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    params = list(params)
+    norm = global_grad_norm(params)
+    if norm > max_norm:
+        scale = max_norm / (norm + eps)
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return norm

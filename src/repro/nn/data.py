@@ -1,0 +1,112 @@
+"""Synthetic language-modeling dataset (wikitext-103 stand-in).
+
+The paper validates convergence on wikitext-103 (~100 M words).  That
+corpus is not available offline, and the validation experiment (Fig. 10)
+tests *equivalence of serial and parallel training*, not absolute
+perplexity — any fixed, learnable token stream exercises the identical code
+path.  We substitute a seeded synthetic corpus with natural-language-like
+statistics:
+
+* unigram frequencies follow a Zipf law (like word frequencies in English);
+* a first-order Markov layer adds learnable sequential structure, so the
+  training loss visibly decreases (a memoryless stream would plateau at the
+  unigram entropy, making loss curves uninformative).
+
+Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["SyntheticCorpus", "LMBatches"]
+
+
+class SyntheticCorpus:
+    """Deterministic Zipf-Markov token stream."""
+
+    def __init__(self, vocab_size: int, length: int, seed: int = 0,
+                 zipf_exponent: float = 1.1, markov_weight: float = 0.7,
+                 branching: int = 4):
+        if vocab_size < 2:
+            raise ValueError("vocab_size must be >= 2")
+        if length < 2:
+            raise ValueError("length must be >= 2")
+        if not 0.0 <= markov_weight <= 1.0:
+            raise ValueError("markov_weight must be in [0, 1]")
+        self.vocab_size = vocab_size
+        self.length = length
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+
+        # Zipfian unigram distribution over the vocabulary.
+        ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
+        unigram = ranks ** (-zipf_exponent)
+        unigram /= unigram.sum()
+        self.unigram = unigram
+
+        # Sparse Markov successors: each token prefers `branching` successors.
+        successors = rng.integers(0, vocab_size, size=(vocab_size, branching))
+        self._successors = successors
+
+        # Generate the stream: with probability markov_weight follow the
+        # previous token's preferred successors, otherwise draw from the
+        # unigram distribution.
+        tokens = np.empty(length, dtype=np.int64)
+        tokens[0] = rng.choice(vocab_size, p=unigram)
+        follow = rng.random(length) < markov_weight
+        unigram_draws = rng.choice(vocab_size, size=length, p=unigram)
+        branch_draws = rng.integers(0, branching, size=length)
+        for t in range(1, length):
+            if follow[t]:
+                tokens[t] = successors[tokens[t - 1], branch_draws[t]]
+            else:
+                tokens[t] = unigram_draws[t]
+        self.tokens = tokens
+
+    def __len__(self) -> int:
+        return self.length
+
+
+@dataclass(frozen=True)
+class LMBatches:
+    """Deterministic (inputs, targets) batch stream for causal LM training.
+
+    Batch ``b`` consists of ``batch_size`` windows of ``seq_len + 1`` tokens
+    sampled (with a per-batch seeded RNG) from the corpus; inputs are the
+    first ``seq_len`` tokens, targets the last ``seq_len``.  Batch contents
+    depend only on ``(corpus.seed, seed, batch_index)``, so the serial and
+    parallel training runs of the Fig. 10 experiment consume *identical*
+    data.
+    """
+
+    corpus: SyntheticCorpus
+    batch_size: int
+    seq_len: int
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.seq_len + 1 > len(self.corpus):
+            raise ValueError("sequence length exceeds corpus size")
+
+    def batch(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``index``-th batch: (x, y), each (batch_size, seq_len)."""
+        if index < 0:
+            raise ValueError("batch index must be >= 0")
+        rng = np.random.default_rng((self.corpus.seed, self.seed, index))
+        starts = rng.integers(0, len(self.corpus) - self.seq_len - 1,
+                              size=self.batch_size)
+        offsets = np.arange(self.seq_len + 1)
+        windows = self.corpus.tokens[starts[:, None] + offsets[None, :]]
+        return windows[:, :-1], windows[:, 1:]
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        index = 0
+        while True:
+            yield self.batch(index)
+            index += 1

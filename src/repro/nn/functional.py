@@ -1,0 +1,216 @@
+"""Fused neural-network operations with hand-written backward passes.
+
+Composites built from :class:`~repro.nn.tensor.Tensor` primitives would be
+correct but slow and numerically fragile; the operations that dominate a
+transformer get fused implementations here (matching what PyTorch kernels
+do): numerically-stable softmax / log-softmax, LayerNorm, GELU (tanh
+approximation, as used by GPT), fused cross-entropy, dropout with an
+explicit RNG, and helpers for masking and concatenation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "gelu",
+    "layer_norm",
+    "cross_entropy",
+    "dropout",
+    "embedding",
+    "where_mask",
+    "concat",
+    "linear",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out_data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(g: np.ndarray, a=x, out=out_data, axis=axis) -> None:
+        # dL/dx = s * (g - sum(g * s))
+        dot = (g * out).sum(axis=axis, keepdims=True)
+        a._accumulate(out * (g - dot))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+
+    def backward(g: np.ndarray, a=x, out=out_data, axis=axis) -> None:
+        softmax_x = np.exp(out)
+        a._accumulate(g - softmax_x * g.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+_GELU_C = float(np.sqrt(2.0 / np.pi))
+
+
+def gelu(x: Tensor) -> Tensor:
+    """GELU with the tanh approximation (GPT-2's activation)."""
+    xd = x.data
+    inner = _GELU_C * (xd + 0.044715 * xd ** 3)
+    t = np.tanh(inner)
+    out_data = 0.5 * xd * (1.0 + t)
+
+    def backward(g: np.ndarray, a=x, t=t, xd=xd) -> None:
+        dinner = _GELU_C * (1.0 + 3 * 0.044715 * xd ** 2)
+        grad = 0.5 * (1.0 + t) + 0.5 * xd * (1.0 - t * t) * dinner
+        a._accumulate(g * grad)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor,
+               eps: float = 1e-5) -> Tensor:
+    """LayerNorm over the last dimension with affine parameters."""
+    xd = x.data
+    mu = xd.mean(axis=-1, keepdims=True)
+    var = xd.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (xd - mu) * inv_std
+    out_data = x_hat * weight.data + bias.data
+
+    def backward(g: np.ndarray, a=x, w=weight, b=bias,
+                 x_hat=x_hat, inv_std=inv_std) -> None:
+        if w.requires_grad:
+            axes = tuple(range(g.ndim - 1))
+            w._accumulate((g * x_hat).sum(axis=axes))
+        if b.requires_grad:
+            axes = tuple(range(g.ndim - 1))
+            b._accumulate(g.sum(axis=axes))
+        if a.requires_grad:
+            n = x_hat.shape[-1]
+            gw = g * w.data
+            term1 = gw
+            term2 = gw.mean(axis=-1, keepdims=True)
+            term3 = x_hat * (gw * x_hat).mean(axis=-1, keepdims=True)
+            a._accumulate(inv_std * (term1 - term2 - term3))
+
+    return Tensor._make(out_data, (x, weight, bias), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  ignore_index: Optional[int] = None) -> Tensor:
+    """Mean token-level cross entropy.
+
+    ``logits``: (..., V); ``targets``: integer array matching the leading
+    shape.  Fused log-softmax + NLL, averaged over non-ignored positions.
+    """
+    targets = np.asarray(targets)
+    if targets.shape != logits.shape[:-1]:
+        raise ValueError(
+            f"targets shape {targets.shape} does not match logits "
+            f"{logits.shape[:-1]}"
+        )
+    flat_logits = logits.data.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1)
+    if ignore_index is not None:
+        mask = flat_targets != ignore_index
+    else:
+        mask = np.ones_like(flat_targets, dtype=bool)
+    count = int(mask.sum())
+    if count == 0:
+        raise ValueError("cross_entropy over zero valid targets")
+
+    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - log_z
+    safe_targets = np.where(mask, flat_targets, 0)
+    picked = log_probs[np.arange(flat_targets.size), safe_targets]
+    loss = -(picked * mask).sum() / count
+    out_data = np.asarray(loss, dtype=logits.dtype)
+
+    def backward(g: np.ndarray, a=logits, log_probs=log_probs,
+                 safe_targets=safe_targets, mask=mask, count=count) -> None:
+        probs = np.exp(log_probs)
+        probs[np.arange(safe_targets.size), safe_targets] -= 1.0
+        probs *= (mask / count)[:, None]
+        a._accumulate(float(g) * probs.reshape(a.data.shape))
+
+    return Tensor._make(out_data, (logits,), backward)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout: scales survivors by ``1/(1-p)`` so inference needs
+    no rescaling.  The caller supplies the RNG for determinism."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+    out_data = x.data * mask
+
+    def backward(g: np.ndarray, a=x, mask=mask) -> None:
+        a._accumulate(g * mask)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def embedding(weight: Tensor, ids: np.ndarray) -> Tensor:
+    """Row lookup ``weight[ids]`` with scatter-add backward."""
+    ids = np.asarray(ids)
+    if not np.issubdtype(ids.dtype, np.integer):
+        raise TypeError("embedding indices must be integers")
+    out_data = weight.data[ids]
+
+    def backward(g: np.ndarray, w=weight, ids=ids) -> None:
+        full = np.zeros_like(w.data)
+        np.add.at(full, ids, g)
+        w._accumulate(full)
+
+    return Tensor._make(out_data, (weight,), backward)
+
+
+def where_mask(x: Tensor, mask: np.ndarray, fill: float) -> Tensor:
+    """Replace positions where ``mask`` is True with ``fill`` (no gradient
+    flows through filled positions) — the causal-attention mask op."""
+    mask = np.asarray(mask, dtype=bool)
+    out_data = np.where(mask, np.asarray(fill, dtype=x.dtype), x.data)
+
+    def backward(g: np.ndarray, a=x, mask=mask) -> None:
+        a._accumulate(np.where(mask, 0.0, g))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate along ``axis`` with slice-wise backward."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+
+    def backward(g: np.ndarray, parts=tensors, sizes=sizes, axis=axis) -> None:
+        offset = 0
+        for t, size in zip(parts, sizes):
+            if t.requires_grad:
+                sl = [slice(None)] * g.ndim
+                sl[axis] = slice(offset, offset + size)
+                t._accumulate(g[tuple(sl)])
+            offset += size
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """``x @ weight.T + bias`` (PyTorch layout: weight is (out, in))."""
+    out = x @ weight.swapaxes(-1, -2)
+    if bias is not None:
+        out = out + bias
+    return out

@@ -1,0 +1,89 @@
+"""Autoregressive generation from a trained GPT.
+
+Causal language models are trained to predict the next token; this module
+closes the loop with greedy / temperature / top-k sampling so examples can
+demonstrate that a model trained by the parallel runtime actually learned
+the corpus statistics (the Markov structure of the synthetic data shows up
+directly in the samples).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import no_grad
+from .transformer import GPT
+
+__all__ = ["generate", "sequence_log_prob"]
+
+
+def generate(model: GPT, prompt: np.ndarray, max_new_tokens: int,
+             temperature: float = 1.0, top_k: Optional[int] = None,
+             rng: Optional[np.random.Generator] = None,
+             greedy: bool = False) -> np.ndarray:
+    """Continue ``prompt`` (1-D int array) by ``max_new_tokens`` tokens.
+
+    ``greedy=True`` takes the argmax; otherwise samples from the softmax at
+    the given ``temperature``, optionally truncated to the ``top_k`` most
+    likely tokens.  The context is cropped to the model's ``seq_len``.
+    """
+    prompt = np.asarray(prompt)
+    if prompt.ndim != 1 or prompt.size == 0:
+        raise ValueError("prompt must be a non-empty 1-D token array")
+    if prompt.max() >= model.cfg.vocab_size or prompt.min() < 0:
+        raise ValueError("prompt token outside vocabulary")
+    if max_new_tokens < 0:
+        raise ValueError("max_new_tokens must be >= 0")
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    if top_k is not None and top_k < 1:
+        raise ValueError("top_k must be >= 1")
+    rng = rng or np.random.default_rng(0)
+    was_training = model.training
+    model.eval()
+    tokens = prompt.astype(np.int64).tolist()
+    try:
+        for _ in range(max_new_tokens):
+            context = np.asarray(tokens[-model.cfg.seq_len:])[None, :]
+            with no_grad():
+                logits, _ = model(context)
+            last = logits.data[0, -1].astype(np.float64)
+            if greedy:
+                nxt = int(np.argmax(last))
+            else:
+                last = last / temperature
+                if top_k is not None and top_k < last.size:
+                    cutoff = np.partition(last, -top_k)[-top_k]
+                    last = np.where(last < cutoff, -np.inf, last)
+                last -= last.max()
+                probs = np.exp(last)
+                probs /= probs.sum()
+                nxt = int(rng.choice(probs.size, p=probs))
+            tokens.append(nxt)
+    finally:
+        model.train(was_training)
+    return np.asarray(tokens, dtype=np.int64)
+
+
+def sequence_log_prob(model: GPT, tokens: np.ndarray) -> float:
+    """Mean per-token log probability the model assigns to ``tokens``
+    (negated cross entropy) — the quantity behind perplexity."""
+    tokens = np.asarray(tokens)
+    if tokens.ndim != 1 or tokens.size < 2:
+        raise ValueError("need a 1-D sequence of at least two tokens")
+    if tokens.size > model.cfg.seq_len + 1:
+        raise ValueError("sequence longer than the model context")
+    from . import functional as F
+    x = tokens[None, :-1]
+    y = tokens[None, 1:]
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            logits, _ = model(x)
+            loss = F.cross_entropy(logits, y)
+    finally:
+        model.train(was_training)
+    return -loss.item()

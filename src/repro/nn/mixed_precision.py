@@ -1,0 +1,133 @@
+"""Mixed-precision training: fp16 compute copies + fp32 master weights.
+
+Implements the scheme of Micikevicius et al. the paper relies on
+(Section II-A "Mixed precision"):
+
+* each parameter keeps a half-precision copy ``theta_16`` used by forward
+  and backward;
+* the loss is multiplied by a *scaling factor* before backward so fp16
+  gradients do not underflow;
+* the optimizer first converts the fp16 gradients to fp32, descales them,
+  and applies the update to the fp32 master weights, which are then recast
+  to fp16.
+
+:class:`LossScaler` provides both static and dynamic (halve on overflow,
+grow after a streak of good steps) scaling.  :class:`MixedPrecisionAdamW`
+is the fused wrapper the runtime uses; its state layout (fp32 master +
+fp16 params/grads) is exactly the ``20 phi`` byte accounting of paper
+Section V-B, which the memory model in :mod:`repro.core.memory_model`
+mirrors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from .optim import adam_step
+from .tensor import Tensor
+
+__all__ = ["LossScaler", "MixedPrecisionAdamW", "cast_params_half",
+           "grads_have_overflow"]
+
+
+class LossScaler:
+    """Loss-scale management (static or dynamic)."""
+
+    def __init__(self, init_scale: float = 2.0 ** 16, dynamic: bool = True,
+                 growth_interval: int = 200, growth_factor: float = 2.0,
+                 backoff_factor: float = 0.5, min_scale: float = 1.0):
+        if init_scale <= 0:
+            raise ValueError("loss scale must be positive")
+        self.scale = float(init_scale)
+        self.dynamic = dynamic
+        self.growth_interval = growth_interval
+        self.growth_factor = growth_factor
+        self.backoff_factor = backoff_factor
+        self.min_scale = min_scale
+        self._good_steps = 0
+
+    def scale_loss(self, loss: Tensor) -> Tensor:
+        """Multiply the loss by the current scale (pre-backward)."""
+        return loss * self.scale
+
+    def update(self, found_overflow: bool) -> None:
+        """Post-step bookkeeping: back off on overflow, grow on a streak."""
+        if not self.dynamic:
+            return
+        if found_overflow:
+            self.scale = max(self.min_scale, self.scale * self.backoff_factor)
+            self._good_steps = 0
+        else:
+            self._good_steps += 1
+            if self._good_steps >= self.growth_interval:
+                self.scale *= self.growth_factor
+                self._good_steps = 0
+
+
+def cast_params_half(params: Iterable[Tensor]) -> List[np.ndarray]:
+    """fp16 copies of the given fp32 parameters."""
+    return [p.data.astype(np.float16) for p in params]
+
+
+def grads_have_overflow(grads: Iterable[np.ndarray]) -> bool:
+    """True when any gradient contains inf/nan (skip-step condition)."""
+    return any(not np.isfinite(g).all() for g in grads)
+
+
+class MixedPrecisionAdamW:
+    """AdamW over fp32 masters driven by (de)scaled fp16 gradients.
+
+    Memory layout per parameter count ``phi`` (paper Section V-B):
+
+    * fp32 master weights: ``4 phi`` bytes (here: the wrapped params),
+    * fp32 gradients:      ``4 phi`` (transient descaled copy),
+    * fp16 weights:        ``2 phi`` (:attr:`half_params`),
+    * fp16 gradients:      ``2 phi`` (supplied by backward),
+    * optimizer state:     ``8 phi`` (exp_avg + exp_avg_sq).
+    """
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 1e-3,
+                 betas=(0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.01,
+                 scaler: LossScaler | None = None):
+        self.params: List[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("optimizer over an empty parameter list")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.scaler = scaler or LossScaler()
+        self.exp_avg = [np.zeros_like(p.data) for p in self.params]
+        self.exp_avg_sq = [np.zeros_like(p.data) for p in self.params]
+        self.half_params = cast_params_half(self.params)
+        self.steps = 0
+        self.skipped_steps = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self, half_grads: List[np.ndarray]) -> bool:
+        """Apply one update from fp16 gradients; returns True if applied
+        (False = overflow detected, step skipped, scale reduced)."""
+        if len(half_grads) != len(self.params):
+            raise ValueError("gradient list does not match parameter list")
+        if grads_have_overflow(half_grads):
+            self.scaler.update(found_overflow=True)
+            self.skipped_steps += 1
+            return False
+        self.steps += 1
+        inv = 1.0 / self.scaler.scale
+        for p, g16, m, v, h in zip(self.params, half_grads,
+                                   self.exp_avg, self.exp_avg_sq,
+                                   self.half_params):
+            g32 = g16.astype(np.float32) * inv  # convert then descale
+            adam_step(p.data, g32, m, v, self.steps, self.lr,
+                      self.beta1, self.beta2, self.eps,
+                      self.weight_decay, decoupled=True)
+            h[...] = p.data.astype(np.float16)
+        self.scaler.update(found_overflow=False)
+        return True

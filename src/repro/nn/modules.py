@@ -1,0 +1,199 @@
+"""Module system: parameter containers in the PyTorch style.
+
+A :class:`Module` owns named :class:`Parameter` leaves and child modules and
+provides recursive traversal (``parameters()``, ``named_parameters()``,
+``zero_grad()``, train/eval mode).  The layer zoo covers what a GPT needs:
+:class:`Linear`, :class:`LayerNorm`, :class:`Embedding`, :class:`Dropout`,
+:class:`Sequential`.
+
+Initialization follows GPT-2: normal(0, 0.02) for weights, zeros for biases,
+with the residual-projection scaling applied by the transformer module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Linear", "LayerNorm", "Embedding",
+           "Dropout", "Sequential"]
+
+
+class Parameter(Tensor):
+    """A leaf tensor registered as trainable."""
+
+    __slots__ = ()
+
+    def __init__(self, data: np.ndarray, name: str = ""):
+        super().__init__(np.asarray(data), requires_grad=True, name=name)
+
+
+class Module:
+    """Base class: attribute assignment registers parameters and children."""
+
+    def __init__(self):
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training = True
+
+    def __setattr__(self, key: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[key] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[key] = value
+        object.__setattr__(self, key, value)
+
+    # -- traversal ----------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        for name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    # -- state ---------------------------------------------------------------
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        for m in self.modules():
+            m.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copies of all parameter arrays, by dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, p in own.items():
+            if p.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{p.data.shape} vs {state[name].shape}"
+                )
+            p.data[...] = state[name]
+
+    # -- call ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` with PyTorch (out, in) weight layout."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None,
+                 init_std: float = 0.02):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            (rng.standard_normal((out_features, in_features)) * init_std)
+            .astype(np.float32)
+        )
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float32)) \
+            if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+
+class LayerNorm(Module):
+    """LayerNorm over the trailing dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(np.ones(dim, dtype=np.float32))
+        self.bias = Parameter(np.zeros(dim, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+
+class Embedding(Module):
+    """Token-id -> vector lookup table."""
+
+    def __init__(self, num_embeddings: int, dim: int,
+                 rng: Optional[np.random.Generator] = None,
+                 init_std: float = 0.02):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(
+            (rng.standard_normal((num_embeddings, dim)) * init_std)
+            .astype(np.float32)
+        )
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        return F.embedding(self.weight, ids)
+
+
+class Dropout(Module):
+    """Dropout with a module-owned seeded RNG (reseed for reproducibility)."""
+
+    def __init__(self, p: float, seed: int = 0):
+        super().__init__()
+        self.p = p
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+
+    def reseed(self, seed: int) -> None:
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.rng, training=self.training)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+        for i, layer in enumerate(layers):
+            setattr(self, f"layer{i}", layer)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, i: int) -> Module:
+        return self.layers[i]
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x

@@ -1,0 +1,133 @@
+"""Optimizers: SGD and Adam/AdamW (decoupled weight decay).
+
+The paper trains with Adam (Section VI-C: lr 0.001, beta1 0.9, beta2 0.999,
+decoupled weight decay 0.01).  The implementation exposes the optimizer
+*state arrays* (exp_avg / exp_avg_sq and the fp32 master copy in the mixed-
+precision wrapper) because the memory-optimization code paths (CPU offload,
+bucketed updates, ZeRO-1 sharding) operate on those arrays directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "adam_step"]
+
+
+class Optimizer:
+    """Base: holds parameter references and per-parameter state dicts."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float):
+        self.params: List[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("optimizer over an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.state: List[Dict[str, np.ndarray]] = [{} for _ in self.params]
+        self.steps = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain (optionally momentum) SGD."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float,
+                 momentum: float = 0.0):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+
+    def step(self) -> None:
+        self.steps += 1
+        for p, st in zip(self.params, self.state):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.momentum > 0.0:
+                buf = st.get("momentum")
+                if buf is None:
+                    buf = st["momentum"] = np.zeros_like(p.data)
+                buf *= self.momentum
+                buf += g
+                g = buf
+            p.data -= self.lr * g
+
+
+def adam_step(param: np.ndarray, grad: np.ndarray,
+              exp_avg: np.ndarray, exp_avg_sq: np.ndarray, step: int,
+              lr: float, beta1: float, beta2: float, eps: float,
+              weight_decay: float = 0.0, decoupled: bool = True) -> None:
+    """One in-place Adam(W) update on raw arrays.
+
+    Factored out of the :class:`Adam` class because the offloaded, bucketed
+    optimizer of the memory optimization (paper Section V-B) applies exactly
+    this function to *chunks* of the flattened state, and ZeRO-1 applies it
+    to each rank's shard.
+    """
+    if decoupled and weight_decay != 0.0:
+        param *= 1.0 - lr * weight_decay
+    elif weight_decay != 0.0:
+        grad = grad + weight_decay * param
+    exp_avg *= beta1
+    exp_avg += (1.0 - beta1) * grad
+    exp_avg_sq *= beta2
+    exp_avg_sq += (1.0 - beta2) * grad * grad
+    bias1 = 1.0 - beta1 ** step
+    bias2 = 1.0 - beta2 ** step
+    step_size = lr / bias1
+    denom = np.sqrt(exp_avg_sq / bias2) + eps
+    param -= step_size * exp_avg / denom
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015); L2-style weight decay if requested."""
+
+    decoupled = False
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 1e-3,
+                 betas=(0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        self.steps += 1
+        for p, st in zip(self.params, self.state):
+            if p.grad is None:
+                continue
+            if "exp_avg" not in st:
+                st["exp_avg"] = np.zeros_like(p.data)
+                st["exp_avg_sq"] = np.zeros_like(p.data)
+            adam_step(p.data, p.grad, st["exp_avg"], st["exp_avg_sq"],
+                      self.steps, self.lr, self.beta1, self.beta2, self.eps,
+                      self.weight_decay, decoupled=self.decoupled)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter) — the paper's
+    optimizer configuration."""
+
+    decoupled = True
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 1e-3,
+                 betas=(0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.01):
+        super().__init__(params, lr=lr, betas=betas, eps=eps,
+                         weight_decay=weight_decay)

@@ -1,0 +1,110 @@
+"""Learning-rate schedules.
+
+Large-model training regimes (GPT-3's, which the paper's Eq. 2 normalizes
+against) pair Adam with a linear warmup followed by cosine decay; the
+constant schedule reproduces the paper's fixed lr=0.001 experiments.
+
+Schedules are pure functions of the step count wrapped in small classes so
+they can be attached to any optimizer via :meth:`apply`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+__all__ = ["LRSchedule", "ConstantLR", "WarmupCosineLR", "LinearWarmupLR",
+           "StepDecayLR"]
+
+
+class LRSchedule(Protocol):
+    """Anything mapping a 0-based step index to a learning rate."""
+
+    def lr_at(self, step: int) -> float:  # pragma: no cover - protocol
+        ...
+
+
+class _Base:
+    def lr_at(self, step: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def apply(self, optimizer, step: int) -> float:
+        """Set ``optimizer.lr`` for ``step``; returns the rate used."""
+        lr = self.lr_at(step)
+        optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(_Base):
+    """Fixed learning rate (the paper's configuration: 0.001)."""
+
+    def __init__(self, lr: float = 1e-3):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+
+    def lr_at(self, step: int) -> float:
+        self._check(step)
+        return self.lr
+
+    @staticmethod
+    def _check(step: int) -> None:
+        if step < 0:
+            raise ValueError("step must be >= 0")
+
+
+class LinearWarmupLR(_Base):
+    """Linear ramp 0 -> peak over ``warmup_steps``, then constant."""
+
+    def __init__(self, peak_lr: float, warmup_steps: int):
+        if peak_lr <= 0 or warmup_steps < 1:
+            raise ValueError("peak_lr must be positive, warmup_steps >= 1")
+        self.peak_lr = peak_lr
+        self.warmup_steps = warmup_steps
+
+    def lr_at(self, step: int) -> float:
+        ConstantLR._check(step)
+        if step < self.warmup_steps:
+            return self.peak_lr * (step + 1) / self.warmup_steps
+        return self.peak_lr
+
+
+class WarmupCosineLR(_Base):
+    """Linear warmup then cosine decay to ``min_lr`` at ``total_steps``."""
+
+    def __init__(self, peak_lr: float, warmup_steps: int, total_steps: int,
+                 min_lr: float = 0.0):
+        if peak_lr <= 0 or warmup_steps < 0:
+            raise ValueError("peak_lr must be positive, warmup_steps >= 0")
+        if total_steps <= warmup_steps:
+            raise ValueError("total_steps must exceed warmup_steps")
+        if not 0 <= min_lr <= peak_lr:
+            raise ValueError("need 0 <= min_lr <= peak_lr")
+        self.peak_lr = peak_lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        ConstantLR._check(step)
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.peak_lr * (step + 1) / self.warmup_steps
+        progress = min(1.0, (step - self.warmup_steps)
+                       / (self.total_steps - self.warmup_steps))
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.peak_lr - self.min_lr) * cosine
+
+
+class StepDecayLR(_Base):
+    """Multiply the rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, base_lr: float, step_size: int, gamma: float = 0.1):
+        if base_lr <= 0 or step_size < 1 or not 0 < gamma <= 1:
+            raise ValueError("invalid StepDecayLR parameters")
+        self.base_lr = base_lr
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, step: int) -> float:
+        ConstantLR._check(step)
+        return self.base_lr * self.gamma ** (step // self.step_size)

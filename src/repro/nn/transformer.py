@@ -1,0 +1,215 @@
+"""GPT-style transformer for causal language modeling.
+
+The architecture matches the paper's workload (Section VI-B): a GPT-2/GPT-3
+family decoder parameterized by number of layers, hidden size and attention
+heads, trained with causal cross-entropy.
+
+Pipeline shardability
+---------------------
+AxoNN's inter-layer parallelism assigns each GPU a *contiguous subset of
+layers* (Algorithm 1, line 2).  :meth:`GPT.layer_sequence` exposes the model
+as an ordered list ``[GPTEmbedding, Block * n_layer, GPTHead]`` whose
+elements each map ``Tensor -> Tensor``; :func:`build_layer` constructs any
+single element *with the same weights the full model would have* (per-layer
+RNG streams derived from the master seed), so each pipeline rank can
+instantiate only its shard and still agree numerically with the serial
+model — the property behind the Fig. 10 loss-curve equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from . import functional as F
+from .modules import Dropout, Embedding, LayerNorm, Linear, Module
+from .tensor import Tensor
+
+__all__ = ["GPTConfig", "CausalSelfAttention", "MLP", "Block",
+           "GPTEmbedding", "GPTHead", "GPT", "build_layer", "num_layer_slots"]
+
+
+@dataclass(frozen=True)
+class GPTConfig:
+    """Transformer hyperparameters (paper Table I fields + training extras)."""
+
+    vocab_size: int
+    seq_len: int
+    n_layer: int
+    n_head: int
+    hidden: int
+    dropout: float = 0.0
+    init_seed: int = 1234
+
+    def __post_init__(self):
+        if self.hidden % self.n_head != 0:
+            raise ValueError(
+                f"hidden size {self.hidden} not divisible by "
+                f"{self.n_head} heads"
+            )
+        for fld in ("vocab_size", "seq_len", "n_layer", "n_head", "hidden"):
+            if getattr(self, fld) < 1:
+                raise ValueError(f"{fld} must be >= 1")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.n_head
+
+    def layer_rng(self, slot: int) -> np.random.Generator:
+        """Deterministic per-layer-slot RNG stream."""
+        return np.random.default_rng((self.init_seed, slot))
+
+
+class CausalSelfAttention(Module):
+    """Multi-head self-attention with a causal mask."""
+
+    def __init__(self, cfg: GPTConfig, rng: np.random.Generator):
+        super().__init__()
+        self.cfg = cfg
+        self.qkv = Linear(cfg.hidden, 3 * cfg.hidden, rng=rng)
+        self.proj = Linear(cfg.hidden, cfg.hidden, rng=rng,
+                           init_std=0.02 / np.sqrt(2 * cfg.n_layer))
+        self.drop = Dropout(cfg.dropout, seed=int(rng.integers(2 ** 31)))
+        # Upper-triangular True = masked (future positions).
+        mask = np.triu(np.ones((cfg.seq_len, cfg.seq_len), dtype=bool), k=1)
+        self._mask = mask
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, t, h = x.shape
+        nh, hd = self.cfg.n_head, self.cfg.head_dim
+        qkv = self.qkv(x)  # (b, t, 3h)
+        qkv = qkv.reshape(b, t, 3, nh, hd)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, b, nh, t, hd)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        att = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(hd))  # (b, nh, t, t)
+        att = F.where_mask(att, self._mask[:t, :t], -1e9)
+        att = F.softmax(att, axis=-1)
+        att = self.drop(att)
+        y = att @ v  # (b, nh, t, hd)
+        y = y.transpose(0, 2, 1, 3).reshape(b, t, h)
+        return self.drop(self.proj(y))
+
+
+class MLP(Module):
+    """Position-wise feed-forward: Linear(4h) -> GELU -> Linear(h)."""
+
+    def __init__(self, cfg: GPTConfig, rng: np.random.Generator):
+        super().__init__()
+        self.fc = Linear(cfg.hidden, 4 * cfg.hidden, rng=rng)
+        self.proj = Linear(4 * cfg.hidden, cfg.hidden, rng=rng,
+                           init_std=0.02 / np.sqrt(2 * cfg.n_layer))
+        self.drop = Dropout(cfg.dropout, seed=int(rng.integers(2 ** 31)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.drop(self.proj(F.gelu(self.fc(x))))
+
+
+class Block(Module):
+    """Pre-norm transformer block with residual connections."""
+
+    def __init__(self, cfg: GPTConfig, rng: np.random.Generator):
+        super().__init__()
+        self.ln1 = LayerNorm(cfg.hidden)
+        self.attn = CausalSelfAttention(cfg, rng)
+        self.ln2 = LayerNorm(cfg.hidden)
+        self.mlp = MLP(cfg, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.ln1(x))
+        x = x + self.mlp(self.ln2(x))
+        return x
+
+
+class GPTEmbedding(Module):
+    """Token + learned positional embeddings (the pipeline's first layer).
+
+    Accepts an integer id array of shape (b, t) and returns (b, t, h).
+    """
+
+    def __init__(self, cfg: GPTConfig, rng: np.random.Generator):
+        super().__init__()
+        self.cfg = cfg
+        self.tok = Embedding(cfg.vocab_size, cfg.hidden, rng=rng)
+        self.pos = Embedding(cfg.seq_len, cfg.hidden, rng=rng, init_std=0.01)
+        self.drop = Dropout(cfg.dropout, seed=int(rng.integers(2 ** 31)))
+
+    def forward(self, ids) -> Tensor:
+        if isinstance(ids, Tensor):
+            ids = ids.data
+        ids = np.asarray(ids)
+        if ids.max() >= self.cfg.vocab_size:
+            raise ValueError("token id outside vocabulary")
+        b, t = ids.shape
+        positions = np.arange(t)
+        return self.drop(self.tok(ids) + self.pos(positions))
+
+
+class GPTHead(Module):
+    """Final LayerNorm + LM head (the pipeline's last layer)."""
+
+    def __init__(self, cfg: GPTConfig, rng: np.random.Generator):
+        super().__init__()
+        self.cfg = cfg
+        self.ln_f = LayerNorm(cfg.hidden)
+        self.lm_head = Linear(cfg.hidden, cfg.vocab_size, bias=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.lm_head(self.ln_f(x))
+
+    def loss(self, x: Tensor, targets: np.ndarray) -> Tensor:
+        """Logits + mean causal cross entropy in one call."""
+        return F.cross_entropy(self.forward(x), targets)
+
+
+def num_layer_slots(cfg: GPTConfig) -> int:
+    """Length of the shardable layer sequence: embedding + blocks + head."""
+    return cfg.n_layer + 2
+
+
+def build_layer(cfg: GPTConfig, slot: int) -> Module:
+    """Construct layer ``slot`` of the sequence with its canonical weights.
+
+    Slot 0 is the embedding, slots ``1..n_layer`` are transformer blocks,
+    slot ``n_layer + 1`` is the head.  Weights depend only on
+    ``(cfg.init_seed, slot)``, so any rank building any subset agrees with
+    the serial model.
+    """
+    n = num_layer_slots(cfg)
+    if not 0 <= slot < n:
+        raise ValueError(f"layer slot {slot} outside [0, {n})")
+    rng = cfg.layer_rng(slot)
+    if slot == 0:
+        return GPTEmbedding(cfg, rng)
+    if slot == n - 1:
+        return GPTHead(cfg, rng)
+    return Block(cfg, rng)
+
+
+class GPT(Module):
+    """The full model (serial reference implementation)."""
+
+    def __init__(self, cfg: GPTConfig):
+        super().__init__()
+        self.cfg = cfg
+        self.embedding = GPTEmbedding(cfg, cfg.layer_rng(0))
+        blocks = [Block(cfg, cfg.layer_rng(i + 1)) for i in range(cfg.n_layer)]
+        self.blocks = blocks
+        for i, blk in enumerate(blocks):
+            setattr(self, f"block{i}", blk)
+        self.head = GPTHead(cfg, cfg.layer_rng(cfg.n_layer + 1))
+
+    def layer_sequence(self) -> List[Module]:
+        """The pipeline-shardable view: ``[embedding, *blocks, head]``."""
+        return [self.embedding, *self.blocks, self.head]
+
+    def forward(self, ids: np.ndarray,
+                targets: Optional[np.ndarray] = None
+                ) -> Tuple[Tensor, Optional[Tensor]]:
+        x = self.embedding(ids)
+        for blk in self.blocks:
+            x = blk(x)
+        logits = self.head(x)
+        loss = F.cross_entropy(logits, targets) if targets is not None else None
+        return logits, loss

@@ -1,0 +1,49 @@
+"""Functional (real-numerics) message-driven runtime.
+
+Public surface:
+
+* :class:`RankTransport`, :class:`Packet`, :data:`RECV` — the deterministic
+  cooperative transport;
+* :class:`RankGrid` — the G_inter x G_data process grid;
+* :class:`PipelineStage`, :func:`partition_layers` — network sharding;
+* :class:`AxoNNTrainer` — Algorithms 1-2 end to end;
+* :class:`SerialTrainer` — the single-GPU reference.
+"""
+
+from .checkpointing import (
+    load_trainer,
+    load_trainer_state,
+    save_trainer,
+    trainer_state_dict,
+)
+from .collectives import ring_allreduce
+from .evaluate import evaluate_parallel, evaluate_serial, perplexity
+from .engine import AxoNNTrainer, TrainReport
+from .grid import RankGrid
+from .offload import BucketedOffloadAdamW
+from .serial import SerialTrainer, state_dict_as_slots
+from .stage import PipelineStage, partition_layers
+from .transport import RECV, DeadlockError, Packet, RankTransport
+
+__all__ = [
+    "load_trainer",
+    "load_trainer_state",
+    "save_trainer",
+    "trainer_state_dict",
+    "evaluate_parallel",
+    "evaluate_serial",
+    "perplexity",
+    "ring_allreduce",
+    "AxoNNTrainer",
+    "TrainReport",
+    "RankGrid",
+    "BucketedOffloadAdamW",
+    "SerialTrainer",
+    "state_dict_as_slots",
+    "PipelineStage",
+    "partition_layers",
+    "RankTransport",
+    "Packet",
+    "RECV",
+    "DeadlockError",
+]

@@ -1,0 +1,130 @@
+"""Save/restore of distributed training state.
+
+Long training runs (the paper's Eq. 2 normalizes to 300 B tokens — months
+of wall time) must survive restarts, so the trainer's full state — every
+shard's parameters, the optimizer moments, the loss scale, and the batch
+counter — round-trips through a plain dict of arrays (and, via
+:func:`save_trainer` / :func:`load_trainer`, an ``.npz`` file).
+
+Restoring requires a trainer with the same model configuration and grid;
+resuming then continues bit-for-bit where the saved run left off, which the
+tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+import numpy as np
+
+from ..nn import AdamW
+from .engine import AxoNNTrainer
+from .offload import BucketedOffloadAdamW
+
+__all__ = ["trainer_state_dict", "load_trainer_state", "save_trainer",
+           "load_trainer"]
+
+_META_KEY = "__meta__"
+
+
+def trainer_state_dict(trainer: AxoNNTrainer) -> Dict[str, np.ndarray]:
+    """Flatten the trainer's full training state to named arrays."""
+    state: Dict[str, np.ndarray] = {}
+    for rank in range(trainer.grid.world_size):
+        stage = trainer.stages[rank]
+        prefix = f"rank{rank}"
+        for name, p in stage.named_parameters():
+            state[f"{prefix}.param.{name}"] = p.data.copy()
+        opt = trainer.optimizers[rank]
+        if isinstance(opt, BucketedOffloadAdamW):
+            state[f"{prefix}.opt.master"] = opt.host_master.copy()
+            state[f"{prefix}.opt.exp_avg"] = opt.host_exp_avg.copy()
+            state[f"{prefix}.opt.exp_avg_sq"] = opt.host_exp_avg_sq.copy()
+            state[f"{prefix}.opt.steps"] = np.asarray(opt.steps)
+        elif isinstance(opt, AdamW):
+            for k, st in enumerate(opt.state):
+                for key, arr in st.items():
+                    state[f"{prefix}.opt.{k}.{key}"] = arr.copy()
+            state[f"{prefix}.opt.steps"] = np.asarray(opt.steps)
+        else:  # MixedPrecisionAdamW
+            for k, (m, v) in enumerate(zip(opt.exp_avg, opt.exp_avg_sq)):
+                state[f"{prefix}.opt.{k}.exp_avg"] = m.copy()
+                state[f"{prefix}.opt.{k}.exp_avg_sq"] = v.copy()
+            state[f"{prefix}.opt.steps"] = np.asarray(opt.steps)
+    meta = {
+        "batches_trained": trainer.batches_trained,
+        "skipped_batches": trainer.skipped_batches,
+        "loss_scale": trainer.scaler.scale,
+        "precision": trainer.precision,
+        "g_inter": trainer.grid.g_inter,
+        "g_data": trainer.grid.g_data,
+    }
+    state[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8).copy()
+    return state
+
+
+def load_trainer_state(trainer: AxoNNTrainer,
+                       state: Dict[str, np.ndarray]) -> None:
+    """Restore a state produced by :func:`trainer_state_dict`.
+
+    The trainer must have the same grid shape and precision mode.
+    """
+    meta = json.loads(bytes(state[_META_KEY]).decode())
+    if (meta["g_inter"], meta["g_data"]) != (trainer.grid.g_inter,
+                                             trainer.grid.g_data):
+        raise ValueError(
+            f"grid mismatch: checkpoint is "
+            f"{meta['g_inter']}x{meta['g_data']}, trainer is "
+            f"{trainer.grid.g_inter}x{trainer.grid.g_data}"
+        )
+    if meta["precision"] != trainer.precision:
+        raise ValueError(
+            f"precision mismatch: checkpoint is {meta['precision']!r}, "
+            f"trainer is {trainer.precision!r}"
+        )
+    for rank in range(trainer.grid.world_size):
+        stage = trainer.stages[rank]
+        prefix = f"rank{rank}"
+        for name, p in stage.named_parameters():
+            key = f"{prefix}.param.{name}"
+            if key not in state:
+                raise KeyError(f"checkpoint missing {key}")
+            p.data[...] = state[key]
+        opt = trainer.optimizers[rank]
+        if isinstance(opt, BucketedOffloadAdamW):
+            opt.host_master[...] = state[f"{prefix}.opt.master"]
+            opt.host_exp_avg[...] = state[f"{prefix}.opt.exp_avg"]
+            opt.host_exp_avg_sq[...] = state[f"{prefix}.opt.exp_avg_sq"]
+            opt.device_half[...] = opt.host_master.astype(np.float16)
+            opt.steps = int(state[f"{prefix}.opt.steps"])
+        elif isinstance(opt, AdamW):
+            for k, (p, st) in enumerate(zip(opt.params, opt.state)):
+                for key in ("exp_avg", "exp_avg_sq", "momentum"):
+                    full = f"{prefix}.opt.{k}.{key}"
+                    if full in state:
+                        st[key] = state[full].copy()
+            opt.steps = int(state[f"{prefix}.opt.steps"])
+        else:  # MixedPrecisionAdamW
+            for k in range(len(opt.params)):
+                opt.exp_avg[k][...] = state[f"{prefix}.opt.{k}.exp_avg"]
+                opt.exp_avg_sq[k][...] = \
+                    state[f"{prefix}.opt.{k}.exp_avg_sq"]
+            for p, h in zip(opt.params, opt.half_params):
+                h[...] = p.data.astype(np.float16)
+            opt.steps = int(state[f"{prefix}.opt.steps"])
+    trainer.batches_trained = meta["batches_trained"]
+    trainer.skipped_batches = meta["skipped_batches"]
+    trainer.scaler.scale = meta["loss_scale"]
+
+
+def save_trainer(trainer: AxoNNTrainer, path: str) -> None:
+    """Write the trainer state to a compressed ``.npz`` file."""
+    np.savez_compressed(path, **trainer_state_dict(trainer))
+
+
+def load_trainer(trainer: AxoNNTrainer, path: str) -> None:
+    """Restore a trainer from :func:`save_trainer` output."""
+    with np.load(path) as archive:
+        load_trainer_state(trainer, dict(archive))

@@ -1,0 +1,88 @@
+"""Numerical collectives on the cooperative rank transport.
+
+The trainer's data-parallel phase sums gradients directly for clarity; this
+module provides the *algorithmic* counterpart — a real ring all-reduce
+(reduce-scatter + all-gather) executed by rank programs exchanging chunk
+messages — to demonstrate and test the communication pattern the cost model
+prices.  The result is numerically the element-wise sum across ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from .transport import RECV, RankTransport
+
+__all__ = ["ring_allreduce"]
+
+TAG_RING = "ring-chunk"
+
+
+def _chunk_bounds(n: int, p: int) -> List[tuple]:
+    base, extra = divmod(n, p)
+    bounds = []
+    start = 0
+    for i in range(p):
+        size = base + (1 if i < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def ring_allreduce(arrays: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
+    """All-reduce (sum) ``arrays`` keyed by rank via an actual ring.
+
+    Every rank runs the textbook algorithm: ``p - 1`` reduce-scatter rounds
+    (each rank accumulates into one travelling chunk) then ``p - 1``
+    all-gather rounds (the finished chunks circulate).  Returns the reduced
+    array per rank; all returned arrays are equal to the element-wise sum.
+    """
+    ranks = sorted(arrays)
+    p = len(ranks)
+    if p == 0:
+        raise ValueError("no ranks")
+    shapes = {r: arrays[r].shape for r in ranks}
+    first = arrays[ranks[0]]
+    if any(arrays[r].shape != first.shape or arrays[r].dtype != first.dtype
+           for r in ranks):
+        raise ValueError("all ranks must contribute same-shape, same-dtype "
+                         "arrays")
+    if p == 1:
+        return {ranks[0]: arrays[ranks[0]].copy()}
+
+    flat = {r: arrays[r].reshape(-1).copy() for r in ranks}
+    n = first.size
+    bounds = _chunk_bounds(n, p)
+    transport = RankTransport(p)
+    index_of = {r: i for i, r in enumerate(ranks)}
+
+    def rank_program(rank: int):
+        i = index_of[rank]
+        succ = ranks[(i + 1) % p]
+        buf = flat[rank]
+        # Reduce-scatter: in round t, rank i sends chunk (i - t) mod p and
+        # accumulates the received chunk (i - t - 1) mod p.
+        for t in range(p - 1):
+            send_chunk = (i - t) % p
+            a, b = bounds[send_chunk]
+            transport.send(i, index_of[succ], TAG_RING, t,
+                           data=buf[a:b].copy())
+            pkt = yield RECV
+            recv_chunk = (i - t - 1) % p
+            a, b = bounds[recv_chunk]
+            buf[a:b] += pkt.data
+        # All-gather: circulate the completed chunks.
+        for t in range(p - 1):
+            send_chunk = (i + 1 - t) % p
+            a, b = bounds[send_chunk]
+            transport.send(i, index_of[succ], TAG_RING, p + t,
+                           data=buf[a:b].copy())
+            pkt = yield RECV
+            recv_chunk = (i - t) % p
+            a, b = bounds[recv_chunk]
+            buf[a:b] = pkt.data
+
+    transport.run({index_of[r]: rank_program(r) for r in ranks})
+    return {r: flat[r].reshape(shapes[r]) for r in ranks}

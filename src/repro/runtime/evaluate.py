@@ -1,0 +1,86 @@
+"""Evaluation: held-out loss and perplexity for serial and parallel models.
+
+The pipeline-parallel evaluation reuses the inference path of the stages —
+a forward-only sweep with no gradient bookkeeping — so a sharded model can
+be validated without reassembling it on one device.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn import GPT, F, Tensor, no_grad
+from ..nn.data import LMBatches
+from .engine import AxoNNTrainer
+
+__all__ = ["evaluate_serial", "evaluate_parallel", "perplexity"]
+
+
+def perplexity(mean_loss: float) -> float:
+    """exp(cross entropy) — the conventional LM quality metric."""
+    if not np.isfinite(mean_loss):
+        raise ValueError("loss must be finite")
+    return math.exp(mean_loss)
+
+
+def evaluate_serial(model: GPT, batches: LMBatches, n_batches: int,
+                    start_index: int = 10_000) -> Dict[str, float]:
+    """Mean loss / perplexity of ``model`` over held-out batches.
+
+    ``start_index`` offsets the batch stream so evaluation windows never
+    coincide with the training batches (index-disjoint by construction).
+    """
+    if n_batches < 1:
+        raise ValueError("n_batches must be >= 1")
+    was_training = model.training
+    model.eval()
+    losses = []
+    try:
+        for i in range(n_batches):
+            x, y = batches.batch(start_index + i)
+            with no_grad():
+                logits, _ = model(x)
+                losses.append(F.cross_entropy(logits, y).item())
+    finally:
+        model.train(was_training)
+    mean = float(np.mean(losses))
+    return {"loss": mean, "perplexity": perplexity(mean),
+            "n_batches": n_batches}
+
+
+def evaluate_parallel(trainer: AxoNNTrainer, batches: LMBatches,
+                      n_batches: int,
+                      start_index: int = 10_000) -> Dict[str, float]:
+    """Pipeline-parallel evaluation: forward-only sweep through pipeline 0.
+
+    Each evaluation batch flows through the stage shards sequentially (no
+    microbatching or overlap is needed for a correctness metric); losses
+    come out of the last stage exactly as in training.
+    """
+    if n_batches < 1:
+        raise ValueError("n_batches must be >= 1")
+    grid = trainer.grid
+    stages = [trainer.stages[grid.rank_of(i, 0)]
+              for i in range(grid.g_inter)]
+    losses = []
+    for b in range(n_batches):
+        x, y = batches.batch(start_index + b)
+        data = x
+        with no_grad():
+            for stage in stages[:-1]:
+                out = stage._run_layers(
+                    data if stage.is_first
+                    else Tensor(np.asarray(data, dtype=np.float32)))
+                data = out.data if isinstance(out, Tensor) else out
+            last = stages[-1]
+            hidden = last._run_layers(
+                Tensor(np.asarray(data, dtype=np.float32))
+                if not last.is_first else data)
+            head = last.layers[-1]
+            losses.append(head.loss(hidden, y).item())
+    mean = float(np.mean(losses))
+    return {"loss": mean, "perplexity": perplexity(mean),
+            "n_batches": n_batches}

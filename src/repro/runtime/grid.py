@@ -1,0 +1,72 @@
+"""The virtual 2D process grid of the functional runtime.
+
+Mirrors the paper's Fig. 2: ranks are arranged as ``G_inter`` pipeline
+stages x ``G_data`` data-parallel groups.  Rank ids are dense integers;
+``RankGrid`` provides the coordinate mapping and the neighbour / group
+queries Algorithm 2 needs (``g^{i-1,j}``, ``g^{i+1,j}``, the all-reduce
+column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["RankGrid"]
+
+
+@dataclass(frozen=True)
+class RankGrid:
+    """``G_inter x G_data`` grid with row-major-in-pipeline rank numbering."""
+
+    g_inter: int
+    g_data: int
+
+    def __post_init__(self):
+        if self.g_inter < 1 or self.g_data < 1:
+            raise ValueError("grid dimensions must be >= 1")
+
+    @property
+    def world_size(self) -> int:
+        return self.g_inter * self.g_data
+
+    def rank_of(self, i: int, j: int) -> int:
+        """Rank of pipeline stage ``i`` in data-parallel group ``j``."""
+        if not (0 <= i < self.g_inter and 0 <= j < self.g_data):
+            raise ValueError(
+                f"coordinate ({i}, {j}) outside "
+                f"{self.g_inter}x{self.g_data} grid"
+            )
+        return j * self.g_inter + i
+
+    def coord_of(self, rank: int) -> Tuple[int, int]:
+        """(stage, group) of ``rank``."""
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} outside [0, {self.world_size})")
+        return rank % self.g_inter, rank // self.g_inter
+
+    # -- Algorithm 2 neighbours -------------------------------------------------
+    def prev_in_pipeline(self, rank: int) -> Optional[int]:
+        """``g^{i-1,j}`` or None for the first stage."""
+        i, j = self.coord_of(rank)
+        return None if i == 0 else self.rank_of(i - 1, j)
+
+    def next_in_pipeline(self, rank: int) -> Optional[int]:
+        """``g^{i+1,j}`` or None for the last stage."""
+        i, j = self.coord_of(rank)
+        return None if i == self.g_inter - 1 else self.rank_of(i + 1, j)
+
+    def is_first_stage(self, rank: int) -> bool:
+        return self.coord_of(rank)[0] == 0
+
+    def is_last_stage(self, rank: int) -> bool:
+        return self.coord_of(rank)[0] == self.g_inter - 1
+
+    # -- groups -------------------------------------------------------------
+    def pipeline_ranks(self, j: int) -> List[int]:
+        """All ranks of data-parallel group ``j`` in stage order."""
+        return [self.rank_of(i, j) for i in range(self.g_inter)]
+
+    def data_parallel_ranks(self, i: int) -> List[int]:
+        """All ranks holding stage ``i`` (the gradient all-reduce group)."""
+        return [self.rank_of(i, j) for j in range(self.g_data)]

@@ -1,0 +1,57 @@
+"""Serial single-GPU reference trainer (the paper's "PyTorch" baseline).
+
+Used by the Fig. 10 validation experiment: training GPT with this loop and
+with :class:`~repro.runtime.engine.AxoNNTrainer` on the same data must
+produce coinciding loss curves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import GPT, AdamW, GPTConfig
+
+__all__ = ["SerialTrainer", "state_dict_as_slots"]
+
+
+class SerialTrainer:
+    """Full-batch training of the reference GPT."""
+
+    def __init__(self, cfg: GPTConfig, lr: float = 1e-3,
+                 betas: Tuple[float, float] = (0.9, 0.999),
+                 weight_decay: float = 0.01):
+        self.cfg = cfg
+        self.model = GPT(cfg)
+        self.optimizer = AdamW(self.model.parameters(), lr=lr, betas=betas,
+                               weight_decay=weight_decay)
+        self.batches_trained = 0
+
+    def train_batch(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One optimizer step on the full batch; returns the mean loss."""
+        self.optimizer.zero_grad()
+        _logits, loss = self.model(x, targets=y)
+        loss.backward()
+        self.optimizer.step()
+        self.batches_trained += 1
+        return loss.item()
+
+    def loss_curve(self, batches, n: int) -> List[float]:
+        """Train for ``n`` batches from an :class:`LMBatches`-like source."""
+        losses = []
+        for i in range(n):
+            x, y = batches.batch(i)
+            losses.append(self.train_batch(x, y))
+        return losses
+
+
+def state_dict_as_slots(model: GPT) -> Dict[str, np.ndarray]:
+    """Serial model state keyed the way the pipeline shards key theirs
+    (``slot{k}.<param>``), for direct comparison with
+    :meth:`AxoNNTrainer.gather_state`."""
+    state: Dict[str, np.ndarray] = {}
+    for slot, layer in enumerate(model.layer_sequence()):
+        for name, p in layer.named_parameters():
+            state[f"slot{slot}.{name}"] = p.data.copy()
+    return state

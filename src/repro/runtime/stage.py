@@ -1,0 +1,186 @@
+"""A pipeline stage: one rank's contiguous shard of the network.
+
+Implements the ``nn_shard`` object of Algorithms 1-2: the stage owns its
+layer modules, runs forward passes keeping the boundary tensors alive per
+in-flight microbatch, and runs backward passes that (a) accumulate parameter
+gradients and (b) produce the gradient w.r.t. the stage input to send
+upstream.  The final stage additionally computes the loss (pre-divided by
+the total number of microbatches in the batch — the paper's overflow guard
+that also makes the accumulated gradient an exact full-batch mean).
+
+Activation checkpointing (Section V-A) is applied *inside* the stage via
+:class:`~repro.nn.checkpoint.CheckpointedStack` with the ``ac = sqrt(N)``
+interval rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import GPTConfig, Module, Tensor, build_layer, num_layer_slots
+from ..nn.checkpoint import CheckpointedStack, optimal_checkpoint_interval
+
+__all__ = ["partition_layers", "PipelineStage"]
+
+
+def partition_layers(n_slots: int, g_inter: int) -> List[Tuple[int, int]]:
+    """Split ``n_slots`` layer slots into ``g_inter`` contiguous [start, end)
+    ranges, sizes differing by at most one (larger shards first)."""
+    if g_inter < 1:
+        raise ValueError("g_inter must be >= 1")
+    if n_slots < g_inter:
+        raise ValueError(
+            f"cannot split {n_slots} layers across {g_inter} stages"
+        )
+    base, extra = divmod(n_slots, g_inter)
+    ranges = []
+    start = 0
+    for i in range(g_inter):
+        size = base + (1 if i < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+class PipelineStage:
+    """One rank's ``nn_shard``."""
+
+    def __init__(self, cfg: GPTConfig, stage_index: int, g_inter: int,
+                 checkpoint_activations: bool = False):
+        self.cfg = cfg
+        self.stage_index = stage_index
+        self.g_inter = g_inter
+        n_slots = num_layer_slots(cfg)
+        ranges = partition_layers(n_slots, g_inter)
+        self.slot_range = ranges[stage_index]
+        self.layers: List[Module] = [
+            build_layer(cfg, slot) for slot in range(*self.slot_range)
+        ]
+        self.is_first = stage_index == 0
+        self.is_last = stage_index == g_inter - 1
+
+        # Checkpointing applies to the transformer blocks of the stage (the
+        # embedding/head are cheap); interval from the paper's sqrt rule.
+        self._blocks_start = 1 if self.is_first else 0
+        self._blocks_end = len(self.layers) - (1 if self.is_last else 0)
+        blocks = self.layers[self._blocks_start:self._blocks_end]
+        if checkpoint_activations and blocks:
+            interval = optimal_checkpoint_interval(cfg.n_layer, len(blocks))
+            self._block_runner: Optional[CheckpointedStack] = \
+                CheckpointedStack(blocks, interval)
+        else:
+            self._block_runner = None
+
+        #: per-microbatch saved boundary tensors: mb -> (input, output)
+        self._inflight: Dict[int, Tuple[Optional[Tensor], Tensor]] = {}
+        #: per-microbatch loss value (last stage only)
+        self.microbatch_losses: Dict[int, float] = {}
+
+    # -- introspection -----------------------------------------------------
+    def parameters(self):
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def named_parameters(self):
+        for li, layer in enumerate(self.layers):
+            slot = self.slot_range[0] + li
+            for name, p in layer.named_parameters():
+                yield f"slot{slot}.{name}", p
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    @property
+    def inflight_microbatches(self) -> int:
+        return len(self._inflight)
+
+    # -- execution ------------------------------------------------------------
+    def _run_layers(self, x):
+        # leading non-block layer (embedding)
+        for layer in self.layers[:self._blocks_start]:
+            x = layer(x)
+        if self._block_runner is not None:
+            x = self._block_runner(x)
+        else:
+            for layer in self.layers[self._blocks_start:self._blocks_end]:
+                x = layer(x)
+        for layer in self.layers[self._blocks_end:]:
+            if self.is_last:
+                break  # the head is applied inside forward() with targets
+            x = layer(x)
+        return x
+
+    def forward(self, microbatch: int, data: np.ndarray,
+                targets: Optional[np.ndarray] = None,
+                loss_divisor: float = 1.0,
+                loss_scale: float = 1.0) -> np.ndarray:
+        """Run this stage's forward pass for one microbatch.
+
+        * first stage: ``data`` is the integer token array;
+        * other stages: ``data`` is the boundary activation from upstream.
+        * last stage: requires ``targets``; computes the (pre-divided) loss,
+          records its value, and returns nothing to forward further.
+
+        Returns the boundary activation to send downstream (or the loss
+        value array for the last stage, kept for symmetric bookkeeping).
+        """
+        if microbatch in self._inflight:
+            raise RuntimeError(
+                f"microbatch {microbatch} already in flight on stage "
+                f"{self.stage_index}"
+            )
+        if self.is_first:
+            x_in: Optional[Tensor] = None
+            x = np.asarray(data)
+        else:
+            x_in = Tensor(np.asarray(data, dtype=np.float32),
+                          requires_grad=True)
+            x = x_in
+
+        out = self._run_layers(x)
+
+        if self.is_last:
+            if targets is None:
+                raise ValueError("last stage forward requires targets")
+            head = self.layers[-1]
+            # Pre-divide by the total microbatch count (Section IV-B) and
+            # apply the mixed-precision loss scale (Section II-A).
+            loss = head.loss(out, targets) * (loss_scale / loss_divisor)
+            self.microbatch_losses[microbatch] = \
+                loss.item() * loss_divisor / loss_scale
+            self._inflight[microbatch] = (x_in, loss)
+            return loss.data
+        self._inflight[microbatch] = (x_in, out)
+        return out.data
+
+    def backward(self, microbatch: int,
+                 grad: Optional[np.ndarray] = None) -> Optional[np.ndarray]:
+        """Run this stage's backward pass for one microbatch.
+
+        ``grad`` is the gradient w.r.t. this stage's output (None for the
+        last stage, whose root is the scalar loss — Algorithm 2's
+        ``BACKWARD(1)``).  Returns the gradient w.r.t. the stage input, or
+        None for the first stage.
+        """
+        if microbatch not in self._inflight:
+            raise RuntimeError(
+                f"backward for unknown microbatch {microbatch} on stage "
+                f"{self.stage_index}"
+            )
+        x_in, out = self._inflight.pop(microbatch)
+        if self.is_last:
+            out.backward()  # scalar loss
+        else:
+            if grad is None:
+                raise ValueError("non-last stage backward requires a gradient")
+            out.backward(np.asarray(grad, dtype=np.float32))
+        if x_in is None:
+            return None
+        g = x_in.grad
+        x_in.zero_grad()
+        return g

@@ -1,0 +1,134 @@
+"""Deterministic in-process rank transport for the functional runtime.
+
+The *functional* runtime executes AxoNN's algorithms with real numerics (the
+performance twin lives in :mod:`repro.core` on the discrete-event cluster).
+Each simulated GPU is a *rank program*: a Python generator that computes with
+NumPy and yields when it needs to receive a message — exactly the structure
+of Algorithm 2, whose only blocking point is ``RECEIVE()``.
+
+The scheduler advances rank programs round-robin; a rank blocks only on an
+empty inbox.  Sends are non-blocking and delivered instantly in FIFO order
+(MPI_Isend semantics: buffered, ordered per sender-receiver pair).  Because
+scheduling is round-robin and delivery deterministic, an entire parallel
+training run is bit-reproducible — which the serial-vs-parallel equivalence
+tests rely on.
+
+Deadlock (every live rank blocked on an empty inbox) raises
+:class:`DeadlockError` listing the stuck ranks — turning scheduler bugs into
+loud failures instead of hangs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Generator, List, Optional
+
+__all__ = ["Packet", "RankTransport", "DeadlockError", "RECV"]
+
+#: sentinel yielded by a rank program to request the next inbox message
+RECV = "recv"
+
+
+class DeadlockError(RuntimeError):
+    """All unfinished rank programs are blocked on empty inboxes."""
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One delivered message."""
+
+    src: int
+    dst: int
+    tag: str
+    microbatch: int
+    data: Any = field(compare=False, default=None)
+
+
+class RankTransport:
+    """Per-rank FIFO inboxes + the cooperative scheduler."""
+
+    def __init__(self, n_ranks: int):
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.n_ranks = n_ranks
+        self.inboxes: List[Deque[Packet]] = [deque() for _ in range(n_ranks)]
+        self.messages_sent = 0
+
+    def send(self, src: int, dst: int, tag: str, microbatch: int,
+             data: Any = None) -> None:
+        """Non-blocking buffered send (MPI_Isend)."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        if src == dst:
+            raise ValueError(f"rank {src} sending to itself")
+        self.inboxes[dst].append(Packet(src, dst, tag, microbatch, data))
+        self.messages_sent += 1
+
+    def pending(self, rank: int) -> int:
+        self._check_rank(rank)
+        return len(self.inboxes[rank])
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} outside [0, {self.n_ranks})")
+
+    # -- scheduler ---------------------------------------------------------
+    def run(self, programs: Dict[int, Generator]) -> None:
+        """Drive rank programs to completion.
+
+        ``programs`` maps rank id -> generator.  The protocol: a program
+        yields :data:`RECV` to wait for its next message; the yield
+        expression evaluates to the :class:`Packet`.  Any other yielded
+        value is a protocol error.
+        """
+        for rank in programs:
+            self._check_rank(rank)
+        live: Dict[int, Generator] = dict(programs)
+        # waiting[rank] is True when the rank has yielded RECV and its inbox
+        # was empty at last visit.
+        started: Dict[int, bool] = {r: False for r in live}
+        waiting: Dict[int, bool] = {r: False for r in live}
+
+        while live:
+            progressed = False
+            for rank in sorted(live):
+                gen = live.get(rank)
+                if gen is None:
+                    continue
+                while True:
+                    if not started[rank]:
+                        try:
+                            request = next(gen)
+                            started[rank] = True
+                        except StopIteration:
+                            del live[rank]
+                            progressed = True
+                            break
+                    elif waiting[rank]:
+                        if not self.inboxes[rank]:
+                            break  # still blocked
+                        packet = self.inboxes[rank].popleft()
+                        waiting[rank] = False
+                        try:
+                            request = gen.send(packet)
+                        except StopIteration:
+                            del live[rank]
+                            progressed = True
+                            break
+                    else:
+                        break
+                    if request != RECV:
+                        raise RuntimeError(
+                            f"rank {rank} yielded {request!r}; rank programs "
+                            f"may only yield RECV"
+                        )
+                    waiting[rank] = True
+                    progressed = True
+                    # Loop again: the message may already be waiting.
+            if live and not progressed:
+                stuck = sorted(live)
+                raise DeadlockError(
+                    f"ranks {stuck} are all blocked on empty inboxes "
+                    f"(messages sent so far: {self.messages_sent})"
+                )

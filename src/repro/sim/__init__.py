@@ -1,0 +1,51 @@
+"""Deterministic discrete-event simulation kernel (SimPy-like).
+
+Public surface:
+
+* :class:`Environment`, :class:`Event`, :class:`Timeout`, :class:`Process`,
+  :class:`AnyOf`, :class:`AllOf`, :class:`Interrupt` — the engine.
+* :class:`Resource`, :class:`PriorityResource`, :class:`Store` — shared
+  resources (streams, links, inboxes).
+* :class:`Tracer`, :class:`Span` — timeline capture for profile-style output.
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import PriorityResource, Request, Resource, Store
+from .trace import (
+    Span,
+    Tracer,
+    overlap_time,
+    render_ascii_timeline,
+    spans_overlap,
+    track_busy_time,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "PriorityResource",
+    "Request",
+    "Resource",
+    "Store",
+    "Span",
+    "Tracer",
+    "overlap_time",
+    "render_ascii_timeline",
+    "spans_overlap",
+    "track_busy_time",
+]

@@ -1,0 +1,420 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic, generator-based discrete-event engine in the style
+of SimPy.  Simulated *processes* are Python generators that ``yield`` event
+objects; the engine resumes a process when the event it is waiting on fires.
+
+The kernel is the substrate for the cluster / network / GPU models used by
+the performance experiments: every GPU, CUDA stream, DMA engine, link and
+communication backend in :mod:`repro.cluster` and :mod:`repro.comm` is a
+process or resource built on these primitives.
+
+Determinism
+-----------
+The event queue is a binary heap ordered by ``(time, priority, sequence)``.
+The monotonically increasing sequence number makes tie-breaking fully
+deterministic, so a simulation with the same inputs always produces the same
+schedule.  No wall-clock time is consulted anywhere.
+
+Example
+-------
+>>> env = Environment()
+>>> def proc(env, out):
+...     yield env.timeout(3.0)
+...     out.append(env.now)
+>>> out = []
+>>> _ = env.process(proc(env, out))
+>>> env.run()
+>>> out
+[3.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+# Scheduling priorities: URGENT events (e.g. process resumption after an
+# event fires) run before NORMAL events scheduled for the same instant.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. yielding twice on a
+    triggered-and-consumed event, or running a finished environment with
+    ``until`` in the past)."""
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the interrupter-supplied payload.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` or :meth:`fail`
+    schedules it; once the engine pops it from the queue it is *processed*
+    and its callbacks run.  Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed",
+                 "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        #: callables invoked (in registration order) when the event fires
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        #: set True once a waiter has handled this event's failure
+        self._defused = False
+
+    # -- inspection -------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """Payload delivered to waiters.  Valid only once triggered."""
+        if not self._triggered:
+            raise SimulationError("value accessed before event was triggered")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, delay=delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire as a failure carrying ``exception``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, delay=delay)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        for cb in callbacks:  # type: ignore[union-attr]
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self._processed
+            else "triggered" if self._triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule(self, delay=delay, priority=PRIORITY_NORMAL)
+
+
+class Process(Event):
+    """A running generator.  Also an event: it fires when the generator
+    returns (value = the generator's return value) or raises (failure).
+
+    Yield protocol inside the generator:
+
+    * ``yield some_event``  — suspend until the event fires.  The ``yield``
+      expression evaluates to the event's value; a failed event re-raises
+      its exception inside the generator.
+    """
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: the event this process is currently waiting on (None if ready)
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the generator at time `now` via an urgent event.
+        boot = Event(env)
+        boot._triggered = True
+        boot.callbacks.append(self._resume)
+        env._schedule(boot, delay=0.0, priority=PRIORITY_URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process stops waiting on its current target (the target event is
+        left untouched and may still fire later, unobserved).
+        """
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        hit = Event(self.env)
+        hit._triggered = True
+        hit._ok = False
+        hit._value = Interrupt(cause)
+        hit.callbacks.append(self._resume)
+        # Suppress "unhandled failure" checking: delivery is via throw().
+        hit._defused = True
+        self.env._schedule(hit, delay=0.0, priority=PRIORITY_URGENT)
+
+    # -- engine internals --------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        self.env._active_process = self
+        event: Optional[Event] = trigger
+        while True:
+            try:
+                if event is None:
+                    raise AssertionError("resumed with no trigger")
+                if event._ok:
+                    target = self.generator.send(event._value)
+                else:
+                    # Mark the failure as handled by this process.
+                    event._defused = True
+                    exc = event._value
+                    if isinstance(exc, Interrupt):
+                        target = self.generator.throw(exc)
+                    else:
+                        target = self.generator.throw(type(exc), exc)
+            except StopIteration as stop:
+                self._target = None
+                self.env._active_process = None
+                if not self._triggered:
+                    self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self._target = None
+                self.env._active_process = None
+                if not self._triggered:
+                    self.fail(exc)
+                else:  # pragma: no cover - defensive
+                    raise
+                return
+
+            if not isinstance(target, Event):
+                self.env._active_process = None
+                err = SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                )
+                self.generator.close()
+                self.fail(err)
+                return
+            if target.env is not self.env:
+                raise SimulationError("yielded event belongs to another Environment")
+            if target.callbacks is not None:
+                # Not yet processed: register and suspend.
+                target.callbacks.append(self._resume)
+                self._target = target
+                self.env._active_process = None
+                return
+            # Already processed: continue immediately with its value.
+            event = target
+
+
+class _Condition(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events: List[Event] = list(events)
+        self._n_fired = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("condition mixes environments")
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            ev: ev._value
+            for ev in self.events
+            if ev._triggered and ev.callbacks is None
+        }
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when *any* constituent event fires.  Value: dict of the events
+    processed so far mapped to their values."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires when *all* constituent events have fired.  Value: dict mapping
+    every event to its value."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._n_fired += 1
+        if self._n_fired == len(self.events):
+            self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation environment: clock + event queue + scheduler."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List = []  # heap of (time, priority, seq, event)
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- factories ---------------------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority: int = PRIORITY_NORMAL) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        t, _prio, _seq, event = heapq.heappop(self._queue)
+        if t < self._now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self._now = t
+        event._run_callbacks()
+        if not event._ok and not event._defused:
+            # A failure nobody handled: surface it instead of silently
+            # swallowing broken simulations.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock reaches ``until``.
+
+        With ``until``, the clock is advanced to exactly ``until`` even if
+        the last event fires earlier (mirrors SimPy semantics closely enough
+        for our use).
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until

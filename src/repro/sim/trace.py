@@ -1,0 +1,158 @@
+"""Timeline tracing for simulated executions.
+
+The tracer records *spans* — named intervals on named tracks — and produces
+the data behind the paper's Fig. 7 (the Nsight Systems profile showing the
+all-reduce and optimizer phases interleaving on separate CUDA streams).  A
+track corresponds to one CUDA stream / engine of one GPU; a span is one
+kernel / transfer / collective chunk.
+
+The tracer is deliberately storage-only: rendering (ASCII timeline, CSV) is
+done by pure functions over the recorded spans so tests can assert on the
+structure directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Span", "Tracer", "render_ascii_timeline", "spans_overlap",
+           "track_busy_time", "overlap_time"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One traced interval."""
+
+    track: str
+    name: str
+    start: float
+    end: float
+    #: free-form category, e.g. "compute" / "p2p" / "allreduce" / "optimizer"
+    category: str = ""
+    #: extra payload (message sizes, microbatch ids, ...)
+    meta: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def with_meta(self) -> Dict[str, object]:
+        return dict(self.meta)
+
+
+class Tracer:
+    """Collects spans; optionally disabled (zero overhead when off)."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.spans: List[Span] = []
+
+    def record(self, track: str, name: str, start: float, end: float,
+               category: str = "", **meta: object) -> None:
+        """Record a completed span."""
+        if not self.enabled:
+            return
+        if end < start:
+            raise ValueError(f"span ends before it starts: {name} [{start}, {end}]")
+        self.spans.append(
+            Span(track, name, start, end, category, tuple(sorted(meta.items())))
+        )
+
+    # -- queries -------------------------------------------------------------
+    def tracks(self) -> List[str]:
+        """Track names in first-seen order."""
+        seen: Dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.track, None)
+        return list(seen)
+
+    def on_track(self, track: str) -> List[Span]:
+        """Spans on ``track`` sorted by start time."""
+        return sorted((s for s in self.spans if s.track == track),
+                      key=lambda s: (s.start, s.end))
+
+    def by_category(self, category: str) -> List[Span]:
+        return [s for s in self.spans if s.category == category]
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Flatten to CSV-ready dict rows."""
+        return [
+            {"track": s.track, "name": s.name, "start": s.start,
+             "end": s.end, "category": s.category, **s.with_meta()}
+            for s in self.spans
+        ]
+
+
+def spans_overlap(a: Span, b: Span) -> bool:
+    """True when the two spans share a positive-length interval."""
+    return min(a.end, b.end) > max(a.start, b.start)
+
+
+def track_busy_time(spans: Iterable[Span]) -> float:
+    """Total covered time of ``spans`` (union of intervals)."""
+    ivs = sorted((s.start, s.end) for s in spans)
+    total = 0.0
+    cur_start: Optional[float] = None
+    cur_end = 0.0
+    for start, end in ivs:
+        if cur_start is None:
+            cur_start, cur_end = start, end
+        elif start <= cur_end:
+            cur_end = max(cur_end, end)
+        else:
+            total += cur_end - cur_start
+            cur_start, cur_end = start, end
+    if cur_start is not None:
+        total += cur_end - cur_start
+    return total
+
+
+def overlap_time(a: Iterable[Span], b: Iterable[Span]) -> float:
+    """Total time during which some span of ``a`` and some span of ``b`` are
+    simultaneously active — the quantity Fig. 7 demonstrates is large."""
+    events: List[Tuple[float, int, int]] = []  # (time, +1/-1, which)
+    for s in a:
+        events.append((s.start, +1, 0))
+        events.append((s.end, -1, 0))
+    for s in b:
+        events.append((s.start, +1, 1))
+        events.append((s.end, -1, 1))
+    events.sort()
+    active = [0, 0]
+    last = None
+    total = 0.0
+    for t, delta, which in events:
+        if last is not None and active[0] > 0 and active[1] > 0:
+            total += t - last
+        active[which] += delta
+        last = t
+    return total
+
+
+def render_ascii_timeline(tracer: Tracer, width: int = 100,
+                          t0: Optional[float] = None,
+                          t1: Optional[float] = None) -> str:
+    """Render all tracks as fixed-width ASCII rows (one char per time bin).
+
+    Each bin shows the first letter of the dominant span category in that
+    bin, or ``.`` for idle — a terminal-friendly stand-in for Fig. 7.
+    """
+    if not tracer.spans:
+        return "(empty timeline)"
+    lo = min(s.start for s in tracer.spans) if t0 is None else t0
+    hi = max(s.end for s in tracer.spans) if t1 is None else t1
+    if hi <= lo:
+        hi = lo + 1.0
+    scale = width / (hi - lo)
+    lines = [f"timeline [{lo:.6g}, {hi:.6g}] ({width} bins)"]
+    for track in tracer.tracks():
+        row = ["."] * width
+        for s in tracer.on_track(track):
+            b0 = max(0, min(width - 1, int((s.start - lo) * scale)))
+            b1 = max(0, min(width - 1, int((s.end - lo) * scale)))
+            ch = (s.category or s.name or "x")[0]
+            for i in range(b0, b1 + 1):
+                row[i] = ch
+        lines.append(f"{track:>24} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Hyperparameter tuning (the Table II search).
+
+Public surface: :func:`tune_axonn`, :func:`tune_baseline`,
+:func:`axonn_candidates`, :func:`baseline_candidates`,
+:func:`estimate_baseline_time`, :class:`TuningResult`.
+"""
+
+from .search import (
+    TuningResult,
+    axonn_candidates,
+    baseline_candidates,
+    divisors,
+    estimate_baseline_time,
+    tune_axonn,
+    tune_baseline,
+)
+
+__all__ = [
+    "TuningResult",
+    "axonn_candidates",
+    "baseline_candidates",
+    "divisors",
+    "estimate_baseline_time",
+    "tune_axonn",
+    "tune_baseline",
+]

@@ -1,0 +1,204 @@
+"""Tests for the Megatron-LM / DeepSpeed baseline models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    ThreeDConfig,
+    baseline_stage_costs,
+    bubble_fraction,
+    check_baseline_memory,
+    gpipe_schedule,
+    max_inflight,
+    one_f_one_b_schedule,
+    simulate_baseline_batch,
+)
+from repro.cluster import Machine, summit
+from repro.core import AxoNNConfig, WEAK_SCALING_MODELS, simulate_batch
+
+SPEC = WEAK_SCALING_MODELS["12B"]
+
+
+def ds_cfg(**kw):
+    base = dict(spec=SPEC, num_gpus=48, g_intra=3, g_inter=2, g_data=8,
+                microbatch_size=2, batch_size=768, framework="deepspeed")
+    base.update(kw)
+    return ThreeDConfig(**base)
+
+
+def mg_cfg(**kw):
+    base = dict(spec=SPEC, num_gpus=48, g_intra=3, g_inter=16, g_data=1,
+                microbatch_size=8, batch_size=768, framework="megatron")
+    base.update(kw)
+    return ThreeDConfig(**base)
+
+
+class TestSchedules:
+    def test_1f1b_ops_complete(self):
+        for stage in range(4):
+            ops = one_f_one_b_schedule(stage, 4, 8)
+            fwd = [mb for kind, mb in ops if kind == "F"]
+            bwd = [mb for kind, mb in ops if kind == "B"]
+            assert fwd == list(range(8))
+            assert bwd == list(range(8))
+
+    def test_1f1b_backward_never_precedes_forward(self):
+        ops = one_f_one_b_schedule(1, 4, 8)
+        seen_f = set()
+        for kind, mb in ops:
+            if kind == "F":
+                seen_f.add(mb)
+            else:
+                assert mb in seen_f
+
+    def test_1f1b_warmup_depth(self):
+        # Stage 0 of 4 warms up with 3 forwards before its first backward.
+        ops = one_f_one_b_schedule(0, 4, 8)
+        first_b = next(i for i, (k, _) in enumerate(ops) if k == "B")
+        assert first_b == 4  # 3 warmup F + 1 steady F
+
+    def test_last_stage_alternates(self):
+        ops = one_f_one_b_schedule(3, 4, 4)
+        assert ops == [("F", 0), ("B", 0), ("F", 1), ("B", 1),
+                       ("F", 2), ("B", 2), ("F", 3), ("B", 3)]
+
+    def test_1f1b_inflight_bounded_by_depth(self):
+        for stage in range(6):
+            ops = one_f_one_b_schedule(stage, 6, 32)
+            assert max_inflight(ops) <= 6 - stage
+
+    def test_gpipe_inflight_grows_with_microbatches(self):
+        ops = gpipe_schedule(0, 4, 32)
+        assert max_inflight(ops) == 32
+
+    def test_gpipe_ops_complete(self):
+        ops = gpipe_schedule(2, 4, 5)
+        assert len(ops) == 10
+
+    def test_bubble_fraction(self):
+        assert bubble_fraction(4, 4) == pytest.approx(3 / 7)
+        assert bubble_fraction(1, 8) == 0.0
+        # More microbatches amortize the bubble.
+        assert bubble_fraction(8, 256) < bubble_fraction(8, 16)
+
+    def test_schedule_bounds(self):
+        with pytest.raises(ValueError):
+            one_f_one_b_schedule(4, 4, 8)
+        with pytest.raises(ValueError):
+            one_f_one_b_schedule(0, 4, 0)
+        with pytest.raises(ValueError):
+            gpipe_schedule(-1, 4, 8)
+        with pytest.raises(ValueError):
+            bubble_fraction(0, 4)
+
+    @given(stage=st.integers(0, 7), stages=st.integers(1, 8),
+           m=st.integers(1, 40))
+    @settings(max_examples=80, deadline=None)
+    def test_1f1b_property_all_microbatches_once(self, stage, stages, m):
+        if stage >= stages:
+            return
+        ops = one_f_one_b_schedule(stage, stages, m)
+        assert sorted(mb for k, mb in ops if k == "F") == list(range(m))
+        assert sorted(mb for k, mb in ops if k == "B") == list(range(m))
+
+
+class TestConfig:
+    def test_grid_product_checked(self):
+        with pytest.raises(ValueError):
+            ds_cfg(g_intra=4)
+
+    def test_framework_checked(self):
+        with pytest.raises(ValueError):
+            ds_cfg(framework="horovod")
+
+    def test_schedule_checked(self):
+        with pytest.raises(ValueError):
+            ds_cfg(schedule="wave")
+
+    def test_hidden_divisibility(self):
+        with pytest.raises(ValueError):
+            ThreeDConfig(spec=SPEC, num_gpus=48, g_intra=5,
+                         g_inter=2, g_data=1, microbatch_size=1,
+                         batch_size=48)  # also wrong product; use hidden
+        # hidden=4512 divisible by 3 -> fine
+        assert ds_cfg().g_intra == 3
+
+
+class TestStageCosts:
+    def test_intra_sharding_divides_compute(self):
+        m = Machine(spec=summit(8))
+        sharded = baseline_stage_costs(ds_cfg(), m)
+        unsharded = baseline_stage_costs(
+            ds_cfg(g_intra=1, g_inter=2, g_data=24, batch_size=768), m)
+        assert sharded[0].fwd_compute_flops == pytest.approx(
+            unsharded[0].fwd_compute_flops / 3)
+
+    def test_intra_collectives_charged(self):
+        m = Machine(spec=summit(8))
+        costs = baseline_stage_costs(ds_cfg(), m)
+        assert costs[0].fwd_collective_s > 0
+        assert costs[0].bwd_collective_s > costs[0].fwd_collective_s
+
+    def test_no_collectives_without_intra(self):
+        m = Machine(spec=summit(8))
+        costs = baseline_stage_costs(
+            ds_cfg(g_intra=1, g_inter=6, g_data=8), m)
+        assert costs[0].fwd_collective_s == 0.0
+
+
+class TestSimulation:
+    def test_phases_positive(self):
+        r = simulate_baseline_batch(ds_cfg())
+        assert r.pipeline_s > 0
+        assert r.allreduce_s > 0
+        assert r.optimizer_s > 0
+
+    def test_deterministic(self):
+        assert simulate_baseline_batch(ds_cfg()).batch_time_s == \
+            simulate_baseline_batch(ds_cfg()).batch_time_s
+
+    def test_megatron_no_data_parallel_allreduce(self):
+        r = simulate_baseline_batch(mg_cfg())
+        assert r.allreduce_s == 0.0  # G_data = 1 (Table II)
+
+    def test_gpipe_slower_or_equal_1f1b_pipeline(self):
+        f1b = simulate_baseline_batch(ds_cfg())
+        gp = simulate_baseline_batch(ds_cfg(schedule="gpipe"))
+        assert gp.pipeline_s >= f1b.pipeline_s * 0.95
+
+    def test_axonn_beats_both_baselines_12b(self):
+        """The headline result at the 12 B scale: each framework with its
+        Table II configuration at the paper's weak-scaling batch size.
+        (At toy batch sizes AxoNN's deeper pipeline bubble genuinely
+        dominates, so the paper's batch is required for the crossover.)"""
+        batch = 16384
+        ax = simulate_batch(AxoNNConfig(
+            spec=SPEC, num_gpus=48, g_inter=6, g_data=8, microbatch_size=8,
+            batch_size=batch, memopt=True))
+        ds = simulate_baseline_batch(ds_cfg(batch_size=batch))
+        mg = simulate_baseline_batch(mg_cfg(batch_size=batch))
+        assert ax.batch_time_s < ds.batch_time_s < mg.batch_time_s
+
+    def test_deepspeed_memory_beats_megatron(self):
+        """ZeRO-1 lets DeepSpeed fit configs Megatron cannot."""
+        _, ds_fits = check_baseline_memory(ds_cfg())
+        _, mg_fits = check_baseline_memory(
+            mg_cfg(g_inter=2, g_data=8, microbatch_size=2))
+        assert ds_fits and not mg_fits
+
+    def test_gpipe_activation_memory_exceeds_1f1b(self):
+        bd_1f1b, _ = check_baseline_memory(ds_cfg(batch_size=16384))
+        bd_gpipe, _ = check_baseline_memory(
+            ds_cfg(batch_size=16384, schedule="gpipe"))
+        assert bd_gpipe.activations > bd_1f1b.activations
+
+    def test_metrics(self):
+        r = simulate_baseline_batch(ds_cfg())
+        assert 0 < r.pct_of_peak < 100
+        row = r.as_row()
+        assert row["framework"] == "deepspeed"
+
+    def test_machine_too_small(self):
+        with pytest.raises(ValueError):
+            simulate_baseline_batch(ds_cfg(), machine=Machine(spec=summit(1)))

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import csv
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3", "fig9", "table2", "all"):
+            assert name in out
+
+    def test_all_experiments_registered(self):
+        expected = {"fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+                    "fig9", "fig10", "fig11", "table1", "table2",
+                    "ablations"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_table1_runs_and_passes(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "[PASS]" in out
+        assert "[FAIL]" not in out
+
+    def test_fig3_fast(self, capsys):
+        assert main(["fig3", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "intra-node" in out
+
+    def test_fig10_fast(self, capsys):
+        assert main(["fig10", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "curves_coincide" in out
+
+    def test_fig9_model_filter(self, capsys):
+        assert main(["fig9", "--models", "12B"]) == 0
+        out = capsys.readouterr().out
+        assert "12B" in out
+        assert "24B" not in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        path = tmp_path / "rows.csv"
+        assert main(["table1", "--csv", str(path)]) == 0
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 4
+        assert rows[0]["gpus"] == "48"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "table1"],
+            capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0
+        assert "Table I" in proc.stdout

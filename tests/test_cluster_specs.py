@@ -1,0 +1,164 @@
+"""Tests for cluster hardware specs and memory pools."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    GB,
+    ClusterSpec,
+    GPUSpec,
+    MemoryPool,
+    NodeSpec,
+    OutOfMemoryError,
+    summit,
+)
+
+
+class TestSpecs:
+    def test_summit_matches_paper_numbers(self):
+        spec = summit(num_nodes=8)
+        assert spec.num_gpus == 48
+        assert spec.node.gpus_per_node == 6
+        assert spec.node.gpu.peak_half_flops == 125e12
+        assert spec.node.gpu.dram_bytes == 16 * GB
+        assert spec.node.intra_node_bandwidth == 50e9
+        assert spec.node.inter_node_bandwidth == 12.5e9
+
+    def test_weak_scaling_gpu_counts(self):
+        # Table I: 8/16/32/64 nodes -> 48/96/192/384 GPUs.
+        for nodes, gpus in [(8, 48), (16, 96), (32, 192), (64, 384)]:
+            assert summit(nodes).num_gpus == gpus
+
+    def test_node_of_and_local_index(self):
+        spec = summit(2)
+        assert spec.node_of(0) == 0
+        assert spec.node_of(5) == 0
+        assert spec.node_of(6) == 1
+        assert spec.local_index(7) == 1
+
+    def test_same_node(self):
+        spec = summit(2)
+        assert spec.same_node(0, 5)
+        assert not spec.same_node(5, 6)
+
+    def test_gpu_id_bounds_checked(self):
+        spec = summit(1)
+        with pytest.raises(ValueError):
+            spec.node_of(6)
+        with pytest.raises(ValueError):
+            spec.node_of(-1)
+
+    def test_with_nodes_preserves_hardware(self):
+        spec = summit(8).with_nodes(64)
+        assert spec.num_nodes == 64
+        assert spec.node.gpu.dram_bytes == 16 * GB
+
+    def test_aggregate_peak(self):
+        assert summit(8).peak_half_flops == 48 * 125e12
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            GPUSpec(peak_half_flops=0, dram_bytes=1, h2d_bandwidth=1)
+        with pytest.raises(ValueError):
+            summit(0)
+        good = summit(1).node
+        with pytest.raises(ValueError):
+            NodeSpec(gpu=good.gpu, gpus_per_node=0,
+                     intra_node_bandwidth=1, inter_node_bandwidth=1,
+                     host_dram_bytes=1, host_mem_bandwidth=1)
+
+
+class TestMemoryPool:
+    def test_allocate_and_free(self):
+        pool = MemoryPool(100)
+        pool.allocate("a", 40)
+        pool.allocate("b", 30)
+        assert pool.used == 70
+        assert pool.free == 30
+        assert pool.free_label("a") == 40
+        assert pool.used == 30
+
+    def test_oom_raises_with_details(self):
+        pool = MemoryPool(100, name="gpu0")
+        pool.allocate("params", 90)
+        with pytest.raises(OutOfMemoryError) as e:
+            pool.allocate("activations", 20)
+        assert e.value.requested == 20
+        assert e.value.in_use == 90
+        assert e.value.capacity == 100
+        assert "gpu0" in str(e.value)
+
+    def test_oom_is_a_memoryerror(self):
+        pool = MemoryPool(10)
+        with pytest.raises(MemoryError):
+            pool.allocate("x", 11)
+
+    def test_peak_tracks_high_water_mark(self):
+        pool = MemoryPool(100)
+        pool.allocate("a", 60)
+        pool.free_label("a")
+        pool.allocate("b", 30)
+        assert pool.peak == 60
+        assert pool.used == 30
+
+    def test_grow_label(self):
+        pool = MemoryPool(100)
+        pool.allocate("acts", 10)
+        pool.allocate("acts", 15)
+        assert pool.held("acts") == 25
+
+    def test_partial_release(self):
+        pool = MemoryPool(100)
+        pool.allocate("acts", 50)
+        pool.release("acts", 20)
+        assert pool.held("acts") == 30
+        with pytest.raises(ValueError):
+            pool.release("acts", 31)
+
+    def test_release_exact_removes_label(self):
+        pool = MemoryPool(100)
+        pool.allocate("x", 10)
+        pool.release("x", 10)
+        assert "x" not in pool.allocations()
+
+    def test_negative_allocation_rejected(self):
+        pool = MemoryPool(100)
+        with pytest.raises(ValueError):
+            pool.allocate("x", -1)
+
+    def test_would_fit(self):
+        pool = MemoryPool(100)
+        pool.allocate("a", 80)
+        assert pool.would_fit(20)
+        assert not pool.would_fit(21)
+
+    def test_reset_keeps_peak(self):
+        pool = MemoryPool(100)
+        pool.allocate("a", 70)
+        pool.reset()
+        assert pool.used == 0
+        assert pool.peak == 70
+
+    @given(sizes=st.lists(st.integers(min_value=0, max_value=50),
+                          min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_accounting_invariant(self, sizes):
+        """Property: used == sum of live allocations, never exceeds capacity,
+        and peak >= used always."""
+        pool = MemoryPool(1000)
+        live = {}
+        for i, size in enumerate(sizes):
+            label = f"alloc{i}"
+            try:
+                pool.allocate(label, size)
+                live[label] = size
+            except OutOfMemoryError:
+                pass
+            if i % 3 == 2 and live:
+                victim = next(iter(live))
+                pool.free_label(victim)
+                del live[victim]
+            assert pool.used == sum(live.values())
+            assert pool.used <= pool.capacity
+            assert pool.peak >= pool.used

@@ -1,0 +1,190 @@
+"""Tests for the explicit ring all-reduce implementations: the numerical
+ring on the rank transport and the timing ring on the simulated fabric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import MB, Machine, summit
+from repro.comm.algorithms import ring_allreduce_des, ring_step_count
+from repro.runtime.collectives import ring_allreduce
+
+
+class TestNumericalRing:
+    def test_sum_two_ranks(self):
+        arrays = {0: np.array([1.0, 2.0, 3.0], dtype=np.float32),
+                  1: np.array([10.0, 20.0, 30.0], dtype=np.float32)}
+        out = ring_allreduce(arrays)
+        for r in (0, 1):
+            np.testing.assert_allclose(out[r], [11.0, 22.0, 33.0])
+
+    def test_sum_many_ranks_odd_sizes(self):
+        rng = np.random.default_rng(0)
+        arrays = {r: rng.standard_normal(17).astype(np.float32)
+                  for r in range(5)}
+        total = sum(arrays.values())
+        out = ring_allreduce({k: v.copy() for k, v in arrays.items()})
+        for r in out:
+            np.testing.assert_allclose(out[r], total, rtol=1e-5)
+
+    def test_arbitrary_rank_keys(self):
+        arrays = {42: np.ones(4, dtype=np.float32),
+                  7: np.full(4, 2.0, dtype=np.float32),
+                  99: np.full(4, 3.0, dtype=np.float32)}
+        out = ring_allreduce(arrays)
+        assert set(out) == {7, 42, 99}
+        np.testing.assert_allclose(out[42], 6.0)
+
+    def test_single_rank(self):
+        out = ring_allreduce({3: np.arange(4, dtype=np.float32)})
+        np.testing.assert_array_equal(out[3], np.arange(4, dtype=np.float32))
+
+    def test_multidimensional(self):
+        arrays = {0: np.ones((2, 3), dtype=np.float32),
+                  1: np.full((2, 3), 4.0, dtype=np.float32)}
+        out = ring_allreduce(arrays)
+        assert out[0].shape == (2, 3)
+        np.testing.assert_allclose(out[1], 5.0)
+
+    def test_array_smaller_than_ring(self):
+        """Fewer elements than ranks: some chunks are empty."""
+        arrays = {r: np.array([float(r + 1)], dtype=np.float32)
+                  for r in range(4)}
+        out = ring_allreduce(arrays)
+        for r in out:
+            np.testing.assert_allclose(out[r], [10.0])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ring_allreduce({0: np.ones(3), 1: np.ones(4)})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ring_allreduce({})
+
+    @given(
+        p=st.integers(2, 6),
+        n=st.integers(1, 40),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ring_equals_sum_property(self, p, n, seed):
+        rng = np.random.default_rng(seed)
+        arrays = {r: rng.standard_normal(n).astype(np.float64)
+                  for r in range(p)}
+        total = sum(arrays.values())
+        out = ring_allreduce({k: v.copy() for k, v in arrays.items()})
+        for r in out:
+            np.testing.assert_allclose(out[r], total, rtol=1e-9)
+
+
+class TestDESRing:
+    def test_step_count(self):
+        assert ring_step_count(1) == 0
+        assert ring_step_count(6) == 10
+        with pytest.raises(ValueError):
+            ring_step_count(0)
+
+    def _run(self, machine, gpu_ids, nbytes, model):
+        result = {}
+
+        def proc():
+            result["t"] = yield from ring_allreduce_des(
+                machine, gpu_ids, nbytes, model)
+
+        machine.env.process(proc())
+        machine.run()
+        return result["t"]
+
+    def test_single_rank_free(self):
+        m = Machine(spec=summit(1))
+        assert self._run(m, [0], 4 * MB, m.cal.mpi) == 0.0
+
+    def test_matches_per_step_analytic_intra_node(self):
+        """With a full-duplex fabric the emergent ring time must equal
+        2 (p-1) rounds of (alpha + chunk / bw)."""
+        m = Machine(spec=summit(1))
+        nbytes = 64 * MB
+        p = 6
+        t = self._run(m, list(range(p)), nbytes, m.cal.mpi)
+        chunk = nbytes // p
+        expected = ring_step_count(p) * (
+            m.cal.mpi.p2p_alpha_intra + chunk / m.cal.mpi.p2p_bw_intra)
+        assert t == pytest.approx(expected, rel=1e-6)
+
+    def test_scales_with_bytes(self):
+        m1 = Machine(spec=summit(1))
+        t1 = self._run(m1, list(range(4)), 16 * MB, m1.cal.mpi)
+        m2 = Machine(spec=summit(1))
+        t2 = self._run(m2, list(range(4)), 64 * MB, m2.cal.mpi)
+        assert 3.0 < t2 / t1 < 4.5  # ~4x modulo latency terms
+
+    def test_bandwidth_term_converges_to_closed_form(self):
+        """For large messages the emergent ring approaches the canonical
+        2 (p-1)/p * bytes / bw bandwidth bound of the cost model (with the
+        p2p bandwidth in place of the tuned collective bandwidth)."""
+        m = Machine(spec=summit(1))
+        nbytes = 512 * MB
+        p = 6
+        t = self._run(m, list(range(p)), nbytes, m.cal.mpi)
+        bound = 2 * (p - 1) / p * nbytes / m.cal.mpi.p2p_bw_intra
+        assert t == pytest.approx(bound, rel=0.02)
+
+    def test_inter_node_ring_crosses_nics(self):
+        m = Machine(spec=summit(2))
+        t_intra = self._run(m, list(range(6)), 16 * MB, m.cal.mpi)
+        m2 = Machine(spec=summit(2))
+        t_cross = self._run(m2, list(range(12)), 16 * MB, m2.cal.mpi)
+        assert t_cross > t_intra
+
+    def test_duplicate_gpus_rejected(self):
+        m = Machine(spec=summit(1))
+        gen = ring_allreduce_des(m, [0, 0, 1], 1 * MB, m.cal.mpi)
+        with pytest.raises(ValueError):
+            m.env.process(gen)
+            m.run()
+
+    def test_nccl_internal_collectives_beat_emergent_p2p_ring(self):
+        """A ring built on NCCL's *exposed* p2p path cannot reach the
+        bandwidth of NCCL's internal collectives — which is exactly why the
+        paper (and AxoNN) still uses NCCL for the all-reduce while using
+        MPI for point-to-point."""
+        m = Machine(spec=summit(1))
+        nbytes = 64 * MB
+        emergent = self._run(m, list(range(6)), nbytes, m.cal.nccl)
+        internal = m.cal.nccl.allreduce_time(nbytes, 6, intra_node=True)
+        assert internal < emergent
+
+
+class TestFullDuplexFabric:
+    def test_send_and_receive_overlap_at_a_gpu(self):
+        """0 -> 1 and 1 -> 2 share GPU 1 (ingress and egress respectively)
+        and must proceed concurrently on a full-duplex port."""
+        m = Machine(spec=summit(1))
+        model = m.cal.mpi
+        one = model.p2p_time(16 * MB, True)
+        m.env.process(m.fabric.transfer(0, 1, 16 * MB, model))
+        m.env.process(m.fabric.transfer(1, 2, 16 * MB, model))
+        m.run()
+        assert m.now == pytest.approx(one, rel=0.01)
+
+    def test_two_receives_still_serialize(self):
+        m = Machine(spec=summit(1))
+        model = m.cal.mpi
+        one = model.p2p_time(16 * MB, True)
+        m.env.process(m.fabric.transfer(0, 2, 16 * MB, model))
+        m.env.process(m.fabric.transfer(1, 2, 16 * MB, model))
+        m.run()
+        assert m.now == pytest.approx(2 * one, rel=0.01)
+
+    def test_nic_in_and_out_overlap(self):
+        """node0 -> node1 and node1 -> node0 run concurrently on duplex
+        NICs."""
+        m = Machine(spec=summit(2))
+        model = m.cal.mpi
+        one = model.p2p_time(16 * MB, False)
+        m.env.process(m.fabric.transfer(0, 6, 16 * MB, model))
+        m.env.process(m.fabric.transfer(7, 1, 16 * MB, model))
+        m.run()
+        assert m.now == pytest.approx(one, rel=0.01)

@@ -1,0 +1,250 @@
+"""Tests for the communication layer: messages, messenger semantics,
+collectives and the OSU-style microbenchmarks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import MB, Machine, summit
+from repro.comm import (
+    Message,
+    Messenger,
+    allreduce,
+    chunked_allreduce,
+    osu_allreduce,
+    osu_latency,
+)
+
+
+class TestMessage:
+    def test_valid_message(self):
+        msg = Message(0, 1, 1024, tag="forward", meta={"microbatch": 3})
+        assert msg.nbytes == 1024
+        assert msg.meta["microbatch"] == 3
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message(0, 1, -1)
+
+    def test_self_message_rejected(self):
+        with pytest.raises(ValueError):
+            Message(2, 2, 10)
+
+
+class TestMessengerMPI:
+    """MPI semantics: sends never occupy the compute stream."""
+
+    def _setup(self, nodes=2):
+        m = Machine(spec=summit(nodes))
+        return m, Messenger(m, m.cal.mpi)
+
+    def test_delivery(self):
+        m, msn = self._setup()
+        got = []
+
+        def receiver(env):
+            got.append((yield msn.irecv(1)))
+
+        m.env.process(receiver(m.env))
+        msn.isend(Message(0, 1, 4 * MB, tag="x"))
+        m.run()
+        assert len(got) == 1 and got[0].tag == "x"
+        assert m.now == pytest.approx(m.cal.mpi.p2p_time(4 * MB, True))
+
+    def test_send_overlaps_compute(self):
+        """The defining MPI property: a kernel issued right after isend runs
+        concurrently with the wire time."""
+        m, msn = self._setup()
+        gpu = m.gpu(0)
+        wire = m.cal.mpi.p2p_time(40 * MB, True)
+
+        def worker(env):
+            msn.isend(Message(0, 1, 40 * MB))
+            yield from gpu.busy(wire, label="kernel")  # same length as wire
+
+        m.env.process(worker(m.env))
+        m.run()
+        # Overlapped: total time ~ wire, not 2x wire.
+        assert m.now == pytest.approx(wire, rel=0.01)
+
+    def test_fifo_delivery_per_receiver(self):
+        m, msn = self._setup()
+        got = []
+
+        def receiver(env):
+            for _ in range(3):
+                msg = yield msn.irecv(1)
+                got.append(msg.meta["seq"])
+
+        m.env.process(receiver(m.env))
+        for seq in range(3):
+            msn.isend(Message(0, 1, 1 * MB, meta={"seq": seq}))
+        m.run()
+        assert got == [0, 1, 2]
+
+    def test_counters(self):
+        m, msn = self._setup()
+        msn.isend(Message(0, 1, 100))
+        msn.isend(Message(0, 1, 200))
+        m.run()
+        assert msn.messages_sent == 2
+        assert msn.bytes_sent == 300
+
+    def test_pending(self):
+        m, msn = self._setup()
+        msn.isend(Message(0, 1, 1 * MB))
+        m.run()
+        assert msn.pending(1) == 1
+        assert msn.pending(0) == 0
+
+
+class TestMessengerNCCL:
+    """NCCL semantics: sends block the sender's compute stream."""
+
+    def test_send_blocks_compute(self):
+        m = Machine(spec=summit(2))
+        msn = Messenger(m, m.cal.nccl)
+        gpu = m.gpu(0)
+        wire = m.cal.nccl.p2p_time(40 * MB, True)
+
+        def worker(env):
+            msn.isend(Message(0, 1, 40 * MB))
+            yield from gpu.busy(wire, label="kernel")
+
+        m.env.process(worker(m.env))
+        m.run()
+        # Serialized: kernel queues behind the blocking send.
+        assert m.now == pytest.approx(2 * wire, rel=0.01)
+
+    def test_nccl_intra_node_slower_than_mpi(self):
+        m = Machine(spec=summit(2))
+        t_mpi = m.cal.mpi.p2p_time(16 * MB, True)
+        t_nccl = m.cal.nccl.p2p_time(16 * MB, True)
+        assert t_nccl > t_mpi
+
+
+class TestCollectives:
+    def test_allreduce_duration(self):
+        m = Machine(spec=summit(2))
+        ranks = list(range(12))
+        expected = m.cal.nccl.allreduce_time(64 * MB, 12, False)
+        m.env.process(allreduce(m, ranks, 64 * MB, m.cal.nccl))
+        m.run()
+        assert m.now == pytest.approx(expected)
+
+    def test_allreduce_on_compute_stream_blocks_kernels(self):
+        m = Machine(spec=summit(1))
+        ranks = [0, 1, 2]
+        dur = m.cal.nccl.allreduce_time(64 * MB, 3, True)
+
+        def worker(env):
+            yield from allreduce(m, ranks, 64 * MB, m.cal.nccl,
+                                 stream="compute")
+            yield from m.gpu(0).busy(1.0)
+
+        m.env.process(worker(m.env))
+        m.run()
+        assert m.now == pytest.approx(dur + 1.0)
+
+    def test_allreduce_on_aux_stream_overlaps_compute(self):
+        m = Machine(spec=summit(1))
+        dur = m.cal.nccl.allreduce_time(256 * MB, 3, True)
+        m.env.process(allreduce(m, [0, 1, 2], 256 * MB, m.cal.nccl,
+                                stream="aux"))
+        m.env.process(m.gpu(0).busy(dur))
+        m.run()
+        assert m.now == pytest.approx(dur, rel=0.01)
+
+    def test_duplicate_ranks_rejected(self):
+        m = Machine(spec=summit(1))
+        gen = allreduce(m, [0, 0, 1], 1, m.cal.nccl)
+        with pytest.raises(ValueError):
+            m.env.process(gen)
+            m.run()
+
+    def test_invalid_stream_rejected(self):
+        m = Machine(spec=summit(1))
+        gen = allreduce(m, [0, 1], 1, m.cal.nccl, stream="weird")
+        with pytest.raises(ValueError):
+            m.env.process(gen)
+            m.run()
+
+    def test_chunked_allreduce_fires_callbacks_in_order(self):
+        m = Machine(spec=summit(2))
+        done = []
+        m.env.process(chunked_allreduce(
+            m, list(range(12)), 128 * MB, 4, m.cal.nccl,
+            on_chunk=done.append))
+        m.run()
+        assert done == [0, 1, 2, 3]
+
+    def test_chunked_total_time_exceeds_single_due_to_latency(self):
+        """More chunks -> more per-step latency; pure network time grows
+        with chunk count (the k=1 effect of Fig. 8 in reverse)."""
+        m1 = Machine(spec=summit(2))
+        m1.env.process(chunked_allreduce(m1, list(range(12)), 128 * MB, 1,
+                                         m1.cal.nccl, stream=None))
+        m1.run()
+        m2 = Machine(spec=summit(2))
+        m2.env.process(chunked_allreduce(m2, list(range(12)), 128 * MB, 16,
+                                         m2.cal.nccl, stream=None))
+        m2.run()
+        assert m2.now > m1.now
+
+    def test_chunked_invalid_chunks(self):
+        m = Machine(spec=summit(1))
+        gen = chunked_allreduce(m, [0, 1], 100, 0, m.cal.nccl)
+        with pytest.raises(ValueError):
+            m.env.process(gen)
+            m.run()
+
+
+class TestMicrobench:
+    def test_osu_latency_rows_shape(self):
+        rows = osu_latency("mpi", intra_node=True, sizes=[1024, 1 * MB])
+        assert len(rows) == 2
+        assert rows[0]["scope"] == "intra-node"
+        assert rows[0]["latency_s"] > 0
+
+    def test_fig3_qualitative_shape(self):
+        """MPI beats NCCL intra-node in the 1-50 MB region of interest;
+        inter-node they are nearly identical."""
+        sizes = [1 * MB, 8 * MB, 32 * MB]
+        mpi_intra = osu_latency("mpi", True, sizes)
+        nccl_intra = osu_latency("nccl", True, sizes)
+        for a, b in zip(mpi_intra, nccl_intra):
+            assert a["latency_s"] < b["latency_s"]
+        mpi_inter = osu_latency("mpi", False, sizes)
+        nccl_inter = osu_latency("nccl", False, sizes)
+        for a, b in zip(mpi_inter, nccl_inter):
+            assert 0.5 < a["latency_s"] / b["latency_s"] < 2.0
+
+    def test_latency_monotone_in_size(self):
+        rows = osu_latency("nccl", True, sizes=[2 ** e for e in range(10, 24, 2)])
+        lat = [r["latency_s"] for r in rows]
+        assert lat == sorted(lat)
+
+    def test_fig4_qualitative_shape(self):
+        """NCCL all-reduce dominates MPI at large sizes, 6 and 12 ranks."""
+        sizes = [16 * MB, 256 * MB]
+        for ranks in (6, 12):
+            mpi = osu_allreduce("mpi", ranks, sizes)
+            nccl = osu_allreduce("nccl", ranks, sizes)
+            for a, b in zip(mpi, nccl):
+                assert b["latency_s"] < a["latency_s"]
+
+    def test_allreduce_scope_labels(self):
+        assert osu_allreduce("nccl", 6, [1024])[0]["scope"] == "intra-node"
+        assert osu_allreduce("nccl", 12, [1024])[0]["scope"] == "inter-node"
+
+
+@given(nbytes=st.integers(min_value=1, max_value=1 << 30))
+@settings(max_examples=40, deadline=None)
+def test_p2p_time_positive_and_increasing_with_scope(nbytes):
+    """Property: inter-node p2p is never faster than intra-node p2p for the
+    same backend and size."""
+    m = Machine(spec=summit(2))
+    for model in (m.cal.mpi, m.cal.nccl):
+        t_intra = model.p2p_time(nbytes, True)
+        t_inter = model.p2p_time(nbytes, False)
+        assert 0 < t_intra <= t_inter

@@ -1,0 +1,94 @@
+"""Edge-case tests: uneven layer partitions in the DES, backend estimates,
+and cross-checks between the functional and performance halves."""
+
+import pytest
+
+from repro.core import AxoNNConfig, TransformerSpec, WEAK_SCALING_MODELS, \
+    simulate_batch, stage_costs
+from repro.runtime.stage import partition_layers
+
+SPEC = WEAK_SCALING_MODELS["12B"]
+
+
+class TestUnevenPartitions:
+    def test_des_stage_costs_uneven(self):
+        """48 layers over 36 stages: 12 stages get 2 layers, 24 get 1."""
+        spec = TransformerSpec("odd", n_layer=48, hidden=4512, n_head=24)
+        cfg = AxoNNConfig(spec=spec, num_gpus=36, g_inter=36, g_data=1,
+                          microbatch_size=1, batch_size=8)
+        costs = stage_costs(cfg)
+        layer_counts = [c.n_block_layers for c in costs]
+        assert sum(layer_counts) == 48
+        assert set(layer_counts) == {1, 2}
+        assert layer_counts == sorted(layer_counts, reverse=True)
+
+    def test_des_simulation_uneven(self):
+        spec = TransformerSpec("odd", n_layer=10, hidden=4512, n_head=24)
+        cfg = AxoNNConfig(spec=spec, num_gpus=4, g_inter=4, g_data=1,
+                          microbatch_size=1, batch_size=8)
+        r = simulate_batch(cfg)
+        assert r.pipeline_s > 0
+
+    def test_functional_and_des_partition_agree(self):
+        """The runtime and the DES must split layers the same way (larger
+        shards first) so their stage boundaries match."""
+        des = [c.n_block_layers
+               for c in stage_costs(AxoNNConfig(
+                   spec=TransformerSpec("odd", n_layer=7, hidden=48,
+                                        n_head=4),
+                   num_gpus=3, g_inter=3, g_data=1, microbatch_size=1,
+                   batch_size=4))]
+        # functional splits slots (layers + embedding + head = 9)
+        functional = [b - a for a, b in partition_layers(7, 3)]
+        assert des == functional
+
+
+class TestBackendEstimates:
+    def test_nccl_estimate_above_mpi(self):
+        from repro.core import estimate_batch_time
+        base = AxoNNConfig(spec=SPEC, num_gpus=48, g_inter=6, g_data=8,
+                           microbatch_size=8, batch_size=768, memopt=True)
+        assert estimate_batch_time(base.with_(backend_p2p="nccl")) > \
+            estimate_batch_time(base)
+
+    def test_mpi_collective_backend_hurts(self):
+        """Swapping the data-parallel collective to MPI (the paper's
+        rejected option per Fig. 4) slows the dp phase."""
+        base = AxoNNConfig(spec=SPEC, num_gpus=48, g_inter=6, g_data=8,
+                           microbatch_size=8, batch_size=768, memopt=True)
+        nccl = simulate_batch(base)
+        mpi = simulate_batch(base.with_(backend_coll="mpi"))
+        assert mpi.allreduce_s > nccl.allreduce_s
+
+
+class TestResultInvariants:
+    def test_batch_time_additive(self):
+        r = simulate_batch(AxoNNConfig(
+            spec=SPEC, num_gpus=48, g_inter=6, g_data=8,
+            microbatch_size=8, batch_size=384, memopt=True))
+        assert r.batch_time_s == pytest.approx(
+            r.pipeline_s + r.dp_opt_combined_s)
+        assert r.dp_opt_combined_s <= r.allreduce_s + r.optimizer_s + 1e-9
+
+    def test_more_batch_more_pipeline_time(self):
+        small = simulate_batch(AxoNNConfig(
+            spec=SPEC, num_gpus=48, g_inter=6, g_data=8,
+            microbatch_size=8, batch_size=384, memopt=True))
+        big = simulate_batch(AxoNNConfig(
+            spec=SPEC, num_gpus=48, g_inter=6, g_data=8,
+            microbatch_size=8, batch_size=768, memopt=True))
+        assert big.pipeline_s > small.pipeline_s
+        # dp phase is batch-size independent
+        assert big.dp_opt_combined_s == pytest.approx(
+            small.dp_opt_combined_s, rel=1e-6)
+
+    def test_bigger_model_lower_efficiency_same_grid(self):
+        """Holding the 48-GPU grid fixed, the 24B model does not fit/run
+        better than 12B — compute per stage doubles."""
+        r12 = simulate_batch(AxoNNConfig(
+            spec=WEAK_SCALING_MODELS["12B"], num_gpus=48, g_inter=6,
+            g_data=8, microbatch_size=8, batch_size=384, memopt=True))
+        r24 = simulate_batch(AxoNNConfig(
+            spec=WEAK_SCALING_MODELS["24B"], num_gpus=48, g_inter=6,
+            g_data=8, microbatch_size=8, batch_size=384, memopt=True))
+        assert r24.pipeline_s > 1.5 * r12.pipeline_s

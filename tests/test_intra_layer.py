@@ -1,0 +1,178 @@
+"""Tests for functional tensor (intra-layer) parallelism: the sharded
+layers must be numerically identical to their dense references."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.intra_layer import (
+    ColumnParallelLinear,
+    CommCounter,
+    RowParallelLinear,
+    TensorParallelAttention,
+    TensorParallelMLP,
+)
+from repro.nn import GPTConfig, Linear, Tensor
+from repro.nn.transformer import MLP, CausalSelfAttention
+
+RNG = np.random.default_rng(0)
+CFG = GPTConfig(vocab_size=17, seq_len=8, n_layer=2, n_head=4, hidden=16,
+                dropout=0.0, init_seed=3)
+
+
+def tensor(shape, requires_grad=False):
+    return Tensor(RNG.standard_normal(shape).astype(np.float32),
+                  requires_grad=requires_grad)
+
+
+def assert_grads_match_dense(dense_params, sharded_module, reconstruct):
+    """Compare dense gradients against the reconstruction of shard grads."""
+    for name, (dense_grad, shard_grad) in reconstruct.items():
+        np.testing.assert_allclose(shard_grad, dense_grad, rtol=1e-4,
+                                   atol=1e-5, err_msg=name)
+
+
+class TestColumnParallel:
+    @pytest.mark.parametrize("world", [1, 2, 4])
+    def test_forward_matches_dense(self, world):
+        dense = Linear(8, 12, rng=np.random.default_rng(1))
+        tp = ColumnParallelLinear(dense, world)
+        x = tensor((3, 8))
+        np.testing.assert_allclose(tp(x).data, dense(x).data, atol=1e-6)
+
+    def test_backward_matches_dense(self):
+        dense = Linear(8, 12, rng=np.random.default_rng(1))
+        tp = ColumnParallelLinear(dense, 4)
+        x1 = tensor((3, 8), requires_grad=True)
+        x2 = Tensor(x1.data.copy(), requires_grad=True)
+        (dense(x1) ** 2).sum().backward()
+        (tp(x2) ** 2).sum().backward()
+        np.testing.assert_allclose(x2.grad, x1.grad, rtol=1e-4, atol=1e-6)
+        rebuilt = np.concatenate([w.grad for w in tp.shards], axis=0)
+        np.testing.assert_allclose(rebuilt, dense.weight.grad, rtol=1e-4,
+                                   atol=1e-6)
+
+    def test_indivisible_rejected(self):
+        dense = Linear(8, 10)
+        with pytest.raises(ValueError):
+            ColumnParallelLinear(dense, 4)
+
+    def test_gather_counted(self):
+        counter = CommCounter()
+        tp = ColumnParallelLinear(Linear(4, 8), 2, counter)
+        tp(tensor((2, 4)))
+        assert counter.allgathers == 1
+
+    def test_no_gather_returns_partials(self):
+        tp = ColumnParallelLinear(Linear(4, 8), 2, gather_output=False)
+        parts = tp(tensor((2, 4)))
+        assert isinstance(parts, list) and len(parts) == 2
+        assert parts[0].shape == (2, 4)
+
+
+class TestRowParallel:
+    @pytest.mark.parametrize("world", [1, 2, 4])
+    def test_forward_matches_dense(self, world):
+        dense = Linear(12, 6, rng=np.random.default_rng(2))
+        tp = RowParallelLinear(dense, world)
+        x = tensor((3, 12))
+        np.testing.assert_allclose(tp(x).data, dense(x).data, rtol=1e-5,
+                                   atol=1e-6)
+
+    def test_backward_matches_dense(self):
+        dense = Linear(12, 6, rng=np.random.default_rng(2))
+        tp = RowParallelLinear(dense, 3)
+        x1 = tensor((3, 12), requires_grad=True)
+        x2 = Tensor(x1.data.copy(), requires_grad=True)
+        (dense(x1) ** 2).sum().backward()
+        (tp(x2) ** 2).sum().backward()
+        np.testing.assert_allclose(x2.grad, x1.grad, rtol=1e-4, atol=1e-5)
+        rebuilt = np.concatenate([w.grad for w in tp.shards], axis=1)
+        np.testing.assert_allclose(rebuilt, dense.weight.grad, rtol=1e-4,
+                                   atol=1e-5)
+
+    def test_allreduce_counted(self):
+        counter = CommCounter()
+        tp = RowParallelLinear(Linear(8, 4), 2, counter)
+        tp(tensor((2, 8)))
+        assert counter.allreduces == 1
+
+    def test_accepts_partial_list(self):
+        dense = Linear(8, 4, rng=np.random.default_rng(3))
+        tp = RowParallelLinear(dense, 2)
+        x = tensor((2, 8))
+        whole = tp(x)
+        parts = [x[..., :4], x[..., 4:]]
+        from_parts = tp(parts)
+        np.testing.assert_allclose(from_parts.data, whole.data, atol=1e-6)
+
+
+class TestTensorParallelMLP:
+    @pytest.mark.parametrize("world", [1, 2, 4])
+    def test_forward_matches_dense(self, world):
+        dense = MLP(CFG, np.random.default_rng(4))
+        tp = TensorParallelMLP(dense, world)
+        x = tensor((2, CFG.seq_len, CFG.hidden))
+        np.testing.assert_allclose(tp(x).data, dense(x).data, rtol=1e-4,
+                                   atol=1e-5)
+
+    def test_one_allreduce_per_forward(self):
+        """Megatron's claim: the MLP needs exactly one forward all-reduce
+        (and no all-gather, thanks to the fused f/g pattern)."""
+        counter = CommCounter()
+        tp = TensorParallelMLP(MLP(CFG, np.random.default_rng(4)), 2,
+                               counter)
+        tp(tensor((2, CFG.seq_len, CFG.hidden)))
+        assert counter.allreduces == 1
+        assert counter.allgathers == 0
+
+    def test_backward_input_grad_matches(self):
+        dense = MLP(CFG, np.random.default_rng(4))
+        tp = TensorParallelMLP(dense, 2)
+        x1 = tensor((2, CFG.seq_len, CFG.hidden), requires_grad=True)
+        x2 = Tensor(x1.data.copy(), requires_grad=True)
+        dense(x1).sum().backward()
+        tp(x2).sum().backward()
+        np.testing.assert_allclose(x2.grad, x1.grad, rtol=1e-4, atol=1e-5)
+
+
+class TestTensorParallelAttention:
+    @pytest.mark.parametrize("world", [1, 2, 4])
+    def test_forward_matches_dense(self, world):
+        dense = CausalSelfAttention(CFG, np.random.default_rng(5))
+        tp = TensorParallelAttention(dense, world)
+        x = tensor((2, CFG.seq_len, CFG.hidden))
+        np.testing.assert_allclose(tp(x).data, dense(x).data, rtol=1e-4,
+                                   atol=1e-5)
+
+    def test_heads_divisibility_checked(self):
+        dense = CausalSelfAttention(CFG, np.random.default_rng(5))
+        with pytest.raises(ValueError):
+            TensorParallelAttention(dense, 3)
+
+    def test_one_allreduce_per_forward(self):
+        counter = CommCounter()
+        dense = CausalSelfAttention(CFG, np.random.default_rng(5))
+        tp = TensorParallelAttention(dense, 2, counter)
+        tp(tensor((2, CFG.seq_len, CFG.hidden)))
+        assert counter.allreduces == 1
+
+    def test_backward_input_grad_matches(self):
+        dense = CausalSelfAttention(CFG, np.random.default_rng(5))
+        tp = TensorParallelAttention(dense, 2)
+        x1 = tensor((2, CFG.seq_len, CFG.hidden), requires_grad=True)
+        x2 = Tensor(x1.data.copy(), requires_grad=True)
+        dense(x1).sum().backward()
+        tp(x2).sum().backward()
+        np.testing.assert_allclose(x2.grad, x1.grad, rtol=1e-4, atol=1e-5)
+
+    def test_transformer_layer_collective_budget(self):
+        """A full transformer layer = attention + MLP: exactly the 2
+        forward all-reduces the DES cost model charges per layer."""
+        counter = CommCounter()
+        attn = TensorParallelAttention(
+            CausalSelfAttention(CFG, np.random.default_rng(5)), 2, counter)
+        mlp = TensorParallelMLP(MLP(CFG, np.random.default_rng(4)), 2,
+                                counter)
+        x = tensor((1, CFG.seq_len, CFG.hidden))
+        mlp(attn(x))
+        assert counter.allreduces == 2

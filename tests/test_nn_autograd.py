@@ -1,0 +1,413 @@
+"""Gradient checks for the autograd engine: every op is verified against
+central-difference numerical gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import F, Tensor, no_grad
+
+RNG = np.random.default_rng(42)
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-4) -> np.ndarray:
+    """Central-difference gradient of scalar-valued fn at x (float64)."""
+    x = x.astype(np.float64)
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = fn(x)
+        x[idx] = orig - eps
+        lo = fn(x)
+        x[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_grad(build, x: np.ndarray, rtol=1e-3, atol=1e-4):
+    """Compare autograd gradient of `build(Tensor)->scalar Tensor` with the
+    numerical gradient."""
+    t = Tensor(x.astype(np.float32), requires_grad=True)
+    out = build(t)
+    out.backward()
+    # Difference in float64 so the numerical reference is trustworthy.
+    num = numerical_grad(lambda arr: float(build(Tensor(arr)).data), x)
+    np.testing.assert_allclose(t.grad, num, rtol=rtol, atol=atol)
+
+
+class TestElementwiseGrads:
+    def test_add(self):
+        check_grad(lambda t: (t + 3.0).sum(), RNG.standard_normal((3, 4)))
+
+    def test_mul(self):
+        other = RNG.standard_normal((3, 4)).astype(np.float32)
+        check_grad(lambda t: (t * Tensor(other)).sum(),
+                   RNG.standard_normal((3, 4)))
+
+    def test_sub_and_neg(self):
+        check_grad(lambda t: (5.0 - t).sum(), RNG.standard_normal((2, 3)))
+
+    def test_div(self):
+        denom = RNG.standard_normal((3,)).astype(np.float32) + 3.0
+        check_grad(lambda t: (t / Tensor(denom)).sum(),
+                   RNG.standard_normal((3,)))
+
+    def test_div_wrt_denominator(self):
+        numer = RNG.standard_normal((3,)).astype(np.float32)
+        check_grad(lambda t: (Tensor(numer) / t).sum(),
+                   RNG.standard_normal((3,)) + 3.0)
+
+    def test_pow(self):
+        check_grad(lambda t: (t ** 3).sum(),
+                   RNG.standard_normal((4,)) + 2.0)
+
+    def test_exp_log_sqrt(self):
+        x = np.abs(RNG.standard_normal((4,))) + 0.5
+        check_grad(lambda t: t.exp().sum(), x)
+        check_grad(lambda t: t.log().sum(), x)
+        check_grad(lambda t: t.sqrt().sum(), x)
+
+    def test_tanh_relu(self):
+        x = RNG.standard_normal((5,))
+        check_grad(lambda t: t.tanh().sum(), x)
+        check_grad(lambda t: t.relu().sum(), x + 0.1)  # avoid the kink
+
+    def test_gelu(self):
+        check_grad(lambda t: F.gelu(t).sum(), RNG.standard_normal((4, 3)))
+
+
+class TestBroadcastingGrads:
+    def test_add_broadcast_rows(self):
+        bias = RNG.standard_normal((4,)).astype(np.float32)
+        check_grad(lambda t: (t + Tensor(bias)).sum(),
+                   RNG.standard_normal((3, 4)))
+
+    def test_add_broadcast_wrt_small_operand(self):
+        big = RNG.standard_normal((3, 4)).astype(np.float32)
+        check_grad(lambda t: (Tensor(big) + t).sum(),
+                   RNG.standard_normal((4,)))
+
+    def test_mul_broadcast_keepdim(self):
+        big = RNG.standard_normal((2, 3, 4)).astype(np.float32)
+        check_grad(lambda t: (Tensor(big) * t).sum(),
+                   RNG.standard_normal((3, 1)))
+
+    def test_scalar_broadcast(self):
+        big = RNG.standard_normal((5,)).astype(np.float32)
+        check_grad(lambda t: (Tensor(big) * t).sum(),
+                   RNG.standard_normal((1,)))
+
+
+class TestMatmulGrads:
+    def test_matmul_2d(self):
+        b = RNG.standard_normal((4, 5)).astype(np.float32)
+        check_grad(lambda t: (t @ Tensor(b)).sum(),
+                   RNG.standard_normal((3, 4)))
+
+    def test_matmul_wrt_rhs(self):
+        a = RNG.standard_normal((3, 4)).astype(np.float32)
+        check_grad(lambda t: (Tensor(a) @ t).sum(),
+                   RNG.standard_normal((4, 5)))
+
+    def test_matmul_batched(self):
+        b = RNG.standard_normal((2, 4, 5)).astype(np.float32)
+        check_grad(lambda t: (t @ Tensor(b)).sum(),
+                   RNG.standard_normal((2, 3, 4)))
+
+    def test_matmul_broadcast_rhs(self):
+        """Batched lhs against unbatched rhs (the Linear-layer case)."""
+        b = RNG.standard_normal((4, 5)).astype(np.float32)
+        check_grad(lambda t: (t @ Tensor(b)).sum(),
+                   RNG.standard_normal((2, 3, 4)))
+
+    def test_matmul_broadcast_rhs_grad(self):
+        a = RNG.standard_normal((2, 3, 4)).astype(np.float32)
+        check_grad(lambda t: (Tensor(a) @ t).sum(),
+                   RNG.standard_normal((4, 5)))
+
+
+class TestShapeGrads:
+    def test_reshape(self):
+        check_grad(lambda t: (t.reshape(6, 2) ** 2).sum(),
+                   RNG.standard_normal((3, 4)))
+
+    def test_transpose(self):
+        w = RNG.standard_normal((3, 4)).astype(np.float32)
+        check_grad(lambda t: (t.transpose(1, 0) * Tensor(w)).sum(),
+                   RNG.standard_normal((4, 3)))
+
+    def test_transpose_default_reverses(self):
+        t = Tensor(RNG.standard_normal((2, 3, 4)).astype(np.float32))
+        assert t.transpose().shape == (4, 3, 2)
+
+    def test_swapaxes(self):
+        w = RNG.standard_normal((2, 4, 3)).astype(np.float32)
+        check_grad(lambda t: (t.swapaxes(1, 2) * Tensor(w)).sum(),
+                   RNG.standard_normal((2, 3, 4)))
+
+    def test_getitem_slice(self):
+        check_grad(lambda t: (t[1:3] ** 2).sum(),
+                   RNG.standard_normal((5, 2)))
+
+    def test_getitem_int_index(self):
+        check_grad(lambda t: (t[0] ** 2).sum(),
+                   RNG.standard_normal((3, 4)))
+
+    def test_concat(self):
+        other = RNG.standard_normal((2, 3)).astype(np.float32)
+        check_grad(lambda t: (F.concat([t, Tensor(other)], axis=0) ** 2).sum(),
+                   RNG.standard_normal((2, 3)))
+
+
+class TestReductionGrads:
+    def test_sum_all(self):
+        check_grad(lambda t: (t ** 2).sum(), RNG.standard_normal((3, 4)))
+
+    def test_sum_axis(self):
+        w = RNG.standard_normal((3,)).astype(np.float32)
+        check_grad(lambda t: (t.sum(axis=1) * Tensor(w)).sum(),
+                   RNG.standard_normal((3, 4)))
+
+    def test_sum_keepdims(self):
+        check_grad(lambda t: (t.sum(axis=0, keepdims=True) ** 2).sum(),
+                   RNG.standard_normal((3, 4)))
+
+    def test_mean(self):
+        check_grad(lambda t: (t.mean(axis=1) ** 2).sum(),
+                   RNG.standard_normal((2, 5)))
+
+
+class TestFusedOpGrads:
+    def test_softmax(self):
+        w = RNG.standard_normal((3, 5)).astype(np.float32)
+        check_grad(lambda t: (F.softmax(t, axis=-1) * Tensor(w)).sum(),
+                   RNG.standard_normal((3, 5)))
+
+    def test_log_softmax(self):
+        w = RNG.standard_normal((3, 5)).astype(np.float32)
+        check_grad(lambda t: (F.log_softmax(t, axis=-1) * Tensor(w)).sum(),
+                   RNG.standard_normal((3, 5)))
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(RNG.standard_normal((4, 7)).astype(np.float32) * 30)
+        s = F.softmax(x, axis=-1)
+        np.testing.assert_allclose(s.data.sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_softmax_stable_for_large_logits(self):
+        x = Tensor(np.array([[1000.0, 1000.0]], dtype=np.float32))
+        s = F.softmax(x)
+        assert np.isfinite(s.data).all()
+
+    def test_layer_norm_wrt_input(self):
+        w = Tensor(RNG.standard_normal(6).astype(np.float32))
+        b = Tensor(RNG.standard_normal(6).astype(np.float32))
+        check_grad(lambda t: (F.layer_norm(t, w, b) ** 2).sum(),
+                   RNG.standard_normal((4, 6)), rtol=5e-3, atol=5e-4)
+
+    def test_layer_norm_wrt_weight_and_bias(self):
+        x = RNG.standard_normal((4, 6)).astype(np.float32)
+        bias = Tensor(np.zeros(6, dtype=np.float32))
+        check_grad(
+            lambda t: (F.layer_norm(Tensor(x), t, bias) ** 2).sum(),
+            RNG.standard_normal((6,)),
+        )
+        weight = Tensor(np.ones(6, dtype=np.float32))
+        check_grad(
+            lambda t: (F.layer_norm(Tensor(x), weight, t) ** 2).sum(),
+            RNG.standard_normal((6,)),
+        )
+
+    def test_layer_norm_output_standardized(self):
+        x = Tensor(RNG.standard_normal((8, 16)).astype(np.float32) * 5 + 3)
+        w = Tensor(np.ones(16, dtype=np.float32))
+        b = Tensor(np.zeros(16, dtype=np.float32))
+        out = F.layer_norm(x, w, b)
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_cross_entropy_grad(self):
+        targets = RNG.integers(0, 5, size=(4,))
+        check_grad(lambda t: F.cross_entropy(t, targets),
+                   RNG.standard_normal((4, 5)))
+
+    def test_cross_entropy_matches_manual(self):
+        logits = Tensor(RNG.standard_normal((3, 4)).astype(np.float32))
+        targets = np.array([0, 3, 1])
+        loss = F.cross_entropy(logits, targets)
+        lp = F.log_softmax(logits).data
+        expected = -np.mean([lp[i, t] for i, t in enumerate(targets)])
+        assert loss.item() == pytest.approx(expected, rel=1e-5)
+
+    def test_cross_entropy_ignore_index(self):
+        logits = Tensor(RNG.standard_normal((4, 5)).astype(np.float32),
+                        requires_grad=True)
+        targets = np.array([1, -1, 2, -1])
+        loss = F.cross_entropy(logits, targets, ignore_index=-1)
+        loss.backward()
+        # Ignored rows contribute no gradient.
+        assert np.abs(logits.grad[1]).max() == 0
+        assert np.abs(logits.grad[3]).max() == 0
+        assert np.abs(logits.grad[0]).max() > 0
+
+    def test_cross_entropy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 3), dtype=np.float32)),
+                            np.zeros((3,), dtype=np.int64))
+
+    def test_embedding_grad_scatter_adds(self):
+        w = Tensor(RNG.standard_normal((5, 3)).astype(np.float32),
+                   requires_grad=True)
+        ids = np.array([1, 1, 4])
+        out = F.embedding(w, ids)
+        out.backward(np.ones_like(out.data))
+        assert np.allclose(w.grad[1], 2.0)  # row 1 hit twice
+        assert np.allclose(w.grad[4], 1.0)
+        assert np.allclose(w.grad[0], 0.0)
+
+    def test_embedding_rejects_float_indices(self):
+        w = Tensor(np.zeros((5, 3), dtype=np.float32))
+        with pytest.raises(TypeError):
+            F.embedding(w, np.array([0.5]))
+
+    def test_where_mask_blocks_gradient(self):
+        x = Tensor(RNG.standard_normal((3, 3)).astype(np.float32),
+                   requires_grad=True)
+        mask = np.eye(3, dtype=bool)
+        out = F.where_mask(x, mask, -1e9)
+        out.sum().backward()
+        assert np.allclose(np.diag(x.grad), 0.0)
+        assert np.allclose(x.grad[0, 1], 1.0)
+
+    def test_dropout_train_and_eval(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((100, 100), dtype=np.float32), requires_grad=True)
+        out = F.dropout(x, 0.5, rng, training=True)
+        kept = out.data != 0
+        assert 0.3 < kept.mean() < 0.7
+        np.testing.assert_allclose(out.data[kept], 2.0)  # inverted scaling
+        out_eval = F.dropout(x, 0.5, rng, training=False)
+        assert out_eval is x
+
+    def test_dropout_grad_uses_same_mask(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((50,), dtype=np.float32), requires_grad=True)
+        out = F.dropout(x, 0.5, rng)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, out.data)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.zeros(3)), 1.0, np.random.default_rng(0))
+
+
+class TestAutogradMechanics:
+    def test_gradient_accumulates_across_backwards(self):
+        x = Tensor(np.array([2.0], dtype=np.float32), requires_grad=True)
+        (x * 3.0).sum().backward()
+        (x * 3.0).sum().backward()
+        assert x.grad[0] == pytest.approx(6.0)
+
+    def test_diamond_graph_single_visit(self):
+        """y = x*x used twice downstream: gradient must not double count."""
+        x = Tensor(np.array([3.0], dtype=np.float32), requires_grad=True)
+        y = x * x
+        z = (y + y).sum()  # dz/dx = 4x = 12
+        z.backward()
+        assert x.grad[0] == pytest.approx(12.0)
+
+    def test_backward_nonscalar_needs_gradient(self):
+        x = Tensor(np.zeros((2, 2), dtype=np.float32), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_gradient_shape_checked(self):
+        x = Tensor(np.zeros((2, 2), dtype=np.float32), requires_grad=True)
+        y = x * 2
+        with pytest.raises(ValueError):
+            y.backward(np.zeros((3, 3), dtype=np.float32))
+
+    def test_backward_with_explicit_gradient(self):
+        """The pipeline boundary case: backward from a non-scalar."""
+        x = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        y = x * 2.0
+        upstream = np.full((2, 3), 0.5, dtype=np.float32)
+        y.backward(upstream)
+        np.testing.assert_allclose(x.grad, 1.0)
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        x = Tensor(np.zeros(1, dtype=np.float32))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_no_grad_builds_no_graph(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert y._parents == ()
+
+    def test_no_grad_nests(self):
+        from repro.nn import is_grad_enabled
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        y = (x * 2).detach()
+        assert not y.requires_grad
+        z = (y * 3).sum()
+        assert not z.requires_grad
+
+    def test_interior_grad_released(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        y = x * 2
+        z = (y * 3).sum()
+        z.backward()
+        assert y.grad is None  # interior buffers are freed
+        assert x.grad is not None
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.ones(1, dtype=np.float32), requires_grad=True)
+        y = x
+        for _ in range(5000):
+            y = y + 1.0
+        y.sum().backward()
+        assert x.grad[0] == 1.0
+
+
+@given(
+    shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_chain_rule_linear_composition(shape, seed):
+    """Property: gradient of sum(a*x + b) is a everywhere."""
+    rng = np.random.default_rng(seed)
+    a = float(rng.standard_normal())
+    x = Tensor(rng.standard_normal(shape).astype(np.float32),
+               requires_grad=True)
+    (x * a + 1.0).sum().backward()
+    np.testing.assert_allclose(x.grad, a, rtol=1e-5)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_softmax_then_ce_equals_fused(seed):
+    """Property: fused cross-entropy == -mean(log_softmax[targets])."""
+    rng = np.random.default_rng(seed)
+    logits = rng.standard_normal((3, 6)).astype(np.float32)
+    targets = rng.integers(0, 6, size=3)
+    fused = F.cross_entropy(Tensor(logits), targets).item()
+    lp = F.log_softmax(Tensor(logits)).data
+    manual = -np.mean([lp[i, t] for i, t in enumerate(targets)])
+    assert fused == pytest.approx(manual, rel=1e-5)

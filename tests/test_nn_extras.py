@@ -1,0 +1,238 @@
+"""Tests for LR schedules, gradient clipping, and text generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    GPT,
+    AdamW,
+    ConstantLR,
+    GPTConfig,
+    LinearWarmupLR,
+    StepDecayLR,
+    Tensor,
+    WarmupCosineLR,
+    clip_grad_norm_,
+    combine_partial_norms,
+    generate,
+    global_grad_norm,
+    partial_sq_norm,
+    sequence_log_prob,
+)
+
+CFG = GPTConfig(vocab_size=17, seq_len=8, n_layer=2, n_head=2, hidden=12,
+                init_seed=5)
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = ConstantLR(0.01)
+        assert s.lr_at(0) == s.lr_at(1000) == 0.01
+
+    def test_linear_warmup(self):
+        s = LinearWarmupLR(peak_lr=1.0, warmup_steps=4)
+        assert s.lr_at(0) == pytest.approx(0.25)
+        assert s.lr_at(3) == pytest.approx(1.0)
+        assert s.lr_at(100) == 1.0
+
+    def test_warmup_cosine_shape(self):
+        s = WarmupCosineLR(peak_lr=1.0, warmup_steps=10, total_steps=110,
+                           min_lr=0.1)
+        assert s.lr_at(0) < s.lr_at(9)
+        assert s.lr_at(9) == pytest.approx(1.0)
+        mid = s.lr_at(60)
+        assert 0.1 < mid < 1.0
+        assert s.lr_at(109) == pytest.approx(0.1, abs=1e-3)
+        assert s.lr_at(10_000) == pytest.approx(0.1)
+
+    def test_warmup_cosine_monotone_decay(self):
+        s = WarmupCosineLR(peak_lr=1.0, warmup_steps=5, total_steps=50)
+        decay = [s.lr_at(t) for t in range(5, 50)]
+        assert decay == sorted(decay, reverse=True)
+
+    def test_step_decay(self):
+        s = StepDecayLR(base_lr=1.0, step_size=10, gamma=0.5)
+        assert s.lr_at(0) == 1.0
+        assert s.lr_at(10) == 0.5
+        assert s.lr_at(25) == 0.25
+
+    def test_apply_sets_optimizer_lr(self):
+        p = Tensor(np.ones(1, dtype=np.float32), requires_grad=True)
+        opt = AdamW([p], lr=1.0)
+        s = WarmupCosineLR(peak_lr=0.5, warmup_steps=2, total_steps=10)
+        used = s.apply(opt, step=1)
+        assert opt.lr == used == 0.5
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ConstantLR(0)
+        with pytest.raises(ValueError):
+            LinearWarmupLR(1.0, 0)
+        with pytest.raises(ValueError):
+            WarmupCosineLR(1.0, 10, 10)
+        with pytest.raises(ValueError):
+            WarmupCosineLR(1.0, 0, 10, min_lr=2.0)
+        with pytest.raises(ValueError):
+            StepDecayLR(1.0, 1, gamma=0.0)
+        with pytest.raises(ValueError):
+            ConstantLR(1.0).lr_at(-1)
+
+    @given(step=st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_cosine_bounded(self, step):
+        s = WarmupCosineLR(peak_lr=2.0, warmup_steps=100, total_steps=1000,
+                           min_lr=0.2)
+        lr = s.lr_at(step)
+        assert 0.0 < lr <= 2.0 + 1e-12
+
+
+class TestClipping:
+    def _params(self, grads):
+        out = []
+        for g in grads:
+            p = Tensor(np.zeros_like(np.asarray(g, dtype=np.float32)),
+                       requires_grad=True)
+            p.grad = np.asarray(g, dtype=np.float32)
+            out.append(p)
+        return out
+
+    def test_global_norm(self):
+        params = self._params([[3.0], [4.0]])
+        assert global_grad_norm(params) == pytest.approx(5.0)
+
+    def test_clip_scales_down(self):
+        params = self._params([[3.0], [4.0]])
+        norm = clip_grad_norm_(params, max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert global_grad_norm(params) == pytest.approx(1.0, rel=1e-4)
+
+    def test_clip_no_op_below_threshold(self):
+        params = self._params([[0.3], [0.4]])
+        clip_grad_norm_(params, max_norm=1.0)
+        assert params[0].grad[0] == pytest.approx(0.3)
+
+    def test_none_grads_skipped(self):
+        p = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        assert global_grad_norm([p]) == 0.0
+        clip_grad_norm_([p], 1.0)  # must not crash
+
+    def test_partial_norm_combination(self):
+        """The distributed path: per-stage partials combine to the global
+        norm."""
+        a = self._params([[3.0]])
+        b = self._params([[4.0]])
+        combined = combine_partial_norms(
+            [partial_sq_norm(a), partial_sq_norm(b)])
+        assert combined == pytest.approx(5.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm_([], 0.0)
+        with pytest.raises(ValueError):
+            combine_partial_norms([-1.0])
+
+    @given(values=st.lists(st.floats(-100, 100, allow_nan=False),
+                           min_size=1, max_size=10),
+           max_norm=st.floats(0.1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_post_clip_norm_bounded(self, values, max_norm):
+        params = self._params([[v] for v in values])
+        clip_grad_norm_(params, max_norm)
+        assert global_grad_norm(params) <= max_norm + 1e-3
+
+
+class TestGeneration:
+    def test_greedy_deterministic(self):
+        model = GPT(CFG)
+        prompt = np.array([1, 2, 3])
+        a = generate(model, prompt, 5, greedy=True)
+        b = generate(model, prompt, 5, greedy=True)
+        np.testing.assert_array_equal(a, b)
+        assert a.size == 8
+
+    def test_sampling_seeded(self):
+        model = GPT(CFG)
+        prompt = np.array([1, 2])
+        a = generate(model, prompt, 6, rng=np.random.default_rng(3))
+        b = generate(model, prompt, 6, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_prompt_preserved(self):
+        model = GPT(CFG)
+        prompt = np.array([4, 5, 6])
+        out = generate(model, prompt, 3, greedy=True)
+        np.testing.assert_array_equal(out[:3], prompt)
+
+    def test_tokens_in_vocab(self):
+        model = GPT(CFG)
+        out = generate(model, np.array([0]), 20,
+                       rng=np.random.default_rng(0), temperature=2.0)
+        assert out.min() >= 0 and out.max() < CFG.vocab_size
+
+    def test_top_k_restricts_support(self):
+        model = GPT(CFG)
+        out = generate(model, np.array([0]), 30, top_k=1,
+                       rng=np.random.default_rng(0))
+        greedy = generate(model, np.array([0]), 30, greedy=True)
+        np.testing.assert_array_equal(out, greedy)  # top-1 == greedy
+
+    def test_context_cropped_beyond_seq_len(self):
+        model = GPT(CFG)
+        out = generate(model, np.array([1]), CFG.seq_len + 4, greedy=True)
+        assert out.size == 1 + CFG.seq_len + 4
+
+    def test_model_mode_restored(self):
+        model = GPT(CFG)
+        model.train()
+        generate(model, np.array([1]), 2, greedy=True)
+        assert model.training
+
+    def test_invalid_args(self):
+        model = GPT(CFG)
+        with pytest.raises(ValueError):
+            generate(model, np.array([]), 3)
+        with pytest.raises(ValueError):
+            generate(model, np.array([99]), 3)
+        with pytest.raises(ValueError):
+            generate(model, np.array([1]), -1)
+        with pytest.raises(ValueError):
+            generate(model, np.array([1]), 1, temperature=0)
+        with pytest.raises(ValueError):
+            generate(model, np.array([1]), 1, top_k=0)
+
+    def test_sequence_log_prob(self):
+        model = GPT(CFG)
+        tokens = np.array([1, 2, 3, 4])
+        lp = sequence_log_prob(model, tokens)
+        # mean log-prob of an untrained model ~ -log(V)
+        assert -np.log(CFG.vocab_size) - 1.0 < lp < 0.0
+
+    def test_sequence_log_prob_validation(self):
+        model = GPT(CFG)
+        with pytest.raises(ValueError):
+            sequence_log_prob(model, np.array([1]))
+        with pytest.raises(ValueError):
+            sequence_log_prob(model, np.arange(CFG.seq_len + 5) % 10)
+
+    def test_trained_model_prefers_corpus_structure(self):
+        """After training on the Markov corpus, the model must assign higher
+        likelihood to real corpus windows than to shuffled ones."""
+        from repro.nn import AdamW, LMBatches, SyntheticCorpus
+        cfg = GPTConfig(vocab_size=13, seq_len=8, n_layer=1, n_head=2,
+                        hidden=8, init_seed=1)
+        model = GPT(cfg)
+        opt = AdamW(model.parameters(), lr=1e-2)
+        corpus = SyntheticCorpus(13, 4000, seed=0, markov_weight=0.9)
+        batches = LMBatches(corpus, batch_size=16, seq_len=8)
+        for i in range(40):
+            x, y = batches.batch(i)
+            opt.zero_grad()
+            _, loss = model(x, targets=y)
+            loss.backward()
+            opt.step()
+        real = corpus.tokens[100:109]
+        rng = np.random.default_rng(0)
+        fake = rng.permutation(real)
+        assert sequence_log_prob(model, real) > sequence_log_prob(model, fake)

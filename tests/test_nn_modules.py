@@ -1,0 +1,251 @@
+"""Tests for the module system and transformer components."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    GPT,
+    Block,
+    Dropout,
+    Embedding,
+    GPTConfig,
+    GPTEmbedding,
+    GPTHead,
+    LayerNorm,
+    Linear,
+    Module,
+    Sequential,
+    Tensor,
+    build_layer,
+    num_layer_slots,
+)
+
+CFG = GPTConfig(vocab_size=17, seq_len=8, n_layer=2, n_head=2, hidden=12,
+                dropout=0.0, init_seed=7)
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        lin = Linear(3, 4)
+        names = dict(lin.named_parameters())
+        assert set(names) == {"weight", "bias"}
+        assert names["weight"].shape == (4, 3)
+
+    def test_nested_registration(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(2, 3)
+                self.b = Linear(3, 2)
+
+        net = Net()
+        names = [n for n, _ in net.named_parameters()]
+        assert "a.weight" in names and "b.bias" in names
+        assert len(net.parameters()) == 4
+
+    def test_num_parameters(self):
+        lin = Linear(3, 4)
+        assert lin.num_parameters() == 3 * 4 + 4
+
+    def test_linear_no_bias(self):
+        lin = Linear(3, 4, bias=False)
+        assert [n for n, _ in lin.named_parameters()] == ["weight"]
+
+    def test_zero_grad(self):
+        lin = Linear(2, 2)
+        x = Tensor(np.ones((1, 2), dtype=np.float32))
+        lin(x).sum().backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+    def test_train_eval_mode(self):
+        net = Sequential(Linear(2, 2), Dropout(0.5))
+        assert net.training
+        net.eval()
+        assert not net[1].training
+        net.train()
+        assert net[1].training
+
+    def test_state_dict_round_trip(self):
+        a = Linear(3, 4, rng=np.random.default_rng(1))
+        b = Linear(3, 4, rng=np.random.default_rng(2))
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_state_dict_mismatch_raises(self):
+        a = Linear(3, 4)
+        state = a.state_dict()
+        state["extra"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            Linear(3, 4).load_state_dict(state)
+
+    def test_state_dict_shape_checked(self):
+        a = Linear(3, 4)
+        state = a.state_dict()
+        state["weight"] = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ValueError):
+            Linear(3, 4).load_state_dict(state)
+
+    def test_sequential_applies_in_order(self):
+        lin1 = Linear(2, 3)
+        lin2 = Linear(3, 1)
+        net = Sequential(lin1, lin2)
+        x = Tensor(np.ones((5, 2), dtype=np.float32))
+        out = net(x)
+        expected = lin2(lin1(x))
+        np.testing.assert_allclose(out.data, expected.data)
+
+    def test_layer_norm_module(self):
+        ln = LayerNorm(6)
+        x = Tensor(np.random.default_rng(0)
+                   .standard_normal((2, 6)).astype(np.float32))
+        out = ln(x)
+        np.testing.assert_allclose(out.data.mean(-1), 0.0, atol=1e-5)
+
+    def test_embedding_module(self):
+        emb = Embedding(10, 4)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_dropout_reseed_reproduces(self):
+        d = Dropout(0.5, seed=3)
+        x = Tensor(np.ones((100,), dtype=np.float32))
+        a = d(x).data.copy()
+        d.reseed(3)
+        b = d(x).data.copy()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestGPTConfig:
+    def test_head_dim(self):
+        assert CFG.head_dim == 6
+
+    def test_invalid_heads(self):
+        with pytest.raises(ValueError):
+            GPTConfig(vocab_size=10, seq_len=4, n_layer=1, n_head=5, hidden=12)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            GPTConfig(vocab_size=0, seq_len=4, n_layer=1, n_head=1, hidden=4)
+
+    def test_layer_rng_deterministic(self):
+        a = CFG.layer_rng(3).standard_normal(4)
+        b = CFG.layer_rng(3).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestTransformer:
+    def test_forward_shapes(self):
+        model = GPT(CFG)
+        ids = np.random.default_rng(0).integers(0, CFG.vocab_size, (3, 8))
+        logits, loss = model(ids, targets=ids)
+        assert logits.shape == (3, 8, CFG.vocab_size)
+        assert loss.size == 1
+
+    def test_forward_without_targets(self):
+        model = GPT(CFG)
+        ids = np.zeros((1, 4), dtype=np.int64)
+        logits, loss = model(ids)
+        assert loss is None
+        assert logits.shape == (1, 4, CFG.vocab_size)
+
+    def test_shorter_sequence_than_max(self):
+        model = GPT(CFG)
+        ids = np.zeros((2, 5), dtype=np.int64)
+        logits, _ = model(ids)
+        assert logits.shape == (2, 5, CFG.vocab_size)
+
+    def test_out_of_vocab_rejected(self):
+        model = GPT(CFG)
+        with pytest.raises(ValueError):
+            model(np.full((1, 4), CFG.vocab_size, dtype=np.int64))
+
+    def test_causality(self):
+        """Changing a future token must not change earlier logits."""
+        model = GPT(CFG).eval()
+        rng = np.random.default_rng(0)
+        ids = rng.integers(0, CFG.vocab_size, (1, 8))
+        logits1, _ = model(ids)
+        ids2 = ids.copy()
+        ids2[0, -1] = (ids2[0, -1] + 1) % CFG.vocab_size
+        logits2, _ = model(ids2)
+        np.testing.assert_allclose(logits1.data[0, :-1], logits2.data[0, :-1],
+                                   atol=1e-5)
+
+    def test_gradients_reach_all_parameters(self):
+        model = GPT(CFG)
+        ids = np.random.default_rng(1).integers(0, CFG.vocab_size, (2, 8))
+        _, loss = model(ids, targets=ids)
+        loss.backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_layer_sequence_matches_forward(self):
+        model = GPT(CFG).eval()
+        ids = np.random.default_rng(2).integers(0, CFG.vocab_size, (2, 8))
+        x = ids
+        for layer in model.layer_sequence():
+            x = layer(x)
+        logits, _ = model(ids)
+        np.testing.assert_allclose(x.data, logits.data, atol=1e-6)
+
+    def test_num_layer_slots(self):
+        assert num_layer_slots(CFG) == CFG.n_layer + 2
+
+    def test_build_layer_types(self):
+        assert isinstance(build_layer(CFG, 0), GPTEmbedding)
+        assert isinstance(build_layer(CFG, 1), Block)
+        assert isinstance(build_layer(CFG, CFG.n_layer + 1), GPTHead)
+        with pytest.raises(ValueError):
+            build_layer(CFG, CFG.n_layer + 2)
+
+    def test_build_layer_matches_full_model_weights(self):
+        """The sharding-correctness keystone: independently built layers
+        carry the exact weights of the serial model."""
+        model = GPT(CFG)
+        seq = model.layer_sequence()
+        for slot in range(num_layer_slots(CFG)):
+            solo = build_layer(CFG, slot)
+            a = solo.state_dict()
+            b = seq[slot].state_dict()
+            assert set(a) == set(b)
+            for k in a:
+                np.testing.assert_array_equal(a[k], b[k], err_msg=f"{slot}:{k}")
+
+    def test_param_count_formula(self):
+        """Total params ~ 12 l h^2 + (V + s) h + small terms."""
+        model = GPT(CFG)
+        n = model.num_parameters()
+        v, s, l, h = CFG.vocab_size, CFG.seq_len, CFG.n_layer, CFG.hidden
+        approx = 12 * l * h * h + (2 * v + s) * h
+        assert abs(n - approx) / n < 0.15
+
+    def test_loss_is_near_uniform_at_init(self):
+        """Untrained model's CE should be close to log(V)."""
+        model = GPT(CFG)
+        ids = np.random.default_rng(3).integers(0, CFG.vocab_size, (4, 8))
+        _, loss = model(ids, targets=ids)
+        assert abs(loss.item() - np.log(CFG.vocab_size)) < 0.5
+
+    def test_deterministic_construction(self):
+        a = GPT(CFG)
+        b = GPT(CFG)
+        for (n1, p1), (n2, p2) in zip(a.named_parameters(),
+                                      b.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_dropout_config_respected(self):
+        cfg = GPTConfig(vocab_size=17, seq_len=8, n_layer=1, n_head=2,
+                        hidden=12, dropout=0.3)
+        model = GPT(cfg)
+        ids = np.zeros((1, 8), dtype=np.int64)
+        out1, _ = model(ids)
+        out2, _ = model(ids)
+        assert not np.allclose(out1.data, out2.data)  # dropout active
+        model.eval()
+        out3, _ = model(ids)
+        out4, _ = model(ids)
+        np.testing.assert_array_equal(out3.data, out4.data)

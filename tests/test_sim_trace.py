@@ -1,0 +1,119 @@
+"""Tests for the timeline tracer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Span, Tracer, overlap_time, render_ascii_timeline, \
+    spans_overlap, track_busy_time
+
+
+def test_record_and_query_by_track():
+    tr = Tracer()
+    tr.record("gpu0.compute", "fwd", 0.0, 1.0, category="compute")
+    tr.record("gpu0.comm", "send", 0.5, 1.5, category="p2p")
+    tr.record("gpu0.compute", "bwd", 1.0, 3.0, category="compute")
+    assert tr.tracks() == ["gpu0.compute", "gpu0.comm"]
+    names = [s.name for s in tr.on_track("gpu0.compute")]
+    assert names == ["fwd", "bwd"]
+
+
+def test_disabled_tracer_records_nothing():
+    tr = Tracer(enabled=False)
+    tr.record("t", "x", 0, 1)
+    assert tr.spans == []
+
+
+def test_negative_duration_rejected():
+    tr = Tracer()
+    with pytest.raises(ValueError):
+        tr.record("t", "x", 2.0, 1.0)
+
+
+def test_meta_round_trip():
+    tr = Tracer()
+    tr.record("t", "x", 0, 1, category="p2p", bytes=1024, microbatch=3)
+    row = tr.to_rows()[0]
+    assert row["bytes"] == 1024
+    assert row["microbatch"] == 3
+
+
+def test_by_category():
+    tr = Tracer()
+    tr.record("a", "x", 0, 1, category="compute")
+    tr.record("b", "y", 0, 1, category="allreduce")
+    assert [s.name for s in tr.by_category("allreduce")] == ["y"]
+
+
+def test_spans_overlap_detection():
+    a = Span("t", "a", 0.0, 2.0)
+    b = Span("t", "b", 1.0, 3.0)
+    c = Span("t", "c", 2.0, 4.0)  # touching is not overlapping
+    assert spans_overlap(a, b)
+    assert not spans_overlap(a, c)
+
+
+def test_track_busy_time_merges_intervals():
+    spans = [Span("t", "a", 0, 2), Span("t", "b", 1, 3), Span("t", "c", 5, 6)]
+    assert track_busy_time(spans) == pytest.approx(4.0)
+
+
+def test_overlap_time_between_streams():
+    # optimizer stream busy [0,2] and [4,6]; allreduce stream busy [1,5]
+    opt = [Span("opt", "o1", 0, 2), Span("opt", "o2", 4, 6)]
+    ar = [Span("ar", "a1", 1, 5)]
+    assert overlap_time(opt, ar) == pytest.approx(2.0)  # [1,2] + [4,5]
+
+
+def test_overlap_time_zero_when_disjoint():
+    opt = [Span("opt", "o", 0, 1)]
+    ar = [Span("ar", "a", 2, 3)]
+    assert overlap_time(opt, ar) == 0.0
+
+
+def test_render_ascii_contains_all_tracks():
+    tr = Tracer()
+    tr.record("gpu0.optimizer", "step", 0, 1, category="optimizer")
+    tr.record("gpu0.allreduce", "chunk", 0.5, 2, category="allreduce")
+    text = render_ascii_timeline(tr, width=40)
+    assert "gpu0.optimizer" in text
+    assert "gpu0.allreduce" in text
+    assert "o" in text and "a" in text
+
+
+def test_render_empty_timeline():
+    assert "empty" in render_ascii_timeline(Tracer())
+
+
+@given(
+    ivs=st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100, allow_nan=False),
+                  st.floats(min_value=0, max_value=100, allow_nan=False)),
+        min_size=1, max_size=30,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_busy_time_bounds(ivs):
+    """Property: union time <= sum of durations and >= max single duration."""
+    spans = [Span("t", "s", min(a, b), max(a, b)) for a, b in ivs]
+    busy = track_busy_time(spans)
+    total = sum(s.duration for s in spans)
+    longest = max(s.duration for s in spans)
+    assert busy <= total + 1e-9
+    assert busy >= longest - 1e-9
+
+
+@given(
+    a=st.lists(st.tuples(st.floats(0, 50, allow_nan=False),
+                         st.floats(0, 50, allow_nan=False)), min_size=1, max_size=10),
+    b=st.lists(st.tuples(st.floats(0, 50, allow_nan=False),
+                         st.floats(0, 50, allow_nan=False)), min_size=1, max_size=10),
+)
+@settings(max_examples=100, deadline=None)
+def test_overlap_time_symmetric_and_bounded(a, b):
+    sa = [Span("a", "x", min(p, q), max(p, q)) for p, q in a]
+    sb = [Span("b", "y", min(p, q), max(p, q)) for p, q in b]
+    o1 = overlap_time(sa, sb)
+    o2 = overlap_time(sb, sa)
+    assert o1 == pytest.approx(o2)
+    assert o1 <= min(track_busy_time(sa), track_busy_time(sb)) + 1e-9

@@ -1,0 +1,118 @@
+"""Tests for the functional ZeRO-1 sharded optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.zero1 import Zero1AdamW
+from repro.nn import AdamW, Tensor
+
+
+def make_replicas(world, sizes, seed=0):
+    """`world` replicas with identical initial parameters."""
+    rng = np.random.default_rng(seed)
+    canonical = [rng.standard_normal(s).astype(np.float32) for s in sizes]
+    return {
+        r: [Tensor(c.copy(), requires_grad=True) for c in canonical]
+        for r in range(world)
+    }
+
+
+def set_grads(replicas, grads):
+    for params in replicas.values():
+        for p, g in zip(params, grads):
+            p.grad = g.copy()
+
+
+class TestZero1:
+    def test_matches_monolithic_adamw(self):
+        """The sharded update must equal plain AdamW exactly."""
+        rng = np.random.default_rng(1)
+        sizes = [(3, 4), (7,), (2, 5)]
+        replicas = make_replicas(4, sizes, seed=2)
+        reference = [Tensor(p.data.copy(), requires_grad=True)
+                     for p in replicas[0]]
+        zero = Zero1AdamW(replicas, lr=0.01)
+        mono = AdamW(reference, lr=0.01)
+        for _ in range(5):
+            grads = [rng.standard_normal(s).astype(np.float32)
+                     for s in sizes]
+            set_grads(replicas, grads)
+            for p, g in zip(reference, grads):
+                p.grad = g.copy()
+            zero.step()
+            mono.step()
+        for a, b in zip(replicas[0], reference):
+            np.testing.assert_allclose(a.data, b.data, rtol=1e-6,
+                                       atol=1e-7)
+
+    def test_all_replicas_identical_after_step(self):
+        rng = np.random.default_rng(3)
+        replicas = make_replicas(3, [(10,)], seed=4)
+        set_grads(replicas, [rng.standard_normal(10).astype(np.float32)])
+        Zero1AdamW(replicas, lr=0.1).step()
+        for r in (1, 2):
+            np.testing.assert_array_equal(replicas[r][0].data,
+                                          replicas[0][0].data)
+
+    def test_state_sharded_evenly(self):
+        replicas = make_replicas(4, [(16,)])
+        zero = Zero1AdamW(replicas)
+        # 16 params over 4 replicas: 4 each, 12 bytes/param.
+        assert zero.state_bytes_per_replica() == 4 * 12
+        total_owned = sum(b - a for a, b in zero.bounds.values())
+        assert total_owned == 16
+
+    def test_uneven_split_covers_everything(self):
+        replicas = make_replicas(3, [(10,)])
+        zero = Zero1AdamW(replicas)
+        spans = sorted(zero.bounds.values())
+        assert spans[0][0] == 0 and spans[-1][1] == 10
+        for (a1, b1), (a2, b2) in zip(spans, spans[1:]):
+            assert b1 == a2
+
+    def test_state_memory_scales_inversely_with_world(self):
+        one = Zero1AdamW(make_replicas(1, [(64,)]))
+        four = Zero1AdamW(make_replicas(4, [(64,)]))
+        assert one.state_bytes_per_replica() == \
+            4 * four.state_bytes_per_replica()
+
+    def test_allgather_traffic_accounted(self):
+        replicas = make_replicas(4, [(16,)])
+        zero = Zero1AdamW(replicas)
+        set_grads(replicas, [np.ones(16, dtype=np.float32)])
+        zero.step()
+        assert zero.allgather_bytes == 4 * 16 * 3
+
+    def test_single_replica_degenerates_to_adamw(self):
+        replicas = make_replicas(1, [(8,)], seed=5)
+        reference = [Tensor(replicas[0][0].data.copy(), requires_grad=True)]
+        zero = Zero1AdamW(replicas, lr=0.05)
+        mono = AdamW(reference, lr=0.05)
+        g = np.ones(8, dtype=np.float32)
+        set_grads(replicas, [g])
+        reference[0].grad = g.copy()
+        zero.step()
+        mono.step()
+        np.testing.assert_allclose(replicas[0][0].data, reference[0].data,
+                                   rtol=1e-7)
+
+    def test_more_replicas_than_params(self):
+        replicas = make_replicas(5, [(3,)], seed=6)
+        zero = Zero1AdamW(replicas, lr=0.1)
+        set_grads(replicas, [np.ones(3, dtype=np.float32)])
+        zero.step()  # two replicas own empty slices; must not crash
+        for r in range(1, 5):
+            np.testing.assert_array_equal(replicas[r][0].data,
+                                          replicas[0][0].data)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Zero1AdamW({})
+        bad = {0: [Tensor(np.zeros(3), requires_grad=True)],
+               1: [Tensor(np.zeros(4), requires_grad=True)]}
+        with pytest.raises(ValueError):
+            Zero1AdamW(bad)
+        replicas = make_replicas(2, [(4,)])
+        zero = Zero1AdamW(replicas)
+        with pytest.raises(ValueError):
+            zero.step(np.zeros(3, dtype=np.float32))
