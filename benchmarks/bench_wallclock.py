@@ -1,0 +1,219 @@
+"""Wall-clock benchmark for the fused-kernel + buffer-reuse layer (PR 1).
+
+Times three things and writes the results to ``BENCH_PR1.json`` at the
+repository root:
+
+* **trainers** — one full ``train_batch`` of the serial reference trainer
+  and of the 2x2 hybrid :class:`~repro.runtime.engine.AxoNNTrainer`
+  (fp32 and mixed precision) on a 4-layer GPT;
+* **kernels** — each fused op in :mod:`repro.nn.functional`
+  (forward + backward) against its primitive-composition ``*_unfused``
+  reference, plus the autograd-node count of both variants;
+* **speedups** — the trainer times against the pre-PR baselines measured
+  at the seed commit (0bb7f54, same machine class, same config), checking
+  the ISSUE acceptance bar of >= 1.5x on the hybrid step.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py
+
+``benchmarks/check_regression.py`` (and the opt-in ``pytest -m bench``
+marker) re-runs this harness and compares the fresh ``min_s`` step times
+against the committed ``BENCH_PR1.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.nn import GPTConfig, LMBatches, SyntheticCorpus, Tensor
+from repro.nn import functional as F
+from repro.perf import counters, counting, time_fn
+from repro.runtime import AxoNNTrainer, SerialTrainer
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+
+# Trainer workload: 4-layer GPT on the 2x2 grid (g_inter=2, g_data=2),
+# batch 8 split into microbatches of 2 — the ISSUE's acceptance config.
+CFG = GPTConfig(vocab_size=64, seq_len=32, n_layer=4, n_head=4, hidden=64,
+                dropout=0.0, init_seed=7)
+BATCH_SIZE = 8
+MICROBATCH = 2
+G_INTER, G_DATA = 2, 2
+REPEATS = 5
+
+# Step times (seconds, min over 5 repeats) measured at the seed commit
+# 0bb7f54 with this exact config, before any of the PR-1 optimizations.
+# The "speedups" section of BENCH_PR1.json is relative to these.
+PRE_PR_BASELINE = {
+    "serial": 0.0779,
+    "hybrid_fp32": 0.0645,
+    "hybrid_mixed": 0.0820,
+}
+
+# Kernel microbenchmark shape: one attention-sized activation block.
+KB, KT, KH = 8, 32, 64
+
+
+def _batches() -> LMBatches:
+    corpus = SyntheticCorpus(CFG.vocab_size, 40000, seed=3)
+    return LMBatches(corpus, batch_size=BATCH_SIZE, seq_len=CFG.seq_len)
+
+
+def bench_trainers() -> Dict[str, Dict[str, float]]:
+    """Min/mean/max train_batch wall time for each trainer variant."""
+    batches = _batches()
+    results: Dict[str, Dict[str, float]] = {}
+
+    serial = SerialTrainer(CFG)
+    x, y = batches.batch(0)
+    results["serial"] = time_fn(
+        lambda: serial.train_batch(x, y), repeats=REPEATS).as_dict()
+
+    for name, precision in (("hybrid_fp32", "fp32"),
+                            ("hybrid_mixed", "mixed")):
+        trainer = AxoNNTrainer(CFG, g_inter=G_INTER, g_data=G_DATA,
+                               microbatch_size=MICROBATCH,
+                               precision=precision)
+        results[name] = time_fn(
+            lambda t=trainer: t.train_batch(x, y), repeats=REPEATS).as_dict()
+    return results
+
+
+def _fwd_bwd(build: Callable[[], Tensor]) -> Callable[[], None]:
+    """A thunk running forward + backward through ``build``'s graph."""
+    def run() -> None:
+        out = build()
+        out.sum().backward()
+    return run
+
+
+def _kernel_cases() -> Dict[str, Dict[str, Callable[[], Tensor]]]:
+    """{op: {"fused": thunk, "unfused": thunk}} over a (8, 32, 64) block."""
+    rng = np.random.default_rng(11)
+
+    # Inputs are generated once; the thunks wrap them in fresh Tensors so
+    # the measurement covers the op (forward + backward), not the RNG.
+    act_data = rng.standard_normal((KB, KT, KH)).astype(np.float32)
+    score_data = rng.standard_normal((KB, 4, KT, KT)).astype(np.float32)
+
+    def act() -> Tensor:
+        return Tensor(act_data, requires_grad=True)
+
+    def scores() -> Tensor:
+        # Attention-score block (b, nh, t, t) for the masked-softmax case.
+        return Tensor(score_data, requires_grad=True)
+
+    w = Tensor(rng.standard_normal((KH, KH)).astype(np.float32) * 0.02,
+               requires_grad=True)
+    b = Tensor(np.zeros(KH, dtype=np.float32), requires_grad=True)
+    ln_w = Tensor(np.ones(KH, dtype=np.float32), requires_grad=True)
+    ln_b = Tensor(np.zeros(KH, dtype=np.float32), requires_grad=True)
+    targets = rng.integers(0, KH, size=(KB, KT))
+    causal = np.triu(np.ones((KT, KT), dtype=bool), k=1)
+    scale = 1.0 / np.sqrt(KH)
+
+    def masked_softmax_unfused(x: Tensor) -> Tensor:
+        return F.softmax(F.where_mask(x * scale, causal, -1e9), axis=-1)
+
+    return {
+        "softmax": {
+            "fused": lambda: F.softmax(act()),
+            "unfused": lambda: F.softmax_unfused(act()),
+        },
+        "log_softmax": {
+            "fused": lambda: F.log_softmax(act()),
+            "unfused": lambda: F.log_softmax_unfused(act()),
+        },
+        "gelu": {
+            "fused": lambda: F.gelu(act()),
+            "unfused": lambda: F.gelu_unfused(act()),
+        },
+        "layer_norm": {
+            "fused": lambda: F.layer_norm(act(), ln_w, ln_b),
+            "unfused": lambda: F.layer_norm_unfused(act(), ln_w, ln_b),
+        },
+        "cross_entropy": {
+            "fused": lambda: F.cross_entropy(act(), targets),
+            "unfused": lambda: F.cross_entropy_unfused(act(), targets),
+        },
+        "linear": {
+            "fused": lambda: F.linear(act(), w, b),
+            "unfused": lambda: F.linear_unfused(act(), w, b),
+        },
+        "masked_softmax": {
+            "fused": lambda: F.masked_softmax(scores(), causal, scale=scale),
+            "unfused": lambda: masked_softmax_unfused(scores()),
+        },
+    }
+
+
+def bench_kernels() -> Dict[str, Dict[str, object]]:
+    """Fused-vs-unfused forward+backward timing and node counts per op."""
+    results: Dict[str, Dict[str, object]] = {}
+    for op, variants in _kernel_cases().items():
+        entry: Dict[str, object] = {}
+        for variant, build in variants.items():
+            entry[variant] = time_fn(_fwd_bwd(build),
+                                     repeats=REPEATS, warmup=2).as_dict()
+            with counting():
+                build()
+                entry[f"{variant}_graph_nodes"] = counters.get("graph_nodes")
+        fused_min = entry["fused"]["min_s"]
+        unfused_min = entry["unfused"]["min_s"]
+        entry["speedup"] = unfused_min / fused_min
+        results[op] = entry
+    return results
+
+
+def main() -> int:
+    print(f"config: {CFG}")
+    print(f"grid: g_inter={G_INTER} g_data={G_DATA} "
+          f"batch={BATCH_SIZE} microbatch={MICROBATCH}")
+
+    trainers = bench_trainers()
+    speedups = {}
+    for name, stats in trainers.items():
+        speedups[name] = PRE_PR_BASELINE[name] / stats["min_s"]
+        print(f"{name:>13}: {stats['min_s']:.4f}s min "
+              f"(baseline {PRE_PR_BASELINE[name]:.4f}s, "
+              f"{speedups[name]:.2f}x)")
+
+    kernels = bench_kernels()
+    for op, entry in kernels.items():
+        print(f"{op:>14}: fused {entry['fused']['min_s'] * 1e6:8.1f}us  "
+              f"unfused {entry['unfused']['min_s'] * 1e6:8.1f}us  "
+              f"({entry['speedup']:.2f}x, "
+              f"{entry['fused_graph_nodes']} vs "
+              f"{entry['unfused_graph_nodes']} nodes)")
+
+    report = {
+        "config": {
+            "vocab_size": CFG.vocab_size, "seq_len": CFG.seq_len,
+            "n_layer": CFG.n_layer, "n_head": CFG.n_head,
+            "hidden": CFG.hidden, "batch_size": BATCH_SIZE,
+            "microbatch_size": MICROBATCH,
+            "g_inter": G_INTER, "g_data": G_DATA, "repeats": REPEATS,
+        },
+        "pre_pr_baseline_s": PRE_PR_BASELINE,
+        "trainers": trainers,
+        "speedup_vs_pre_pr": speedups,
+        "kernels": kernels,
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT}")
+
+    target = 1.5
+    ok = speedups["hybrid_fp32"] >= target
+    print(f"acceptance (hybrid fp32 >= {target}x): "
+          f"{'PASS' if ok else 'FAIL'} ({speedups['hybrid_fp32']:.2f}x)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Performance-regression gate for the trainer step times.
+
+Re-measures the trainer section of :mod:`bench_wallclock` and compares
+each variant's ``min_s`` against the committed ``BENCH_PR1.json``
+baseline.  Exits nonzero when any step time regressed by more than the
+threshold (default 20%), so CI can fail the build::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+    PYTHONPATH=src python benchmarks/check_regression.py --threshold 0.1
+
+The opt-in ``pytest -m bench`` marker (``tests/test_bench_regression.py``)
+runs this script as a subprocess; it is excluded from the default test
+run because a timing gate on a loaded machine is noise, not signal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import bench_wallclock  # noqa: E402  (needs the path tweak above)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path,
+                        default=bench_wallclock.OUTPUT,
+                        help="committed BENCH_PR1.json to compare against")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max allowed fractional step-time regression")
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"baseline {args.baseline} not found; run "
+              f"benchmarks/bench_wallclock.py first", file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text())["trainers"]
+
+    fresh = bench_wallclock.bench_trainers()
+    failed = False
+    for name, stats in fresh.items():
+        base_min = baseline[name]["min_s"]
+        ratio = stats["min_s"] / base_min
+        status = "ok"
+        if ratio > 1.0 + args.threshold:
+            status = "REGRESSION"
+            failed = True
+        print(f"{name:>13}: {stats['min_s']:.4f}s vs baseline "
+              f"{base_min:.4f}s ({ratio:.2f}x)  {status}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -124,10 +124,12 @@ class MixedPrecisionAdamW:
         for p, g16, m, v, h in zip(self.params, half_grads,
                                    self.exp_avg, self.exp_avg_sq,
                                    self.half_params):
-            g32 = g16.astype(np.float32) * inv  # convert then descale
+            g32 = g16.astype(np.float32)  # convert ...
+            g32 *= inv                    # ... then descale, in place
             adam_step(p.data, g32, m, v, self.steps, self.lr,
                       self.beta1, self.beta2, self.eps,
                       self.weight_decay, decoupled=True)
-            h[...] = p.data.astype(np.float16)
+            # Refresh the fp16 copy without an intermediate allocation.
+            np.copyto(h, p.data, casting="unsafe")
         self.scaler.update(found_overflow=False)
         return True

@@ -17,6 +17,19 @@ Design notes
 * ``backward`` may be called from any tensor with an explicit upstream
   gradient, which is how the pipeline engine injects the boundary gradient
   received from the next stage (Algorithm 2, line 22).
+
+Hot-path contracts
+------------------
+* :meth:`Tensor._make` bypasses ``__init__`` entirely; with grad disabled
+  (or no grad-requiring parent) it returns a bare constant node without
+  touching the closure.
+* Backward closures accumulate through two entry points:
+  :meth:`Tensor._accumulate` *copies* (the incoming array may be a view of
+  someone else's buffer), while :meth:`Tensor._accumulate_owned` takes
+  ownership of a **freshly allocated** array (or a view of one) and stores
+  it without the defensive copy.  Only pass an array to the owned variant
+  when the closure itself just allocated it — never the upstream gradient
+  ``g`` or a view of a parent's data.
 """
 
 from __future__ import annotations
@@ -25,6 +38,8 @@ import contextlib
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from ..perf.counters import counters as _counters
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
 
@@ -58,6 +73,16 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     if axes:
         grad = grad.sum(axis=axes, keepdims=True)
     return grad.reshape(shape)
+
+
+def _is_basic_index(idx) -> bool:
+    """True when ``idx`` performs NumPy *basic* indexing (ints, slices,
+    Ellipsis, newaxis) — which never selects an element twice, so the
+    backward scatter needs no ``np.add.at``."""
+    if isinstance(idx, tuple):
+        return all(_is_basic_index(i) for i in idx)
+    return (idx is None or idx is Ellipsis
+            or isinstance(idx, (int, np.integer, slice)))
 
 
 Arrayish = Union["Tensor", np.ndarray, float, int]
@@ -143,16 +168,46 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
-        """Create an op output node (or a constant if grad is off)."""
-        if is_grad_enabled() and any(p.requires_grad for p in parents):
-            return Tensor(data, requires_grad=True,
-                          parents=[p for p in parents if p.requires_grad],
-                          backward=backward)
-        return Tensor(data)
+        """Create an op output node (or a constant if grad is off).
+
+        ``data`` must already be an ndarray; ``__init__`` is bypassed so
+        constant nodes cost only slot assignment.
+        """
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.grad = None
+        out.name = ""
+        if _GRAD_ENABLED[-1]:
+            req = [p for p in parents if p.requires_grad]
+            if req:
+                out.requires_grad = True
+                out._parents = tuple(req)
+                out._backward = backward
+                if _counters.enabled:
+                    _counters.bump("graph_nodes")
+                return out
+        out.requires_grad = False
+        out._parents = ()
+        out._backward = None
+        return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into ``.grad``, defensively copying on first use
+        (``grad`` may alias a buffer the caller still owns)."""
         if self.grad is None:
             self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def _accumulate_owned(self, grad: np.ndarray) -> None:
+        """Add a **freshly allocated** ``grad`` into ``.grad`` without the
+        defensive copy.  The caller transfers ownership: it must not read
+        or write ``grad`` (or its base) after this call."""
+        if self.grad is None:
+            if grad.dtype == self.data.dtype and grad.flags.writeable:
+                self.grad = grad
+            else:
+                self.grad = grad.astype(self.data.dtype, copy=True)
         else:
             self.grad += grad
 
@@ -216,6 +271,7 @@ class Tensor:
         out_data = self.data + other.data
 
         def backward(g: np.ndarray, a=self, b=other) -> None:
+            # _unbroadcast may return g itself — never owned.
             if a.requires_grad:
                 a._accumulate(_unbroadcast(g, a.data.shape))
             if b.requires_grad:
@@ -227,7 +283,7 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         def backward(g: np.ndarray, a=self) -> None:
-            a._accumulate(-g)
+            a._accumulate_owned(-g)
 
         return Tensor._make(-self.data, (self,), backward)
 
@@ -243,9 +299,9 @@ class Tensor:
 
         def backward(g: np.ndarray, a=self, b=other) -> None:
             if a.requires_grad:
-                a._accumulate(_unbroadcast(g * b.data, a.data.shape))
+                a._accumulate_owned(_unbroadcast(g * b.data, a.data.shape))
             if b.requires_grad:
-                b._accumulate(_unbroadcast(g * a.data, b.data.shape))
+                b._accumulate_owned(_unbroadcast(g * a.data, b.data.shape))
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -257,10 +313,11 @@ class Tensor:
 
         def backward(g: np.ndarray, a=self, b=other) -> None:
             if a.requires_grad:
-                a._accumulate(_unbroadcast(g / b.data, a.data.shape))
+                a._accumulate_owned(_unbroadcast(g / b.data, a.data.shape))
             if b.requires_grad:
-                b._accumulate(
-                    _unbroadcast(-g * a.data / (b.data ** 2), b.data.shape)
+                b._accumulate_owned(
+                    _unbroadcast(-g * a.data / (b.data * b.data),
+                                 b.data.shape)
                 )
 
         return Tensor._make(out_data, (self, other), backward)
@@ -271,10 +328,25 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
-        out_data = self.data ** exponent
+        # np.power with a scalar exponent takes a slow per-element path
+        # (~100x a multiply on float32); expand the common small integer
+        # powers into multiplications.
+        d = self.data
+        if exponent == 2:
+            out_data = d * d
+        elif exponent == 3:
+            out_data = d * d * d
+        else:
+            out_data = d ** exponent
 
         def backward(g: np.ndarray, a=self, e=exponent) -> None:
-            a._accumulate(g * e * a.data ** (e - 1))
+            d = a.data
+            if e == 2:
+                a._accumulate_owned(g * (2.0 * d))
+            elif e == 3:
+                a._accumulate_owned(g * (3.0 * (d * d)))
+            else:
+                a._accumulate_owned(g * e * d ** (e - 1))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -285,20 +357,28 @@ class Tensor:
         def backward(g: np.ndarray, a=self, b=other) -> None:
             if a.requires_grad:
                 ga = g @ np.swapaxes(b.data, -1, -2)
-                a._accumulate(_unbroadcast(ga, a.data.shape))
+                a._accumulate_owned(_unbroadcast(ga, a.data.shape))
             if b.requires_grad:
                 gb = np.swapaxes(a.data, -1, -2) @ g
-                b._accumulate(_unbroadcast(gb, b.data.shape))
+                b._accumulate_owned(_unbroadcast(gb, b.data.shape))
 
         return Tensor._make(out_data, (self, other), backward)
 
     def __getitem__(self, idx) -> "Tensor":
         out_data = self.data[idx]
 
-        def backward(g: np.ndarray, a=self, idx=idx) -> None:
-            full = np.zeros_like(a.data)
-            np.add.at(full, idx, g)
-            a._accumulate(full)
+        if _is_basic_index(idx):
+            # Basic indexing never aliases two output elements to one input
+            # element, so the backward scatter is a plain (fast) assignment.
+            def backward(g: np.ndarray, a=self, idx=idx) -> None:
+                full = np.zeros_like(a.data)
+                full[idx] = g
+                a._accumulate_owned(full)
+        else:
+            def backward(g: np.ndarray, a=self, idx=idx) -> None:
+                full = np.zeros_like(a.data)
+                np.add.at(full, idx, g)
+                a._accumulate_owned(full)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -338,30 +418,45 @@ class Tensor:
 
         def backward(g: np.ndarray, a=self, axis=axis,
                      keepdims=keepdims) -> None:
-            if axis is None:
-                grad = np.broadcast_to(g, a.data.shape)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            if g.shape == a.data.shape:  # size-1 reduction: nothing to do
+                a._accumulate(g)
             else:
-                if not keepdims:
-                    g = np.expand_dims(g, axis)
-                grad = np.broadcast_to(g, a.data.shape)
-            a._accumulate(np.ascontiguousarray(grad))
+                grad = np.ascontiguousarray(
+                    np.broadcast_to(g, a.data.shape))
+                a._accumulate_owned(grad)
 
         return Tensor._make(out_data, (self,), backward)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Mean as a single autograd node (not ``sum * 1/n``)."""
         if axis is None:
             count = self.data.size
         else:
             axes = (axis,) if isinstance(axis, int) else tuple(axis)
             count = int(np.prod([self.data.shape[a] for a in axes]))
-        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+        inv = np.asarray(1.0 / count, dtype=self.data.dtype)
+        out_data = np.asarray(
+            self.data.sum(axis=axis, keepdims=keepdims)) * inv
+
+        def backward(g: np.ndarray, a=self, axis=axis,
+                     keepdims=keepdims, inv=inv) -> None:
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            # One scaled-broadcast fill; no intermediate sum-gradient array.
+            grad = np.empty_like(a.data)
+            np.multiply(g, inv, out=grad)
+            a._accumulate_owned(grad)
+
+        return Tensor._make(out_data, (self,), backward)
 
     # -- elementwise nonlinearities --------------------------------------------
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
 
         def backward(g: np.ndarray, a=self, out=out_data) -> None:
-            a._accumulate(g * out)
+            a._accumulate_owned(g * out)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -369,7 +464,7 @@ class Tensor:
         out_data = np.log(self.data)
 
         def backward(g: np.ndarray, a=self) -> None:
-            a._accumulate(g / a.data)
+            a._accumulate_owned(g / a.data)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -377,7 +472,7 @@ class Tensor:
         out_data = np.sqrt(self.data)
 
         def backward(g: np.ndarray, a=self, out=out_data) -> None:
-            a._accumulate(g * 0.5 / out)
+            a._accumulate_owned(g * 0.5 / out)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -385,7 +480,7 @@ class Tensor:
         out_data = np.tanh(self.data)
 
         def backward(g: np.ndarray, a=self, out=out_data) -> None:
-            a._accumulate(g * (1.0 - out * out))
+            a._accumulate_owned(g * (1.0 - out * out))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -393,6 +488,6 @@ class Tensor:
         out_data = np.maximum(self.data, 0)
 
         def backward(g: np.ndarray, a=self) -> None:
-            a._accumulate(g * (a.data > 0))
+            a._accumulate_owned(g * (a.data > 0))
 
         return Tensor._make(out_data, (self,), backward)

@@ -83,9 +83,9 @@ class CausalSelfAttention(Module):
         qkv = qkv.reshape(b, t, 3, nh, hd)
         qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, b, nh, t, hd)
         q, k, v = qkv[0], qkv[1], qkv[2]
-        att = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(hd))  # (b, nh, t, t)
-        att = F.where_mask(att, self._mask[:t, :t], -1e9)
-        att = F.softmax(att, axis=-1)
+        # Fused scale + causal mask + softmax: one node instead of three.
+        att = F.masked_softmax(q @ k.swapaxes(-1, -2), self._mask[:t, :t],
+                               scale=1.0 / np.sqrt(hd))  # (b, nh, t, t)
         att = self.drop(att)
         y = att @ v  # (b, nh, t, hd)
         y = y.transpose(0, 2, 1, 3).reshape(b, t, h)

@@ -1,0 +1,67 @@
+"""Op-level counters for the numerical stack.
+
+The autograd core calls :meth:`OpCounters.bump` when a graph node is
+created and the fused kernels in :mod:`repro.nn.functional` record one
+event per call.  Counting is **off by default** and the hot-path cost of
+a disabled counter is a single attribute check, so the instrumentation
+can stay in the production code paths.
+
+Usage::
+
+    from repro.perf import counters, counting
+
+    with counting():
+        loss = model(x, targets=y)[1]
+        loss.backward()
+    print(counters.snapshot())   # {"graph_nodes": 431, "gelu": 4, ...}
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator
+
+__all__ = ["OpCounters", "counters", "counting"]
+
+
+class OpCounters:
+    """A named event tally with a cheap global enable flag."""
+
+    __slots__ = ("enabled", "_counts")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._counts: Dict[str, int] = {}
+
+    def bump(self, name: str, n: int = 1) -> None:
+        """Record ``n`` events of ``name`` (no-op unless enabled)."""
+        if not self.enabled:
+            return
+        self._counts[name] = self._counts.get(name, 0) + n
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy of the current tallies."""
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+
+#: process-wide counter instance the instrumented code paths report to
+counters = OpCounters()
+
+
+@contextlib.contextmanager
+def counting(reset: bool = True) -> Iterator[OpCounters]:
+    """Enable the global counters for the duration of the block."""
+    if reset:
+        counters.reset()
+    prev = counters.enabled
+    counters.enabled = True
+    try:
+        yield counters
+    finally:
+        counters.enabled = prev

@@ -1,0 +1,109 @@
+"""Wall-clock timing primitives for the benchmark harness.
+
+:class:`Timer` is a context manager accumulating named spans;
+:func:`time_fn` is the repeat/warmup measurement loop every entry in
+``BENCH_PR1.json`` comes from.  Statistics are reported as min / mean /
+max over repeats — the *min* is what the regression gate compares, being
+the least noisy estimator of the true cost on a shared machine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+__all__ = ["Timer", "TimingStats", "time_fn"]
+
+
+@dataclass
+class TimingStats:
+    """Summary of repeated measurements of one operation (seconds)."""
+
+    samples: List[float]
+
+    @property
+    def min(self) -> float:
+        return min(self.samples)
+
+    @property
+    def max(self) -> float:
+        return max(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "min_s": self.min,
+            "mean_s": self.mean,
+            "max_s": self.max,
+            "repeats": len(self.samples),
+        }
+
+
+def time_fn(fn: Callable[[], object], repeats: int = 5,
+            warmup: int = 1) -> TimingStats:
+    """Time ``fn()`` over ``repeats`` runs after ``warmup`` throwaway runs."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return TimingStats(samples)
+
+
+@dataclass
+class Timer:
+    """Accumulating named-span timer.
+
+    ::
+
+        t = Timer()
+        with t.span("forward"):
+            ...
+        with t.span("forward"):   # accumulates into the same bucket
+            ...
+        t.totals()  # {"forward": 0.0123}
+    """
+
+    _totals: Dict[str, float] = field(default_factory=dict)
+    _counts: Dict[str, int] = field(default_factory=dict)
+
+    def span(self, name: str) -> "_Span":
+        return _Span(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def totals(self) -> Dict[str, float]:
+        return dict(self._totals)
+
+    def counts(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._totals.clear()
+        self._counts.clear()
+
+
+class _Span:
+    __slots__ = ("_timer", "_name", "_t0")
+
+    def __init__(self, timer: Timer, name: str):
+        self._timer = timer
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.add(self._name, time.perf_counter() - self._t0)

@@ -149,6 +149,10 @@ class AxoNNTrainer:
                                               weight_decay=weight_decay)
         self.batches_trained = 0
         self.skipped_batches = 0
+        #: per-stage reusable buffers for the data-parallel phase, allocated
+        #: on first use (the parameter layout is fixed at construction, so
+        #: the cache never needs invalidation)
+        self._dp_buffers: Dict[int, _ColumnBuffers] = {}
 
     # -- shard bookkeeping -------------------------------------------------
     def _split_batch(self, x: np.ndarray, y: np.ndarray):
@@ -258,7 +262,12 @@ class AxoNNTrainer:
 
     # -- Algorithm 1, data-parallel phase --------------------------------------
     def _allreduce_fp32(self) -> None:
-        """All-reduce (sum) fp32 parameter gradients across each column."""
+        """All-reduce (sum) fp32 parameter gradients across each column.
+
+        The reduced gradient is written back *into each replica's own
+        gradient buffer* — one fresh array per parameter group for the sum
+        itself, no per-replica copies.
+        """
         if self.grid.g_data == 1:
             return
         for i in range(self.grid.g_inter):
@@ -270,45 +279,65 @@ class AxoNNTrainer:
                     continue
                 total = np.sum(grads, axis=0)
                 for p in params:
-                    p.grad = total.copy()
+                    if p.grad is None:
+                        p.grad = total.copy()
+                    else:
+                        np.copyto(p.grad, total)
 
-    def _column_half_grads(self, i: int) -> List[np.ndarray]:
-        """fp16 gradient flats of stage ``i``'s column, one per replica."""
-        flats = []
+    def _column_buffers(self, i: int) -> "_ColumnBuffers":
+        """The (lazily allocated) reusable fp16 buffers of column ``i``."""
+        buf = self._dp_buffers.get(i)
+        if buf is None:
+            buf = _ColumnBuffers(
+                [self.stages[r] for r in self.grid.data_parallel_ranks(i)])
+            self._dp_buffers[i] = buf
+        return buf
+
+    def _fill_column_half_grads(self, i: int) -> "_ColumnBuffers":
+        """Cast every replica's gradients into its cached fp16 flat row."""
+        buf = self._column_buffers(i)
         # Values beyond the fp16 range legitimately become inf here — that
         # is precisely what the downstream overflow check detects.
         with np.errstate(over="ignore"):
-            for rank in self.grid.data_parallel_ranks(i):
-                parts = []
-                for p in self.stages[rank].parameters():
-                    g = p.grad if p.grad is not None \
-                        else np.zeros_like(p.data)
-                    parts.append(g.reshape(-1).astype(np.float16))
-                flats.append(np.concatenate(parts))
-        return flats
+            for views in buf.param_views:
+                for dst, p in views:
+                    if p.grad is None:
+                        dst[...] = np.float16(0)
+                    else:
+                        np.copyto(dst, p.grad, casting="unsafe")
+        return buf
+
+    def _column_half_grads(self, i: int) -> List[np.ndarray]:
+        """fp16 gradient flats of stage ``i``'s column, one per replica.
+
+        The rows are views into the cached column buffer: valid until the
+        next fill, which is all the callers need.
+        """
+        buf = self._fill_column_half_grads(i)
+        return [buf.stacked[r] for r in range(buf.stacked.shape[0])]
 
     def _allreduce_fp16_chunked(self, i: int) -> Tuple[np.ndarray, int]:
         """Sum a column's fp16 gradients in k*bucket_size chunks, as the
         overlapped all-reduce of Section V-C issues them.
 
         Half-precision accumulation is faithful to NCCL's fp16 ring — the
-        reason the paper pre-divides the loss to avoid overflow.  Returns
-        the (fp16) reduced flat and the number of chunks issued.
+        reason the paper pre-divides the loss to avoid overflow.  The sum
+        is one vectorized fp16 reduction per chunk over the stacked replica
+        rows (bit-identical to sequential replica-order accumulation; the
+        tests assert this), written into the cached ``total`` buffer.
+        Returns the (fp16) reduced flat and the number of chunks issued.
         """
-        flats = self._column_half_grads(i)
-        numel = flats[0].size
+        buf = self._fill_column_half_grads(i)
+        stacked, total = buf.stacked, buf.total
         chunk = max(1, self.coarsening_k * self.bucket_size)
-        total = np.empty(numel, dtype=np.float16)
         n_chunks = 0
         # Overflowing values legitimately produce inf/nan here (that is what
         # the overflow check downstream detects) — silence the warning.
         with np.errstate(invalid="ignore", over="ignore"):
-            for start in range(0, numel, chunk):
-                end = min(start + chunk, numel)
-                acc = flats[0][start:end].copy()
-                for other in flats[1:]:
-                    acc += other[start:end]  # fp16 accumulation
-                total[start:end] = acc
+            for start in range(0, buf.numel, chunk):
+                end = min(start + chunk, buf.numel)
+                np.sum(stacked[:, start:end], axis=0, dtype=np.float16,
+                       out=total[start:end])
                 n_chunks += 1
         return total, n_chunks
 
@@ -370,7 +399,7 @@ class AxoNNTrainer:
         for i in range(self.grid.g_inter):
             flat, chunks = self._allreduce_fp16_chunked(i)
             reduced[i] = flat
-            if not np.isfinite(flat.astype(np.float32)).all():
+            if not np.isfinite(flat).all():  # isfinite works on fp16 directly
                 overflow = True
         # The overflow flag is OR-reduced across the grid (the real
         # implementation piggybacks this on a tiny collective): all ranks
@@ -384,15 +413,10 @@ class AxoNNTrainer:
             if isinstance(opt, BucketedOffloadAdamW):
                 opt.step(reduced[i])
             else:
-                # Unflatten back to the per-parameter shapes.
-                halves = []
-                offset = 0
-                for p in self.stages[rank].parameters():
-                    halves.append(
-                        reduced[i][offset:offset + p.size]
-                        .reshape(p.data.shape))
-                    offset += p.size
-                opt.step(halves)
+                # Per-parameter views of the reduced flat, precomputed once
+                # per column (the optimizer copies before descaling, so the
+                # column's replicas can all read the same views).
+                opt.step(self._dp_buffers[i].halves)
         self.scaler.update(found_overflow=False)
         return True, chunks
 
@@ -409,6 +433,50 @@ class AxoNNTrainer:
             for name, p in stage.named_parameters():
                 state[name] = p.data.copy()
         return state
+
+
+class _ColumnBuffers:
+    """Reusable fp16 buffers for one stage's data-parallel column.
+
+    Allocated once, keyed by the column's (fixed) parameter layout, and
+    reused every batch so the mixed-precision data-parallel phase performs
+    no per-batch allocation:
+
+    * ``stacked`` — (replicas, numel) fp16; row ``j`` holds replica ``j``'s
+      flattened gradients (written in place by ``np.copyto`` each batch);
+    * ``total`` — (numel,) fp16 output of the chunked all-reduce;
+    * ``param_views`` — per replica, (destination-view, parameter) pairs
+      mapping each parameter into its slice of the row;
+    * ``halves`` — per-parameter shaped views of ``total``, the unflattened
+      gradient list handed to the optimizer.
+    """
+
+    __slots__ = ("stacked", "total", "param_views", "halves", "numel")
+
+    def __init__(self, stages: List["PipelineStage"]):
+        params0 = stages[0].parameters()
+        self.numel = sum(p.size for p in params0)
+        self.stacked = np.empty((len(stages), self.numel), dtype=np.float16)
+        self.total = np.empty(self.numel, dtype=np.float16)
+        self.param_views: List[List[Tuple[np.ndarray, "Tensor"]]] = []
+        for row, stage in enumerate(stages):
+            offset = 0
+            views = []
+            for p in stage.parameters():
+                views.append(
+                    (self.stacked[row, offset:offset + p.size]
+                     .reshape(p.data.shape), p))
+                offset += p.size
+            if offset != self.numel:
+                raise RuntimeError(
+                    "data-parallel replicas disagree on parameter layout")
+            self.param_views.append(views)
+        self.halves: List[np.ndarray] = []
+        offset = 0
+        for p in params0:
+            self.halves.append(
+                self.total[offset:offset + p.size].reshape(p.data.shape))
+            offset += p.size
 
 
 class _FrozenScaleView(LossScaler):

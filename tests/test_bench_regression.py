@@ -1,0 +1,30 @@
+"""Opt-in wall-clock regression gate (``pytest -m bench``).
+
+Excluded from the default run (``addopts = -q -m "not bench"``): a timing
+assertion is only meaningful on a quiet machine, so it must be requested
+explicitly.  The test shells out to ``benchmarks/check_regression.py``,
+which re-times the trainers and compares against the committed
+``BENCH_PR1.json``.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.bench
+def test_step_time_regression_gate():
+    baseline = REPO / "BENCH_PR1.json"
+    assert baseline.exists(), "run benchmarks/bench_wallclock.py first"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "benchmarks" / "check_regression.py")],
+        env=env, capture_output=True, text=True)
+    assert proc.returncode == 0, (
+        f"step-time regression detected:\n{proc.stdout}\n{proc.stderr}")

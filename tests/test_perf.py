@@ -1,0 +1,101 @@
+"""Tests for the :mod:`repro.perf` instrumentation package."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GPT, GPTConfig, Tensor, no_grad
+from repro.perf import OpCounters, Timer, TimingStats, counters, counting, \
+    time_fn
+
+
+class TestCounters:
+    def test_disabled_by_default(self):
+        c = OpCounters()
+        c.bump("x")
+        assert c.get("x") == 0
+
+    def test_bump_and_snapshot(self):
+        c = OpCounters()
+        c.enabled = True
+        c.bump("x")
+        c.bump("x", 2)
+        c.bump("y")
+        assert c.snapshot() == {"x": 3, "y": 1}
+        c.reset()
+        assert c.snapshot() == {}
+
+    def test_counting_context_restores_state(self):
+        assert not counters.enabled
+        with counting() as c:
+            assert c is counters
+            assert counters.enabled
+        assert not counters.enabled
+
+    def test_counting_resets_by_default(self):
+        with counting():
+            counters.bump("stale")
+        with counting():
+            assert counters.get("stale") == 0
+        with counting():
+            counters.bump("kept")
+            with counting(reset=False):
+                assert counters.get("kept") == 1
+
+    def test_autograd_reports_graph_nodes(self):
+        a = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        with counting():
+            ((a * 2.0) + 1.0).sum().backward()
+            assert counters.get("graph_nodes") == 3  # mul, add, sum
+        with counting():
+            with no_grad():
+                (a * 2.0) + 1.0
+            assert counters.get("graph_nodes") == 0
+
+    def test_model_step_counts_fused_ops(self):
+        cfg = GPTConfig(vocab_size=11, seq_len=6, n_layer=2, n_head=2,
+                        hidden=8, dropout=0.0, init_seed=5)
+        model = GPT(cfg)
+        ids = np.zeros((2, 6), dtype=np.int64)
+        with counting():
+            _, loss = model(ids, targets=ids)
+            loss.backward()
+            snap = counters.snapshot()
+        assert snap["gelu"] == cfg.n_layer
+        assert snap["masked_softmax"] == cfg.n_layer
+        assert snap["layer_norm"] == 2 * cfg.n_layer + 1
+        assert snap["cross_entropy"] == 1
+        assert snap["linear"] == 4 * cfg.n_layer + 1
+        assert snap["graph_nodes"] > 0
+
+
+class TestTimers:
+    def test_timing_stats(self):
+        s = TimingStats([3.0, 1.0, 2.0])
+        assert s.min == 1.0 and s.max == 3.0 and s.mean == 2.0
+        assert s.as_dict() == {"min_s": 1.0, "mean_s": 2.0, "max_s": 3.0,
+                               "repeats": 3}
+
+    def test_time_fn_runs_warmup_and_repeats(self):
+        calls = []
+        stats = time_fn(lambda: calls.append(1), repeats=3, warmup=2)
+        assert len(calls) == 5
+        assert len(stats.samples) == 3
+        assert all(t >= 0.0 for t in stats.samples)
+
+    def test_time_fn_validates_repeats(self):
+        with pytest.raises(ValueError):
+            time_fn(lambda: None, repeats=0)
+
+    def test_timer_accumulates_spans(self):
+        t = Timer()
+        with t.span("a"):
+            pass
+        with t.span("a"):
+            pass
+        with t.span("b"):
+            pass
+        assert t.counts() == {"a": 2, "b": 1}
+        assert set(t.totals()) == {"a", "b"}
+        assert all(v >= 0.0 for v in t.totals().values())
+        t.reset()
+        assert t.totals() == {} and t.counts() == {}

@@ -193,3 +193,77 @@ class TestOffloadParallel:
             offload=True, bucket_size=64)
         for opt in trainer.optimizers.values():
             assert opt.device_optimizer_bytes() == 16 * 64
+
+
+def reference_fp16_allreduce(stacked, chunk):
+    """Sequential reference for the vectorized chunked fp16 all-reduce:
+    same chunk boundaries, replicas accumulated one at a time in rank
+    order, everything in half precision."""
+    replicas, numel = stacked.shape
+    total = np.empty(numel, dtype=np.float16)
+    n_chunks = 0
+    with np.errstate(invalid="ignore", over="ignore"):
+        for start in range(0, numel, chunk):
+            end = min(start + chunk, numel)
+            acc = stacked[0, start:end].copy()
+            for r in range(1, replicas):
+                acc += stacked[r, start:end]
+            total[start:end] = acc
+            n_chunks += 1
+    return total, n_chunks
+
+
+class TestVectorizedAllreduce:
+    """The buffer-reuse + vectorized fp16 reduction must be a pure
+    refactoring: bit-identical to the sequential replica-order loop it
+    replaced, including when gradients overflow to inf."""
+
+    def _trainer(self, init_scale=64.0, g_data=2, bucket_size=64):
+        return AxoNNTrainer(
+            CFG, g_inter=2, g_data=g_data, microbatch_size=2,
+            precision="mixed", bucket_size=bucket_size, coarsening_k=2,
+            loss_scaler=LossScaler(init_scale=init_scale, dynamic=False))
+
+    def test_bit_identical_to_sequential_loop(self):
+        trainer = self._trainer()
+        batches = make_batches()
+        trainer.train_batch(*batches.batch(0))  # leaves grads populated
+        chunk = max(1, trainer.coarsening_k * trainer.bucket_size)
+        for i in range(trainer.grid.g_inter):
+            stacked = trainer._fill_column_half_grads(i).stacked.copy()
+            total, n_chunks = trainer._allreduce_fp16_chunked(i)
+            ref, ref_chunks = reference_fp16_allreduce(stacked, chunk)
+            assert n_chunks == ref_chunks
+            assert n_chunks > 1  # the small bucket really chunks
+            assert total.dtype == np.float16
+            np.testing.assert_array_equal(total, ref)
+
+    def test_bit_identical_under_overflow(self):
+        """Overflowed fp16 gradients (inf) reduce identically in both
+        implementations, and the step is skipped."""
+        trainer = self._trainer(init_scale=2.0 ** 24)
+        batches = make_batches()
+        report = trainer.train_batch(*batches.batch(0))
+        assert not report.applied  # overflow path still trips
+        chunk = max(1, trainer.coarsening_k * trainer.bucket_size)
+        saw_nonfinite = False
+        for i in range(trainer.grid.g_inter):
+            stacked = trainer._fill_column_half_grads(i).stacked.copy()
+            total, _ = trainer._allreduce_fp16_chunked(i)
+            ref, _ = reference_fp16_allreduce(stacked, chunk)
+            np.testing.assert_array_equal(total, ref)
+            saw_nonfinite |= not np.isfinite(total).all()
+        assert saw_nonfinite
+
+    def test_buffers_are_reused_across_batches(self):
+        """The DP phase must not allocate per batch: the stacked/total
+        buffers for a column are created once and reused."""
+        trainer = self._trainer()
+        batches = make_batches()
+        trainer.train_batch(*batches.batch(0))
+        bufs = {i: trainer._dp_buffers[i] for i in range(2)}
+        totals = {i: trainer._allreduce_fp16_chunked(i)[0] for i in range(2)}
+        trainer.train_batch(*batches.batch(1))
+        for i in range(2):
+            assert trainer._dp_buffers[i] is bufs[i]
+            assert trainer._allreduce_fp16_chunked(i)[0] is totals[i]
