@@ -39,12 +39,13 @@ Quick start (performance)::
     print(simulate_batch(cfg).as_row())
 """
 
-from . import baselines, cluster, comm, core, experiments, nn, runtime, \
-    sim, tuning
+from . import analysis, baselines, cluster, comm, core, experiments, nn, \
+    runtime, sim, tuning
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "analysis",
     "baselines",
     "cluster",
     "comm",

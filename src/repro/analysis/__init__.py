@@ -1,0 +1,78 @@
+"""Static analysis and runtime-verification layer.
+
+Three pillars protect the contracts the rest of the codebase relies on:
+
+* :mod:`repro.analysis.protocol` — a MUST/MPI-Checker-style communication
+  verifier.  Both substrates (the functional :class:`~repro.runtime.RankTransport`
+  and the simulated :class:`~repro.comm.Messenger`) can record per-rank
+  traces into a :class:`~repro.analysis.protocol.TraceRecorder`; the
+  completed trace is then checked for unmatched sends, per-channel
+  tag/microbatch match-order consistency, and collective call-order
+  consistency across ranks.  :class:`~repro.analysis.protocol.ProtocolError`
+  is the typed error both transports raise for protocol misuse, and
+  deadlocks now come with a wait-for-graph diagnosis.
+
+* :mod:`repro.analysis.sanitizer` — an opt-in autograd sanitizer for the
+  :class:`~repro.nn.Tensor` tape: version counters / fingerprints that
+  detect mutation-after-save (PyTorch-style), an anomaly mode that
+  pinpoints the op producing the first NaN/inf, ownership checks on
+  ``_accumulate_owned`` (the PR 1 fast path), and a double-backward /
+  graph-leak detector.  Zero overhead when disabled — the hot paths test a
+  single ``enabled`` attribute, exactly like :mod:`repro.perf.counters`.
+
+* :mod:`repro.analysis.lint` — repo-specific AST lint rules (REP001-REP004)
+  runnable as ``python -m repro.analysis lint <paths>`` or via the opt-in
+  ``pytest -m lint`` gate.
+
+This package imports only the standard library and NumPy so the production
+modules can depend on it without cycles.
+"""
+
+from .lint import LintIssue, RULES, lint_paths, lint_source
+from .protocol import (
+    CommEvent,
+    ProtocolError,
+    TraceRecorder,
+    Violation,
+    assert_clean,
+    check_collective_order,
+    check_match_order,
+    check_unmatched_sends,
+    verify_trace,
+)
+from .sanitizer import (
+    AnomalyError,
+    AutogradSanitizer,
+    GraphError,
+    MutationError,
+    OwnershipError,
+    SanitizerError,
+    detect_anomaly,
+    sanitize,
+    sanitizer,
+)
+
+__all__ = [
+    "LintIssue",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+    "CommEvent",
+    "ProtocolError",
+    "TraceRecorder",
+    "Violation",
+    "assert_clean",
+    "check_collective_order",
+    "check_match_order",
+    "check_unmatched_sends",
+    "verify_trace",
+    "AnomalyError",
+    "AutogradSanitizer",
+    "GraphError",
+    "MutationError",
+    "OwnershipError",
+    "SanitizerError",
+    "detect_anomaly",
+    "sanitize",
+    "sanitizer",
+]

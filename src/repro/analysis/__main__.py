@@ -1,0 +1,37 @@
+"""Command-line entry point: ``python -m repro.analysis <subcommand>``.
+
+Subcommands:
+
+* ``lint [paths...]`` — run the repo-specific AST lint (REP001-REP004)
+  over the given files/directories (default: the installed ``repro``
+  package).  Exit code 1 if any issue is found.
+* ``rules`` — print the rule catalogue.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence
+
+from .lint import RULES, main as lint_main
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    cmd, rest = argv[0], argv[1:]
+    if cmd == "lint":
+        return lint_main(rest)
+    if cmd == "rules":
+        for code in sorted(RULES):
+            print(f"  {code}  {RULES[code]}")
+        return 0
+    print(f"unknown subcommand {cmd!r}; expected 'lint' or 'rules'",
+          file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,348 @@
+"""Repo-specific AST lint rules.
+
+Generic linters cannot see this repo's contracts; these rules can.  Each
+rule encodes an invariant that a refactor could silently break and whose
+breakage the test suite may not catch:
+
+* **REP001** — never pass the upstream gradient ``g`` (or a view of it, or
+  a view of a parent tensor's ``.data``) to ``_accumulate_owned``.  The
+  owned variant skips the defensive copy and takes ownership; an aliased
+  argument corrupts gradients without failing any loss-equivalence test.
+  This is the static twin of the runtime check in
+  :mod:`repro.analysis.sanitizer` and the documented hot-path contract in
+  :mod:`repro.nn.tensor`.
+
+* **REP002** — rank programs only ``yield RECV``.  A function that yields
+  :data:`~repro.runtime.RECV` anywhere is a rank program for the
+  cooperative transport; any other yielded value is a protocol error at
+  runtime (a bare ``yield`` after ``return`` — the make-me-a-generator
+  idiom — is allowed).
+
+* **REP003** — no unseeded randomness: ``np.random.default_rng()`` without
+  a seed and the legacy global ``np.random.*`` API both break the
+  bit-reproducibility the serial-vs-parallel equivalence tests rely on.
+
+* **REP004** — every ``env.process(...)`` call passes ``name=``.  Unnamed
+  simulation processes make trace output and deadlock diagnostics
+  unreadable at scale.
+
+Suppression: append ``# lint-ok: REP003 <reason>`` to the offending line
+(bare ``# lint-ok`` suppresses every rule on that line).
+
+Run with ``python -m repro.analysis lint <paths>`` (also surfaced as
+``python -m repro lint``), or via the opt-in ``pytest -m lint`` gate.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+__all__ = ["LintIssue", "RULES", "lint_paths", "lint_source", "main"]
+
+RULES: Dict[str, str] = {
+    "REP001": "never pass the upstream gradient g (or a view of it / of a "
+              "parent's .data) to _accumulate_owned",
+    "REP002": "rank programs may only `yield RECV`",
+    "REP003": "no unseeded randomness (np.random.default_rng() without a "
+              "seed, or the legacy np.random.* API)",
+    "REP004": "every env.process(...) call must pass name=",
+}
+
+SUPPRESS_MARK = "lint-ok"
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One finding: ``path:line:col: CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} " \
+               f"{self.message}"
+
+
+# -- suppression -------------------------------------------------------------
+
+def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> set of suppressed codes (None = all codes)."""
+    out: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), 1):
+        if "#" not in line or SUPPRESS_MARK not in line:
+            continue
+        comment = line.split("#", 1)[1]
+        if SUPPRESS_MARK not in comment:
+            continue
+        after = comment.split(SUPPRESS_MARK, 1)[1].lstrip(": ")
+        codes = {tok.strip(",") for tok in after.split()
+                 if tok.strip(",").startswith("REP")}
+        out[lineno] = codes or None
+    return out
+
+
+# -- scope helpers -----------------------------------------------------------
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _own_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+    """All AST nodes of a function body, excluding nested functions."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _FUNCTION_NODES + (ast.Lambda,)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# -- REP001 ------------------------------------------------------------------
+
+#: ndarray methods that return views of their receiver
+_VIEW_METHODS = {"reshape", "transpose", "swapaxes", "ravel", "squeeze",
+                 "view"}
+#: numpy functions that can return views of their first argument
+_VIEW_FUNCS = {"transpose", "swapaxes", "expand_dims", "broadcast_to",
+               "asarray", "asanyarray", "atleast_1d", "atleast_2d",
+               "reshape", "squeeze", "ravel"}
+#: ndarray attributes that alias the receiver
+_VIEW_ATTRS = {"T", "flat", "real", "imag"}
+
+
+def _is_upstream_view(node: ast.AST, gname: str) -> bool:
+    """Does ``node`` evaluate to ``g`` or a view of it (conservatively)?"""
+    if isinstance(node, ast.Name):
+        return node.id == gname
+    if isinstance(node, ast.Subscript):
+        return _is_upstream_view(node.value, gname)
+    if isinstance(node, ast.Attribute):
+        if node.attr in _VIEW_ATTRS:
+            return _is_upstream_view(node.value, gname)
+        return False
+    if isinstance(node, ast.Call):
+        fn = node.func
+        if isinstance(fn, ast.Name) and fn.id == "_unbroadcast" and node.args:
+            # _unbroadcast may return its input unchanged (documented).
+            return _is_upstream_view(node.args[0], gname)
+        if isinstance(fn, ast.Attribute):
+            if fn.attr in _VIEW_METHODS and _is_upstream_view(fn.value, gname):
+                return True
+            if (fn.attr in _VIEW_FUNCS and isinstance(fn.value, ast.Name)
+                    and fn.value.id in ("np", "numpy") and node.args):
+                return _is_upstream_view(node.args[0], gname)
+    return False
+
+
+def _is_parent_data_view(node: ast.AST) -> bool:
+    """Does ``node`` evaluate to some tensor's ``.data`` or a view of it?"""
+    if isinstance(node, ast.Attribute):
+        if node.attr == "data":
+            return True
+        if node.attr in _VIEW_ATTRS:
+            return _is_parent_data_view(node.value)
+        return False
+    if isinstance(node, ast.Subscript):
+        return _is_parent_data_view(node.value)
+    if isinstance(node, ast.Call):
+        fn = node.func
+        if isinstance(fn, ast.Attribute):
+            if fn.attr in _VIEW_METHODS and _is_parent_data_view(fn.value):
+                return True
+            if (fn.attr in _VIEW_FUNCS and isinstance(fn.value, ast.Name)
+                    and fn.value.id in ("np", "numpy") and node.args):
+                return _is_parent_data_view(node.args[0])
+    return False
+
+
+def _check_rep001(fn: ast.AST, issues: List[LintIssue], path: str) -> None:
+    args = getattr(fn, "args", None)
+    first = args.args[0].arg if args and args.args else ""
+    name = getattr(fn, "name", "")
+    if name != "backward" and first != "g":
+        return
+    gname = first or "g"
+    for node in _own_nodes(fn):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "_accumulate_owned"
+                and node.args):
+            continue
+        arg = node.args[0]
+        if _is_upstream_view(arg, gname):
+            issues.append(LintIssue(
+                path, node.lineno, node.col_offset, "REP001",
+                f"the upstream gradient {gname!r} (or a view of it) is "
+                f"passed to _accumulate_owned; ownership transfer requires "
+                f"a freshly allocated array — use _accumulate instead"))
+        elif _is_parent_data_view(arg):
+            issues.append(LintIssue(
+                path, node.lineno, node.col_offset, "REP001",
+                "a view of a tensor's .data buffer is passed to "
+                "_accumulate_owned; the accumulated gradient would alias "
+                "live parameter/activation memory"))
+
+
+# -- REP002 ------------------------------------------------------------------
+
+def _check_rep002(fn: ast.AST, issues: List[LintIssue], path: str) -> None:
+    yields = [n for n in _own_nodes(fn)
+              if isinstance(n, (ast.Yield, ast.YieldFrom))]
+    is_rank_program = any(
+        isinstance(y, ast.Yield) and isinstance(y.value, ast.Name)
+        and y.value.id == "RECV" for y in yields)
+    if not is_rank_program:
+        return
+    for y in yields:
+        if isinstance(y, ast.YieldFrom):
+            issues.append(LintIssue(
+                path, y.lineno, y.col_offset, "REP002",
+                "rank programs may not use `yield from`; every suspension "
+                "point must be an explicit `yield RECV`"))
+        elif y.value is not None and not (
+                isinstance(y.value, ast.Name) and y.value.id == "RECV"):
+            issues.append(LintIssue(
+                path, y.lineno, y.col_offset, "REP002",
+                "rank programs may only `yield RECV` (a bare `yield` after "
+                "`return` is allowed as the generator marker)"))
+
+
+# -- REP003 ------------------------------------------------------------------
+
+_LEGACY_RANDOM = {"rand", "randn", "random", "random_sample", "randint",
+                  "choice", "shuffle", "permutation", "seed", "normal",
+                  "uniform", "standard_normal"}
+
+
+def _dotted(node: ast.AST) -> List[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return parts[::-1]
+
+
+def _check_rep003(tree: ast.AST, issues: List[LintIssue], path: str) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _dotted(node.func)
+        if len(chain) != 3 or chain[0] not in ("np", "numpy") or \
+                chain[1] != "random":
+            continue
+        leaf = chain[2]
+        if leaf == "default_rng":
+            if not node.args and not node.keywords:
+                issues.append(LintIssue(
+                    path, node.lineno, node.col_offset, "REP003",
+                    "np.random.default_rng() without a seed breaks "
+                    "bit-reproducibility; thread an explicit seed or "
+                    "Generator through"))
+        elif leaf in _LEGACY_RANDOM:
+            issues.append(LintIssue(
+                path, node.lineno, node.col_offset, "REP003",
+                f"legacy global np.random.{leaf}() draws from hidden "
+                f"process-wide state; use an explicitly seeded "
+                f"np.random.Generator"))
+
+
+# -- REP004 ------------------------------------------------------------------
+
+def _check_rep004(tree: ast.AST, issues: List[LintIssue], path: str) -> None:
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "process"):
+            continue
+        owner = node.func.value
+        is_env = (isinstance(owner, ast.Name) and owner.id == "env") or \
+                 (isinstance(owner, ast.Attribute) and owner.attr == "env")
+        if not is_env:
+            continue
+        if not any(kw.arg == "name" for kw in node.keywords):
+            issues.append(LintIssue(
+                path, node.lineno, node.col_offset, "REP004",
+                "env.process(...) without name=; unnamed processes make "
+                "traces and deadlock diagnostics unreadable"))
+
+
+# -- driver ------------------------------------------------------------------
+
+def lint_source(source: str, path: str = "<string>") -> List[LintIssue]:
+    """Lint one module's source; returns unsuppressed issues, sorted."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [LintIssue(path, exc.lineno or 0, exc.offset or 0, "PARSE",
+                          f"syntax error: {exc.msg}")]
+    issues: List[LintIssue] = []
+    for node in ast.walk(tree):
+        if isinstance(node, _FUNCTION_NODES):
+            _check_rep001(node, issues, path)
+            _check_rep002(node, issues, path)
+    _check_rep003(tree, issues, path)
+    _check_rep004(tree, issues, path)
+    suppressed = _suppressions(source)
+    out = []
+    for issue in issues:
+        codes = suppressed.get(issue.line, ...)
+        if codes is ... or (codes is not None and issue.code not in codes):
+            out.append(issue)
+    return sorted(out, key=lambda i: (i.path, i.line, i.col, i.code))
+
+
+def _iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(paths: Sequence[str]) -> List[LintIssue]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    issues: List[LintIssue] = []
+    for file in _iter_python_files(paths):
+        issues.extend(lint_source(file.read_text(encoding="utf-8"),
+                                  str(file)))
+    return issues
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: print findings, return 1 if any (0 when clean)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis lint",
+        description="Repo-specific AST lint (rules REP001-REP004).")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories (default: the installed "
+                             "repro package)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            print(f"  {code}  {RULES[code]}")
+        return 0
+
+    paths = args.paths or [str(Path(__file__).resolve().parents[1])]
+    issues = lint_paths(paths)
+    for issue in issues:
+        print(issue)
+    n_files = sum(1 for _ in _iter_python_files(paths))
+    if issues:
+        print(f"{len(issues)} issue(s) in {n_files} file(s)")
+        return 1
+    print(f"clean: {n_files} file(s), 0 issues")
+    return 0

@@ -1,0 +1,306 @@
+"""Communication-protocol verifier (MUST / MPI-Checker style).
+
+Algorithm 2's asynchronous send/recv protocol is fragile in exactly the way
+real MPMD pipeline schedulers are: a mismatched tag or a missing receive
+silently hangs a pipeline or corrupts a gradient without failing any
+loss-equivalence test.  This module provides the machinery to rule that
+class of bug out:
+
+* :class:`TraceRecorder` — a per-rank log of send / recv / collective
+  events.  Both substrates know how to feed one: pass ``recorder=`` to
+  :class:`~repro.runtime.RankTransport` or :class:`~repro.comm.Messenger`
+  (or ``recorder=`` on :class:`~repro.runtime.AxoNNTrainer`, which also
+  records the data-parallel collectives per rank).
+
+* Static checks over a *completed* trace:
+
+  - :func:`check_unmatched_sends` — orphan packets: sends that no receive
+    ever consumed (what a forgotten ``MPI_Irecv`` looks like);
+  - :func:`check_match_order` — per-channel (src, dst) FIFO consistency:
+    the (tag, microbatch) sequence received must equal the sequence sent;
+  - :func:`check_collective_order` — every rank of a group must issue the
+    same collective sequence, in the same order (the classic source of
+    collective deadlock on real machines).
+
+* :class:`ProtocolError` — the typed error raised for protocol misuse:
+  non-RECV yields, undelivered packets at run end (``strict=True``), and
+  trace verification failures via :func:`assert_clean`.
+
+* :func:`describe_deadlock` — the wait-for-graph diagnosis attached to
+  :class:`~repro.runtime.DeadlockError`: which rank waits on whom, plus the
+  nearest unmatched send (the packet whose misrouting usually explains the
+  hang).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CommEvent",
+    "ProtocolError",
+    "TraceRecorder",
+    "Violation",
+    "assert_clean",
+    "check_collective_order",
+    "check_match_order",
+    "check_unmatched_sends",
+    "describe_deadlock",
+    "verify_trace",
+]
+
+SEND = "send"
+RECV_EVENT = "recv"
+COLLECTIVE = "collective"
+
+
+class ProtocolError(RuntimeError):
+    """A communication-protocol contract was violated.
+
+    Raised by the transports for non-RECV yields and for undelivered
+    packets at run end, and by :func:`assert_clean` when a recorded trace
+    fails verification.  Subclasses :class:`RuntimeError` so call sites
+    written against the old bare errors keep working.
+    """
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One recorded communication event.
+
+    ``rank`` is the rank *performing* the event; ``peer`` is the
+    destination for a send and the source for a receive (``None`` for
+    collectives).  ``key`` disambiguates collectives (e.g. the
+    ``(stage, chunk)`` of an all-reduce chunk).
+    """
+
+    seq: int
+    kind: str
+    rank: int
+    peer: Optional[int]
+    tag: str
+    microbatch: Any = None
+    nbytes: int = 0
+    key: Any = None
+
+    def __str__(self) -> str:
+        if self.kind == SEND:
+            return (f"send {self.rank} -> {self.peer} tag={self.tag!r} "
+                    f"microbatch={self.microbatch}")
+        if self.kind == RECV_EVENT:
+            return (f"recv {self.rank} <- {self.peer} tag={self.tag!r} "
+                    f"microbatch={self.microbatch}")
+        return f"collective rank={self.rank} op={self.tag!r} key={self.key!r}"
+
+
+class TraceRecorder:
+    """Append-only per-run communication trace.
+
+    One recorder can span several transports (e.g. the rank transport and
+    the engine's collective phase of the same batch); the global ``seq``
+    preserves the interleaving.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[CommEvent] = []
+        self._seq = 0
+
+    def _record(self, **kw: Any) -> None:
+        self.events.append(CommEvent(seq=self._seq, **kw))
+        self._seq += 1
+
+    def record_send(self, src: int, dst: int, tag: str, microbatch: Any,
+                    nbytes: int = 0) -> None:
+        self._record(kind=SEND, rank=src, peer=dst, tag=tag,
+                     microbatch=microbatch, nbytes=nbytes)
+
+    def record_recv(self, rank: int, src: int, tag: str, microbatch: Any,
+                    nbytes: int = 0) -> None:
+        self._record(kind=RECV_EVENT, rank=rank, peer=src, tag=tag,
+                     microbatch=microbatch, nbytes=nbytes)
+
+    def record_collective(self, rank: int, op: str, key: Any = None) -> None:
+        self._record(kind=COLLECTIVE, rank=rank, peer=None, tag=op, key=key)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._seq = 0
+
+    # -- views -------------------------------------------------------------
+    def events_of(self, rank: int) -> List[CommEvent]:
+        return [e for e in self.events if e.rank == rank]
+
+    def sends(self) -> List[CommEvent]:
+        return [e for e in self.events if e.kind == SEND]
+
+    def recvs(self) -> List[CommEvent]:
+        return [e for e in self.events if e.kind == RECV_EVENT]
+
+    def collectives(self) -> List[CommEvent]:
+        return [e for e in self.events if e.kind == COLLECTIVE]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One verification finding."""
+
+    code: str
+    message: str
+    events: Tuple[CommEvent, ...] = field(default=(), compare=False)
+
+    def __str__(self) -> str:
+        return f"{self.code}: {self.message}"
+
+
+def _channels(trace: TraceRecorder) -> Dict[Tuple[int, int],
+                                            Tuple[List[CommEvent],
+                                                  List[CommEvent]]]:
+    """Group events into directed (src, dst) channels, FIFO order."""
+    chans: Dict[Tuple[int, int], Tuple[List[CommEvent], List[CommEvent]]] = {}
+    for e in trace.events:
+        if e.kind == SEND:
+            chans.setdefault((e.rank, e.peer), ([], []))[0].append(e)
+        elif e.kind == RECV_EVENT:
+            chans.setdefault((e.peer, e.rank), ([], []))[1].append(e)
+    return chans
+
+
+def check_match_order(trace: TraceRecorder) -> List[Violation]:
+    """Per-channel FIFO consistency: (tag, microbatch) received must match
+    the order sent.  A mismatch means the receiver consumed a packet it did
+    not expect — the bug class that corrupts a pipeline silently."""
+    out: List[Violation] = []
+    for (src, dst), (sends, recvs) in sorted(_channels(trace).items()):
+        for i, (s, r) in enumerate(zip(sends, recvs)):
+            if (s.tag, s.microbatch) != (r.tag, r.microbatch):
+                out.append(Violation(
+                    "MATCH_ORDER",
+                    f"channel {src} -> {dst} position {i}: sent "
+                    f"(tag={s.tag!r}, microbatch={s.microbatch}) but "
+                    f"receiver consumed (tag={r.tag!r}, "
+                    f"microbatch={r.microbatch})",
+                    (s, r)))
+        if len(recvs) > len(sends):
+            for r in recvs[len(sends):]:
+                out.append(Violation(
+                    "PHANTOM_RECV",
+                    f"channel {src} -> {dst}: receive of (tag={r.tag!r}, "
+                    f"microbatch={r.microbatch}) has no matching send",
+                    (r,)))
+    return out
+
+
+def check_unmatched_sends(trace: TraceRecorder) -> List[Violation]:
+    """Sends never consumed by any receive — orphan packets that a run
+    either leaves rotting in an inbox or that indicate a missing recv."""
+    out: List[Violation] = []
+    for (src, dst), (sends, recvs) in sorted(_channels(trace).items()):
+        for s in sends[len(recvs):]:
+            out.append(Violation(
+                "UNMATCHED_SEND",
+                f"send {src} -> {dst} (tag={s.tag!r}, "
+                f"microbatch={s.microbatch}) was never received",
+                (s,)))
+    return out
+
+
+def check_collective_order(trace: TraceRecorder,
+                           groups: Optional[Sequence[Sequence[int]]] = None
+                           ) -> List[Violation]:
+    """Every rank of a group must issue the identical collective sequence.
+
+    ``groups`` lists the rank groups that participate in the same
+    collectives (e.g. the data-parallel columns of the grid); by default
+    all ranks that recorded any collective form one group.
+    """
+    per_rank: Dict[int, List[Tuple[str, Any]]] = {}
+    for e in trace.collectives():
+        per_rank.setdefault(e.rank, []).append((e.tag, e.key))
+    if groups is None:
+        groups = [sorted(per_rank)] if per_rank else []
+    out: List[Violation] = []
+    for group in groups:
+        members = list(group)
+        if len(members) < 2:
+            continue
+        ref_rank = members[0]
+        ref = per_rank.get(ref_rank, [])
+        for rank in members[1:]:
+            seq = per_rank.get(rank, [])
+            if seq == ref:
+                continue
+            # Name the first divergence precisely.
+            n = min(len(ref), len(seq))
+            idx = next((i for i in range(n) if ref[i] != seq[i]), n)
+            a = ref[idx] if idx < len(ref) else "<nothing>"
+            b = seq[idx] if idx < len(seq) else "<nothing>"
+            out.append(Violation(
+                "COLLECTIVE_ORDER",
+                f"ranks {ref_rank} and {rank} diverge at collective "
+                f"#{idx}: rank {ref_rank} issued {a!r}, rank {rank} "
+                f"issued {b!r}"))
+    return out
+
+
+def verify_trace(trace: TraceRecorder,
+                 groups: Optional[Sequence[Sequence[int]]] = None
+                 ) -> List[Violation]:
+    """All protocol checks over a completed trace."""
+    return (check_match_order(trace)
+            + check_unmatched_sends(trace)
+            + check_collective_order(trace, groups))
+
+
+def assert_clean(trace: TraceRecorder,
+                 groups: Optional[Sequence[Sequence[int]]] = None) -> None:
+    """Raise :class:`ProtocolError` listing every violation, if any."""
+    violations = verify_trace(trace, groups)
+    if violations:
+        listing = "\n  ".join(str(v) for v in violations)
+        raise ProtocolError(
+            f"communication trace failed verification with "
+            f"{len(violations)} violation(s):\n  {listing}")
+
+
+def describe_deadlock(stuck: Sequence[int],
+                      wait_for: Dict[int, Sequence[int]],
+                      orphans: Iterable[Any],
+                      messages_sent: int) -> str:
+    """Human-readable wait-for-graph diagnosis for a deadlock.
+
+    ``orphans`` are undelivered packets (anything with ``src``/``dst``/
+    ``tag``/``microbatch`` attributes).  The *nearest unmatched send* — an
+    orphan originating from a rank the stuck rank waits on, or failing
+    that any orphan — is usually the misrouted packet that explains the
+    hang.
+    """
+    stuck = sorted(stuck)
+    orphans = list(orphans)
+    lines = [f"ranks {stuck} are all blocked on empty inboxes "
+             f"(messages sent so far: {messages_sent})"]
+    lines.append("wait-for graph:")
+    for rank in stuck:
+        peers = sorted(wait_for.get(rank, ()))
+        if peers:
+            who = ", ".join(f"rank {p}" for p in peers)
+            lines.append(f"  rank {rank} waits on {who}")
+        else:
+            lines.append(f"  rank {rank} waits on an unknown sender "
+                         f"(never received a message)")
+    if orphans:
+        lines.append("nearest unmatched sends (packets never received):")
+        for pkt in orphans[:20]:
+            lines.append(
+                f"  {pkt.src} -> {pkt.dst} tag={pkt.tag!r} "
+                f"microbatch={pkt.microbatch} (queued in rank "
+                f"{pkt.dst}'s inbox)")
+        if len(orphans) > 20:
+            lines.append(f"  ... and {len(orphans) - 20} more")
+    else:
+        lines.append("no undelivered packets: the expected sender never "
+                     "called send()")
+    return "\n".join(lines)

@@ -263,7 +263,7 @@ def simulate_baseline_batch(cfg: ThreeDConfig,
         yield env.timeout(opt)
         result["optimizer_s"] = opt
 
-    env.process(batch_proc())
+    env.process(batch_proc(), name="baseline-batch")
     machine.run()
     return BaselineResult(
         config=cfg,

@@ -7,6 +7,7 @@ Usage::
     python -m repro fig9 --models 12B    # weak scaling, one model
     python -m repro all --fast           # everything, reduced sizes
     python -m repro fig9 --csv out.csv   # also write the rows as CSV
+    python -m repro lint                 # repo-specific AST lint over repro
 
 Each command prints the figure's rows as an aligned table plus the paper-
 claim checklist, mirroring what the benchmark harness asserts.
@@ -215,8 +216,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="repro",
         description="Regenerate the AxoNN paper's tables and figures.")
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["all", "list"],
-                        help="which artefact to regenerate")
+                        choices=sorted(EXPERIMENTS) + ["all", "list", "lint"],
+                        help="which artefact to regenerate (or 'lint' to "
+                             "run the repo-specific static analysis)")
     parser.add_argument("--fast", action="store_true",
                         help="reduced sizes for a quick look")
     parser.add_argument("--models", nargs="+", default=None,
@@ -231,7 +233,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             doc = (EXPERIMENTS[name].__doc__ or "").strip()
             print(f"  {name:<10} {doc}")
         print("  all        run every experiment")
+        print("  lint       repo-specific AST lint (rules REP001-REP004)")
         return 0
+
+    if args.experiment == "lint":
+        from .analysis.lint import main as lint_main
+        return lint_main([])
 
     targets = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]

@@ -62,13 +62,14 @@ def ring_allreduce_des(machine: Machine, gpu_ids: List[int], nbytes: int,
             # Send this round's chunk to the successor...
             send = env.process(
                 machine.fabric.transfer(src, dst, chunk, model,
-                                        label=f"{label}-r{_round}"))
+                                        label=f"{label}-r{_round}"),
+                name=f"{label}-send{idx}-r{_round}")
 
             def deliver(send=send, dst=dst):
                 yield send
                 mailboxes[dst].put(_round)
 
-            env.process(deliver())
+            env.process(deliver(), name=f"{label}-deliver{idx}-r{_round}")
             # ... and wait for the predecessor's chunk before continuing.
             yield mailboxes[src].get()
 

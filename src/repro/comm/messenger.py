@@ -17,12 +17,24 @@ of point-to-point backend changes what overlaps*:
 Every GPU has an inbox (:class:`~repro.sim.Store`); delivery order into the
 inbox is the arrival order on the wire, which is exactly the order the
 message-driven scheduler consumes.
+
+``messages_sent``/``bytes_sent`` count **deliveries**, not ``isend()``
+calls: a blocking-backend send whose process never completes (simulation cut
+short, deadlock) does not inflate the counters, keeping them consistent with
+what the receivers — and the tests — actually observe.
+
+Pass ``recorder=`` (a :class:`~repro.analysis.protocol.TraceRecorder`) to
+log sends at initiation and receives at consumption, for post-hoc protocol
+verification; :meth:`Messenger.check_drained` raises
+:class:`~repro.analysis.protocol.ProtocolError` listing any message still
+rotting in an inbox after a phase completes.
 """
 
 from __future__ import annotations
 
 from typing import Generator, List, Optional
 
+from ..analysis.protocol import ProtocolError, TraceRecorder
 from ..cluster import Machine
 from ..cluster.calibration import CommCostModel
 from ..sim import Event, Store
@@ -34,14 +46,16 @@ __all__ = ["Messenger"]
 class Messenger:
     """Backend-parameterized p2p messaging layer over a :class:`Machine`."""
 
-    def __init__(self, machine: Machine, model: CommCostModel):
+    def __init__(self, machine: Machine, model: CommCostModel, *,
+                 recorder: Optional[TraceRecorder] = None):
         self.machine = machine
         self.model = model
+        self.recorder = recorder
         self.inboxes: List[Store] = [
             Store(machine.env, name=f"gpu{g}.inbox")
             for g in range(machine.spec.num_gpus)
         ]
-        #: counters for tests / stats
+        #: counters for tests / stats — incremented on *delivery*
         self.messages_sent = 0
         self.bytes_sent = 0
 
@@ -54,8 +68,9 @@ class Messenger:
         stream* (the caller still gets a request event, but any kernel the
         sender schedules afterwards queues behind the transfer).
         """
-        self.messages_sent += 1
-        self.bytes_sent += msg.nbytes
+        if self.recorder is not None:
+            self.recorder.record_send(msg.src, msg.dst, msg.tag,
+                                      msg.meta.get("mb"), nbytes=msg.nbytes)
         if self.model.blocking_p2p:
             proc = self.machine.env.process(
                 self._blocking_send(msg), name=f"nccl-send-{msg.tag}"
@@ -70,11 +85,16 @@ class Messenger:
         """Process form of :meth:`isend` (yields until delivery)."""
         yield self.isend(msg)
 
+    def _deliver(self, msg: Message) -> Event:
+        self.messages_sent += 1
+        self.bytes_sent += msg.nbytes
+        return self.inboxes[msg.dst].put(msg)
+
     def _async_send(self, msg: Message) -> Generator:
         yield from self.machine.fabric.transfer(
             msg.src, msg.dst, msg.nbytes, self.model, label=msg.tag
         )
-        yield self.inboxes[msg.dst].put(msg)
+        yield self._deliver(msg)
 
     def _blocking_send(self, msg: Message) -> Generator:
         gpu = self.machine.gpu(msg.src)
@@ -86,7 +106,7 @@ class Messenger:
             )
         finally:
             gpu.compute_stream.release(req)
-        yield self.inboxes[msg.dst].put(msg)
+        yield self._deliver(msg)
 
     # -- receive ---------------------------------------------------------------
     def irecv(self, gpu_id: int) -> Event:
@@ -97,8 +117,46 @@ class Messenger:
         the same behaviour — messages arriving while the GPU computes are
         queued and the next ``yield messenger.irecv(g)`` completes instantly.
         """
-        return self.inboxes[gpu_id].get()
+        ev = self.inboxes[gpu_id].get()
+        if self.recorder is not None:
+            recorder = self.recorder
+
+            def _record(event: Event) -> None:
+                msg = event.value
+                if isinstance(msg, Message):
+                    recorder.record_recv(gpu_id, msg.src, msg.tag,
+                                         msg.meta.get("mb"),
+                                         nbytes=msg.nbytes)
+
+            if ev.callbacks is not None:
+                ev.callbacks.append(_record)
+            else:  # already processed (cannot happen for Store.get, but safe)
+                _record(ev)
+        return ev
 
     def pending(self, gpu_id: int) -> int:
         """Messages queued in ``gpu_id``'s inbox."""
         return len(self.inboxes[gpu_id])
+
+    def check_drained(self) -> None:
+        """Raise :class:`ProtocolError` if any inbox still holds messages.
+
+        Call after a phase completes: a non-empty inbox means some rank sent
+        a message nobody received — the orphan-packet bug class the protocol
+        verifier exists to catch.
+        """
+        orphans = [(g, msg) for g, inbox in enumerate(self.inboxes)
+                   for msg in getattr(inbox, "items", [])]
+        if not orphans:
+            return
+        listing = "\n  ".join(
+            f"{msg.src} -> {msg.dst} tag={msg.tag!r} "
+            f"microbatch={msg.meta.get('mb')} (in gpu {g}'s inbox)"
+            for g, msg in orphans[:20])
+        more = f"\n  ... and {len(orphans) - 20} more" \
+            if len(orphans) > 20 else ""
+        raise ProtocolError(
+            f"phase finished with {len(orphans)} undelivered message(s) "
+            f"left in inboxes (orphan sends — a receive is missing):\n  "
+            f"{listing}{more}"
+        )

@@ -51,7 +51,7 @@ def osu_latency(backend: str, intra_node: bool,
             yield messenger.isend(Message(dst, 0, nbytes, tag="pong"))
             yield messenger.irecv(0)
 
-        m.env.process(pingpong())
+        m.env.process(pingpong(), name="osu-pingpong")
         m.run()
         rows.append({
             "backend": backend,
@@ -76,7 +76,8 @@ def osu_allreduce(backend: str, ranks: int,
         m = Machine(spec=summit(max(2, (ranks + 5) // 6)))
         model = m.cal.backend(backend)
         group = list(range(ranks))
-        m.env.process(allreduce(m, group, nbytes, model, stream=None))
+        m.env.process(allreduce(m, group, nbytes, model, stream=None),
+                      name="osu-allreduce")
         m.run()
         rows.append({
             "backend": backend,

@@ -127,19 +127,22 @@ def simulate_batch(cfg: AxoNNConfig, machine: Optional[Machine] = None,
         t0 = env.now
         if full_grid:
             pipeline_s = yield env.process(
-                run_pipeline_phase_all_rows(machine, cfg, placement))
+                run_pipeline_phase_all_rows(machine, cfg, placement),
+                name="pipeline-all-rows")
         else:
             pipeline_s = yield env.process(
-                run_pipeline_phase(machine, cfg, placement))
+                run_pipeline_phase(machine, cfg, placement),
+                name="pipeline-row0")
         ar_s, opt_s, combined_s = yield env.process(
-            run_data_parallel_and_optimizer(machine, cfg, placement))
+            run_data_parallel_and_optimizer(machine, cfg, placement),
+            name="data-parallel")
         result["pipeline_s"] = pipeline_s
         result["allreduce_s"] = ar_s
         result["optimizer_s"] = opt_s
         result["combined_s"] = combined_s
         result["total"] = env.now - t0
 
-    env.process(batch_proc())
+    env.process(batch_proc(), name="batch")
     machine.run()
 
     return BatchResult(

@@ -27,6 +27,7 @@ from typing import Generator, List, Optional
 
 import numpy as np
 
+from ..analysis.protocol import TraceRecorder
 from ..cluster import GridPlacement, Machine
 from ..comm import Message, Messenger, TAG_BACKWARD, TAG_FORWARD
 from ..nn.checkpoint import optimal_checkpoint_interval
@@ -101,10 +102,15 @@ def stage_costs(cfg: AxoNNConfig) -> List[StageCost]:
 def run_pipeline_phase(machine: Machine, cfg: AxoNNConfig,
                        placement: Optional[GridPlacement] = None,
                        row: int = 0,
-                       track_memory: bool = False) -> Generator:
+                       track_memory: bool = False,
+                       recorder: Optional[TraceRecorder] = None,
+                       strict: bool = True) -> Generator:
     """Process: Algorithm 2 on one pipeline row; returns the phase duration.
 
     Spawns one message-driven process per stage and waits for all of them.
+    ``recorder`` logs every send/recv for post-hoc protocol verification;
+    ``strict`` (default) raises :class:`~repro.analysis.ProtocolError` if
+    any message is still undelivered when the phase completes.
 
     With ``track_memory`` every in-flight microbatch allocates its
     checkpointed activations on the owning GPU's memory pool (one
@@ -121,7 +127,7 @@ def run_pipeline_phase(machine: Machine, cfg: AxoNNConfig,
     gpus = placement.pipeline(row)
     costs = stage_costs(cfg)
     model = machine.cal.backend(cfg.backend_p2p)
-    messenger = Messenger(machine, model)
+    messenger = Messenger(machine, model, recorder=recorder)
     m = cfg.microbatches_per_shard
     limit = cfg.effective_pipeline_limit
     env = machine.env
@@ -222,12 +228,15 @@ def run_pipeline_phase(machine: Machine, cfg: AxoNNConfig,
     procs = [env.process(stage_proc(i), name=f"stage{i}")
              for i in range(cfg.g_inter)]
     yield env.all_of(procs)
+    if strict:
+        messenger.check_drained()
     return env.now - start
 
 
 def run_pipeline_phase_all_rows(machine: Machine, cfg: AxoNNConfig,
-                                placement: Optional[GridPlacement] = None
-                                ) -> Generator:
+                                placement: Optional[GridPlacement] = None,
+                                recorder: Optional[TraceRecorder] = None,
+                                strict: bool = True) -> Generator:
     """Process: Algorithm 2 on *every* data-parallel row concurrently.
 
     The default simulation exploits data-parallel symmetry and runs one
@@ -241,7 +250,8 @@ def run_pipeline_phase_all_rows(machine: Machine, cfg: AxoNNConfig,
                                            policy=cfg.placement_policy)
     env = machine.env
     start = env.now
-    rows = [env.process(run_pipeline_phase(machine, cfg, placement, row=j),
+    rows = [env.process(run_pipeline_phase(machine, cfg, placement, row=j,
+                                           recorder=recorder, strict=strict),
                         name=f"row{j}")
             for j in range(cfg.g_data)]
     yield env.all_of(rows)

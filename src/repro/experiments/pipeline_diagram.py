@@ -33,7 +33,8 @@ def pipeline_occupancy(g_inter: int = 4, microbatches: int = 8,
         pipeline_limit=pipeline_limit)
     machine = Machine(spec=summit(max(1, -(-num_gpus // 6))), trace=True)
     placement = GridPlacement(machine.spec, g_inter, 1)
-    machine.env.process(run_pipeline_phase(machine, cfg, placement))
+    machine.env.process(run_pipeline_phase(machine, cfg, placement),
+                        name="pipeline-diagram")
     machine.run()
     total = machine.now
 

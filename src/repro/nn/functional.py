@@ -17,7 +17,11 @@ checking (``tests/test_nn_fused.py``) and for the fused-vs-unfused rows of
 
 Backward closures allocate fresh gradient arrays and hand them to
 ``Tensor._accumulate_owned`` (ownership transfer, no defensive copy) —
-see the hot-path contract in :mod:`repro.nn.tensor`.
+see the hot-path contract in :mod:`repro.nn.tensor`.  That contract is
+checked statically by lint rule **REP001** (``python -m repro.analysis
+lint``) and dynamically by the opt-in autograd sanitizer
+(:func:`repro.analysis.sanitize`); never pass the upstream gradient ``g``
+or a view of a parent's ``.data`` to the owned variant.
 """
 
 from __future__ import annotations

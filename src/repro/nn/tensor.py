@@ -30,6 +30,22 @@ Hot-path contracts
   it without the defensive copy.  Only pass an array to the owned variant
   when the closure itself just allocated it — never the upstream gradient
   ``g`` or a view of a parent's data.
+
+  This contract is enforced twice: statically by lint rule **REP001**
+  (``python -m repro.analysis lint``) and dynamically by the opt-in
+  autograd sanitizer (:func:`repro.analysis.sanitize`), which checks every
+  ``_accumulate_owned`` call with ``np.may_share_memory`` against the
+  in-flight upstream gradient and the destination buffer.  See DESIGN.md,
+  "The analysis layer".
+
+Instrumentation
+---------------
+The sanitizer hooks below compile down to a single attribute test
+(``_san.enabled``) when disabled, mirroring :mod:`repro.perf.counters` —
+the benchmarks assert this costs <5% step time.  Code that mutates
+``Tensor.data`` in place should call :meth:`Tensor.bump_version` so the
+sanitizer's mutation-after-save detection is exact (a content fingerprint
+catches unannotated mutations on a best-effort basis).
 """
 
 from __future__ import annotations
@@ -39,6 +55,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..analysis.sanitizer import sanitizer as _san
 from ..perf.counters import counters as _counters
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
@@ -99,7 +116,7 @@ class Tensor:
     """An ndarray plus an optional autograd tape entry."""
 
     __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward",
-                 "name")
+                 "name", "_version", "__weakref__")
 
     def __init__(self, data: np.ndarray, requires_grad: bool = False,
                  parents: Sequence["Tensor"] = (),
@@ -128,7 +145,7 @@ class Tensor:
     @staticmethod
     def randn(*shape: int, rng: Optional[np.random.Generator] = None,
               scale: float = 1.0, requires_grad: bool = False) -> "Tensor":
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # lint-ok: REP003 explicit opt-in API
         return Tensor((rng.standard_normal(shape) * scale).astype(np.float32),
                       requires_grad=requires_grad)
 
@@ -155,6 +172,25 @@ class Tensor:
     def numpy(self) -> np.ndarray:
         """The raw array (shared, not copied)."""
         return self.data
+
+    # -- sanitizer support --------------------------------------------------
+    # The version slot is lazily materialized: tensors never mutated in
+    # place (the overwhelming majority) pay nothing for it.
+    @property
+    def version(self) -> int:
+        """In-place mutation counter (see the autograd sanitizer)."""
+        try:
+            return self._version
+        except AttributeError:
+            return 0
+
+    def bump_version(self) -> None:
+        """Declare an in-place mutation of ``.data``.
+
+        Call after mutating the buffer so the sanitizer's
+        mutation-after-save check is exact rather than fingerprint-based.
+        """
+        self._version = self.version + 1
 
     def detach(self) -> "Tensor":
         """A view of the same data cut from the graph."""
@@ -185,6 +221,8 @@ class Tensor:
                 out._backward = backward
                 if _counters.enabled:
                     _counters.bump("graph_nodes")
+                if _san.enabled:
+                    _san.on_node_created(out, parents, backward)
                 return out
         out.requires_grad = False
         out._parents = ()
@@ -203,6 +241,8 @@ class Tensor:
         """Add a **freshly allocated** ``grad`` into ``.grad`` without the
         defensive copy.  The caller transfers ownership: it must not read
         or write ``grad`` (or its base) after this call."""
+        if _san.enabled:
+            _san.check_owned(self, grad)
         if self.grad is None:
             if grad.dtype == self.data.dtype and grad.flags.writeable:
                 self.grad = grad
@@ -256,7 +296,14 @@ class Tensor:
         for node in reversed(topo):
             if node._backward is None or node.grad is None:
                 continue
-            node._backward(node.grad)
+            if _san.enabled:
+                _san.before_backward_node(node)
+                try:
+                    node._backward(node.grad)
+                finally:
+                    _san.after_backward_node(node)
+            else:
+                node._backward(node.grad)
             if node._parents:  # interior node: release its gradient buffer
                 node.grad = None
 

@@ -23,7 +23,7 @@ from .grid import RankGrid
 from .offload import BucketedOffloadAdamW
 from .serial import SerialTrainer, state_dict_as_slots
 from .stage import PipelineStage, partition_layers
-from .transport import RECV, DeadlockError, Packet, RankTransport
+from .transport import RECV, DeadlockError, Packet, ProtocolError, RankTransport
 
 __all__ = [
     "load_trainer",
@@ -46,4 +46,5 @@ __all__ = [
     "Packet",
     "RECV",
     "DeadlockError",
+    "ProtocolError",
 ]

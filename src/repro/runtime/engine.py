@@ -46,6 +46,7 @@ from typing import Dict, Generator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..analysis.protocol import TraceRecorder
 from ..nn import AdamW, GPTConfig, LossScaler
 from .grid import RankGrid
 from .offload import BucketedOffloadAdamW
@@ -93,7 +94,8 @@ class AxoNNTrainer:
                  offload: bool = False,
                  bucket_size: int = 4096,
                  coarsening_k: int = 4,
-                 loss_scaler: Optional[LossScaler] = None):
+                 loss_scaler: Optional[LossScaler] = None,
+                 recorder: Optional[TraceRecorder] = None):
         if microbatch_size < 1:
             raise ValueError("microbatch_size must be >= 1")
         if precision not in ("fp32", "mixed"):
@@ -149,6 +151,10 @@ class AxoNNTrainer:
                                               weight_decay=weight_decay)
         self.batches_trained = 0
         self.skipped_batches = 0
+        #: optional communication trace for the protocol verifier; the
+        #: point-to-point phase and the data-parallel collectives of every
+        #: batch are appended to the same trace
+        self.recorder = recorder
         #: per-stage reusable buffers for the data-parallel phase, allocated
         #: on first use (the parameter layout is fixed at construction, so
         #: the cache never needs invalidation)
@@ -273,6 +279,13 @@ class AxoNNTrainer:
         for i in range(self.grid.g_inter):
             column = self.grid.data_parallel_ranks(i)
             param_lists = [self.stages[r].parameters() for r in column]
+            if self.recorder is not None:
+                # One collective per parameter slot, recorded per rank —
+                # outside the numeric loop so recording stays off-hot-path.
+                for slot in range(len(param_lists[0])):
+                    for r in column:
+                        self.recorder.record_collective(
+                            r, "allreduce_fp32", key=(i, slot))
             for params in zip(*param_lists):
                 grads = [p.grad for p in params if p.grad is not None]
                 if not grads:
@@ -339,13 +352,19 @@ class AxoNNTrainer:
                 np.sum(stacked[:, start:end], axis=0, dtype=np.float16,
                        out=total[start:end])
                 n_chunks += 1
+        if self.recorder is not None:
+            for c in range(n_chunks):
+                for r in self.grid.data_parallel_ranks(i):
+                    self.recorder.record_collective(
+                        r, "allreduce_fp16", key=(i, c))
         return total, n_chunks
 
     def train_batch(self, x: np.ndarray, y: np.ndarray) -> TrainReport:
         """One full DATA_PARALLEL_STEP + optimizer step; returns the mean
         batch loss (exactly comparable to a serial full-batch loss)."""
         groups, total_mb = self._split_batch(x, y)
-        transport = RankTransport(self.grid.world_size)
+        transport = RankTransport(self.grid.world_size,
+                                  recorder=self.recorder)
 
         for stage in self.stages.values():
             stage.microbatch_losses.clear()

@@ -13,25 +13,54 @@ scheduling is round-robin and delivery deterministic, an entire parallel
 training run is bit-reproducible — which the serial-vs-parallel equivalence
 tests rely on.
 
-Deadlock (every live rank blocked on an empty inbox) raises
-:class:`DeadlockError` listing the stuck ranks — turning scheduler bugs into
-loud failures instead of hangs.
+Protocol misuse raises :class:`~repro.analysis.protocol.ProtocolError`:
+yielding anything but :data:`RECV`, or (with the default ``strict=True``)
+finishing a run with undelivered packets rotting in an inbox.  Deadlock
+(every live rank blocked on an empty inbox) raises :class:`DeadlockError`
+with a wait-for-graph diagnosis: which rank waits on whom, plus the nearest
+unmatched sends.  Either way, all still-suspended generators are closed so a
+failing run never leaks rank programs mid-``finally``.
+
+Pass ``recorder=``\\ (a :class:`~repro.analysis.protocol.TraceRecorder`) to
+log every send and delivery for post-hoc verification with
+:func:`~repro.analysis.protocol.verify_trace`.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, Generator, List, Optional
+from typing import Any, Deque, Dict, Generator, List, Optional, Set
 
-__all__ = ["Packet", "RankTransport", "DeadlockError", "RECV"]
+from ..analysis.protocol import ProtocolError, TraceRecorder, describe_deadlock
+
+__all__ = ["Packet", "RankTransport", "DeadlockError", "ProtocolError", "RECV"]
 
 #: sentinel yielded by a rank program to request the next inbox message
 RECV = "recv"
 
 
 class DeadlockError(RuntimeError):
-    """All unfinished rank programs are blocked on empty inboxes."""
+    """All unfinished rank programs are blocked on empty inboxes.
+
+    Attributes
+    ----------
+    stuck : list of rank ids blocked at deadlock time
+    wait_for : dict mapping each stuck rank to the ranks it historically
+        received from (its wait-for edges); empty means the rank never
+        received anything, so its expected sender is unknown
+    orphans : packets sitting undelivered in inboxes at deadlock time —
+        the *nearest unmatched sends*, usually the misrouted packet that
+        explains the hang
+    """
+
+    def __init__(self, message: str, stuck: Optional[List[int]] = None,
+                 wait_for: Optional[Dict[int, List[int]]] = None,
+                 orphans: Optional[List["Packet"]] = None) -> None:
+        super().__init__(message)
+        self.stuck = list(stuck or [])
+        self.wait_for = dict(wait_for or {})
+        self.orphans = list(orphans or [])
 
 
 @dataclass(frozen=True)
@@ -46,14 +75,28 @@ class Packet:
 
 
 class RankTransport:
-    """Per-rank FIFO inboxes + the cooperative scheduler."""
+    """Per-rank FIFO inboxes + the cooperative scheduler.
 
-    def __init__(self, n_ranks: int):
+    ``recorder`` (optional) receives every send and every delivery for
+    post-hoc protocol verification.  ``strict`` (default) makes ``run()``
+    raise :class:`ProtocolError` if packets remain undelivered when all
+    programs have finished — the static signature of a forgotten receive.
+    """
+
+    def __init__(self, n_ranks: int, *,
+                 recorder: Optional[TraceRecorder] = None,
+                 strict: bool = True):
         if n_ranks < 1:
             raise ValueError("need at least one rank")
         self.n_ranks = n_ranks
         self.inboxes: List[Deque[Packet]] = [deque() for _ in range(n_ranks)]
         self.messages_sent = 0
+        self.recorder = recorder
+        self.strict = strict
+        # historical senders into each rank: the wait-for edges used by the
+        # deadlock diagnosis (a blocked rank most plausibly waits on whoever
+        # has been feeding it).
+        self._peers_in: List[Set[int]] = [set() for _ in range(n_ranks)]
 
     def send(self, src: int, dst: int, tag: str, microbatch: int,
              data: Any = None) -> None:
@@ -64,6 +107,9 @@ class RankTransport:
             raise ValueError(f"rank {src} sending to itself")
         self.inboxes[dst].append(Packet(src, dst, tag, microbatch, data))
         self.messages_sent += 1
+        self._peers_in[dst].add(src)
+        if self.recorder is not None:
+            self.recorder.record_send(src, dst, tag, microbatch)
 
     def pending(self, rank: int) -> int:
         self._check_rank(rank)
@@ -73,6 +119,18 @@ class RankTransport:
         if not 0 <= rank < self.n_ranks:
             raise ValueError(f"rank {rank} outside [0, {self.n_ranks})")
 
+    def _orphans(self) -> List[Packet]:
+        return [pkt for inbox in self.inboxes for pkt in inbox]
+
+    @staticmethod
+    def _close_live(live: Dict[int, Generator]) -> None:
+        """Close still-suspended generators so error exits don't leak them."""
+        for gen in live.values():
+            try:
+                gen.close()
+            except Exception:
+                pass  # a failing finally must not mask the primary error
+
     # -- scheduler ---------------------------------------------------------
     def run(self, programs: Dict[int, Generator]) -> None:
         """Drive rank programs to completion.
@@ -80,11 +138,22 @@ class RankTransport:
         ``programs`` maps rank id -> generator.  The protocol: a program
         yields :data:`RECV` to wait for its next message; the yield
         expression evaluates to the :class:`Packet`.  Any other yielded
-        value is a protocol error.
+        value raises :class:`ProtocolError`.  On any error or deadlock,
+        every still-suspended generator is closed before the exception
+        propagates.
         """
         for rank in programs:
             self._check_rank(rank)
         live: Dict[int, Generator] = dict(programs)
+        try:
+            self._run_loop(live)
+        except BaseException:
+            self._close_live(live)
+            raise
+        if self.strict:
+            self._raise_on_orphans()
+
+    def _run_loop(self, live: Dict[int, Generator]) -> None:
         # waiting[rank] is True when the rank has yielded RECV and its inbox
         # was empty at last visit.
         started: Dict[int, bool] = {r: False for r in live}
@@ -110,6 +179,10 @@ class RankTransport:
                             break  # still blocked
                         packet = self.inboxes[rank].popleft()
                         waiting[rank] = False
+                        if self.recorder is not None:
+                            self.recorder.record_recv(
+                                rank, packet.src, packet.tag,
+                                packet.microbatch)
                         try:
                             request = gen.send(packet)
                         except StopIteration:
@@ -119,7 +192,7 @@ class RankTransport:
                     else:
                         break
                     if request != RECV:
-                        raise RuntimeError(
+                        raise ProtocolError(
                             f"rank {rank} yielded {request!r}; rank programs "
                             f"may only yield RECV"
                         )
@@ -128,7 +201,26 @@ class RankTransport:
                     # Loop again: the message may already be waiting.
             if live and not progressed:
                 stuck = sorted(live)
+                wait_for = {r: sorted(self._peers_in[r]) for r in stuck}
+                orphans = self._orphans()
                 raise DeadlockError(
-                    f"ranks {stuck} are all blocked on empty inboxes "
-                    f"(messages sent so far: {self.messages_sent})"
+                    describe_deadlock(stuck, wait_for, orphans,
+                                      self.messages_sent),
+                    stuck=stuck, wait_for=wait_for, orphans=orphans,
                 )
+
+    def _raise_on_orphans(self) -> None:
+        orphans = self._orphans()
+        if not orphans:
+            return
+        listing = "\n  ".join(
+            f"{p.src} -> {p.dst} tag={p.tag!r} microbatch={p.microbatch}"
+            for p in orphans[:20])
+        more = f"\n  ... and {len(orphans) - 20} more" if len(orphans) > 20 \
+            else ""
+        raise ProtocolError(
+            f"run finished with {len(orphans)} undelivered packet(s) left "
+            f"in inboxes (orphan sends — a receive is missing):\n  "
+            f"{listing}{more}\n"
+            f"Pass strict=False to RankTransport to allow this."
+        )

@@ -23,10 +23,14 @@ Example
 ...     yield env.timeout(3.0)
 ...     out.append(env.now)
 >>> out = []
->>> _ = env.process(proc(env, out))
+>>> _ = env.process(proc(env, out), name="example")
 >>> env.run()
 >>> out
 [3.0]
+
+Always pass ``name=`` to :meth:`Environment.process` — named processes
+keep traces and deadlock diagnostics readable, and lint rule REP004
+(``python -m repro.analysis lint``) enforces it.
 """
 
 from __future__ import annotations
@@ -148,7 +152,9 @@ class Event:
             else "triggered" if self._triggered
             else "pending"
         )
-        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+        name = getattr(self, "name", "")
+        label = f" {name!r}" if name else ""
+        return f"<{type(self).__name__}{label} {state} at {hex(id(self))}>"
 
 
 class Timeout(Event):

@@ -1,0 +1,167 @@
+"""Unit tests for the repo-specific AST lint rules (REP001-REP004)."""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.lint import RULES
+
+
+def _codes(source):
+    return [i.code for i in lint_source(textwrap.dedent(source))]
+
+
+class TestREP001:
+    def test_upstream_gradient_flagged(self):
+        src = """
+        def op(x):
+            def backward(g, a=x):
+                a._accumulate_owned(g)
+            return backward
+        """
+        assert _codes(src) == ["REP001"]
+
+    def test_view_of_upstream_flagged(self):
+        for expr in ("g[0]", "g.T", "g.reshape(2, 2)",
+                     "np.broadcast_to(g, (2, 2))", "_unbroadcast(g, shape)"):
+            src = f"""
+            def op(x):
+                def backward(g, a=x):
+                    a._accumulate_owned({expr})
+                return backward
+            """
+            assert _codes(src) == ["REP001"], expr
+
+    def test_parent_data_view_flagged(self):
+        src = """
+        def op(x):
+            def backward(g, a=x):
+                a._accumulate_owned(a.data[:1])
+            return backward
+        """
+        assert _codes(src) == ["REP001"]
+
+    def test_fresh_allocation_allowed(self):
+        src = """
+        def op(x):
+            def backward(g, a=x):
+                a._accumulate_owned(g * 2.0)
+                a._accumulate_owned(-g)
+                a._accumulate_owned(np.ascontiguousarray(
+                    np.broadcast_to(g, a.data.shape)))
+            return backward
+        """
+        assert _codes(src) == []
+
+    def test_accumulate_unowned_always_allowed(self):
+        src = """
+        def op(x):
+            def backward(g, a=x):
+                a._accumulate(g)
+            return backward
+        """
+        assert _codes(src) == []
+
+    def test_only_backward_like_functions_checked(self):
+        src = """
+        def helper(q, target):
+            target._accumulate_owned(q)
+        """
+        assert _codes(src) == []
+
+
+class TestREP002:
+    def test_non_recv_yield_flagged(self):
+        src = """
+        def program(tr):
+            pkt = yield RECV
+            yield "something-else"
+        """
+        assert _codes(src) == ["REP002"]
+
+    def test_pure_recv_program_clean(self):
+        src = """
+        def program(tr):
+            for _ in range(4):
+                pkt = yield RECV
+        """
+        assert _codes(src) == []
+
+    def test_bare_yield_marker_allowed(self):
+        src = """
+        def program(tr):
+            if done:
+                return
+                yield
+            pkt = yield RECV
+        """
+        assert _codes(src) == []
+
+    def test_yield_from_flagged(self):
+        src = """
+        def program(tr):
+            pkt = yield RECV
+            yield from other()
+        """
+        assert _codes(src) == ["REP002"]
+
+    def test_non_rank_generators_untouched(self):
+        src = """
+        def sim_proc(env):
+            yield env.timeout(1.0)
+            yield store.get()
+        """
+        assert _codes(src) == []
+
+
+class TestREP003:
+    def test_unseeded_default_rng_flagged(self):
+        assert _codes("rng = np.random.default_rng()\n") == ["REP003"]
+
+    def test_seeded_default_rng_allowed(self):
+        assert _codes("rng = np.random.default_rng(7)\n") == []
+        assert _codes("rng = np.random.default_rng(seed)\n") == []
+
+    def test_legacy_api_flagged(self):
+        assert _codes("x = np.random.randn(3)\n") == ["REP003"]
+        assert _codes("np.random.seed(0)\n") == ["REP003"]
+
+    def test_generator_methods_allowed(self):
+        assert _codes("x = rng.standard_normal(3)\n") == []
+
+
+class TestREP004:
+    def test_unnamed_process_flagged(self):
+        assert _codes("env.process(worker())\n") == ["REP004"]
+        assert _codes("machine.env.process(worker())\n") == ["REP004"]
+
+    def test_named_process_allowed(self):
+        assert _codes("env.process(worker(), name='w')\n") == []
+
+    def test_other_process_methods_untouched(self):
+        assert _codes("pool.process(item)\n") == []
+
+
+class TestMachinery:
+    def test_suppression_comment(self):
+        src = "rng = np.random.default_rng()  # lint-ok: REP003 reason\n"
+        assert lint_source(src) == []
+
+    def test_bare_suppression_covers_all_rules(self):
+        src = "env.process(np.random.default_rng())  # lint-ok\n"
+        assert lint_source(src) == []
+
+    def test_suppression_of_other_rule_does_not_mask(self):
+        src = "rng = np.random.default_rng()  # lint-ok: REP004\n"
+        assert [i.code for i in lint_source(src)] == ["REP003"]
+
+    def test_issue_format(self):
+        issue = lint_source("np.random.seed(1)\n", path="x.py")[0]
+        assert str(issue).startswith("x.py:1:")
+        assert "REP003" in str(issue)
+
+    def test_syntax_error_reported_not_raised(self):
+        issues = lint_source("def broken(:\n", path="bad.py")
+        assert issues[0].code == "PARSE"
+
+    def test_rule_catalogue_complete(self):
+        assert set(RULES) == {"REP001", "REP002", "REP003", "REP004"}

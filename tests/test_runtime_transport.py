@@ -4,7 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.runtime import RECV, DeadlockError, Packet, RankGrid, RankTransport
+from repro.runtime import (RECV, DeadlockError, Packet, ProtocolError,
+                           RankGrid, RankTransport)
 
 
 class TestTransport:
@@ -108,11 +109,131 @@ class TestTransport:
                 order.append((rank, pkt.tag))
                 if rank == 1:
                     tr.send(1, 2, "c", 1)
+                if rank == 2:
+                    pkt = yield RECV
+                    order.append((rank, pkt.tag))
 
             tr.run({r: worker(r) for r in range(3)})
             return order
 
         assert build() == build()
+
+    def test_strict_run_rejects_orphan_packets(self):
+        """A send nobody receives is a protocol error under strict mode."""
+        def programs(tr):
+            def sender():
+                tr.send(0, 1, "a", 0)
+                tr.send(0, 2, "orphaned", 3)  # rank 2 never receives
+                return
+                yield  # pragma: no cover
+
+            def receiver():
+                yield RECV
+
+            def idle():
+                return
+                yield  # pragma: no cover
+
+            return {0: sender(), 1: receiver(), 2: idle()}
+
+        tr = RankTransport(3)
+        with pytest.raises(ProtocolError, match=r"0 -> 2 tag='orphaned'"):
+            tr.run(programs(tr))
+
+        tr = RankTransport(3, strict=False)
+        tr.run(programs(tr))  # tolerated when explicitly requested
+        assert tr.pending(2) == 1
+
+    def test_protocol_error_is_typed(self):
+        tr = RankTransport(1)
+
+        def bad():
+            yield "something else"
+
+        with pytest.raises(ProtocolError):
+            tr.run({0: bad()})
+        assert issubclass(ProtocolError, RuntimeError)
+
+    def test_generators_closed_on_deadlock(self):
+        """Error exits close suspended rank programs (no leaked finally)."""
+        tr = RankTransport(2)
+        closed = []
+
+        def waiter(rank):
+            try:
+                yield RECV
+            finally:
+                closed.append(rank)
+
+        with pytest.raises(DeadlockError):
+            tr.run({0: waiter(0), 1: waiter(1)})
+        assert sorted(closed) == [0, 1]
+
+    def test_generators_closed_on_protocol_error(self):
+        tr = RankTransport(2)
+        closed = []
+
+        def waiter():
+            try:
+                yield RECV
+            finally:
+                closed.append("waiter")
+
+        def bad():
+            yield "not-recv"
+
+        # The waiter (rank 0) suspends on RECV before rank 1 misbehaves.
+        with pytest.raises(ProtocolError):
+            tr.run({0: waiter(), 1: bad()})
+        assert closed == ["waiter"]
+
+    def test_deadlock_diagnosis_names_unmatched_send(self):
+        """The wait-for-graph diagnosis points at the misrouted packet."""
+        tr = RankTransport(3)
+
+        def sender():
+            # Misrouted: meant for rank 1, sent to rank 2 (who exits).
+            tr.send(0, 2, "forward", 5)
+            return
+            yield  # pragma: no cover
+
+        def starving():
+            yield RECV  # waits forever
+
+        def exits():
+            return
+            yield  # pragma: no cover
+
+        with pytest.raises(DeadlockError) as excinfo:
+            tr.run({0: sender(), 1: starving(), 2: exits()})
+        err = excinfo.value
+        msg = str(err)
+        assert "wait-for graph" in msg
+        assert "0 -> 2 tag='forward' microbatch=5" in msg
+        assert err.stuck == [1]
+        assert [
+            (p.src, p.dst, p.tag, p.microbatch) for p in err.orphans
+        ] == [(0, 2, "forward", 5)]
+
+    def test_deadlock_wait_for_edges(self):
+        """A rank that received from a peer is diagnosed as waiting on it."""
+        tr = RankTransport(2)
+
+        def feeder():
+            tr.send(0, 1, "x", 0)
+            return
+            yield  # pragma: no cover
+
+        def hungry():
+            yield RECV
+            yield RECV  # second message never comes
+
+        with pytest.raises(DeadlockError) as excinfo:
+            tr.run({0: feeder(), 1: hungry()})
+        err = excinfo.value
+        assert err.stuck == [1]
+        assert err.wait_for == {1: [0]}
+        assert "rank 1 waits on rank 0" in str(err)
 
     def test_messages_counted(self):
         tr = RankTransport(2)
