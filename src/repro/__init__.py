@@ -40,7 +40,7 @@ Quick start (performance)::
 """
 
 from . import analysis, baselines, cluster, comm, core, experiments, nn, \
-    runtime, sim, tuning
+    obs, runtime, sim, tuning
 
 __version__ = "1.0.0"
 
@@ -52,6 +52,7 @@ __all__ = [
     "core",
     "experiments",
     "nn",
+    "obs",
     "runtime",
     "sim",
     "tuning",

@@ -26,6 +26,15 @@ breakage the test suite may not catch:
   simulation processes make trace output and deadlock diagnostics
   unreadable at scale.
 
+* **REP005** — a ``res.request()`` grant that a process waits on
+  (``yield req``) must be protected by a ``try``/``finally`` whose
+  ``finally`` calls ``.release(...)``.  A process interrupted or closed
+  while suspended on the yield otherwise leaks every resource it already
+  holds *and* leaves the pending request rotting in the queue — the
+  ``Fabric.transfer`` leak this rule was extracted from.  Yielding a
+  ``request()`` call directly is always flagged: the grant is unnamed, so
+  no ``finally`` can release it.
+
 Suppression: append ``# lint-ok: REP003 <reason>`` to the offending line
 (bare ``# lint-ok`` suppresses every rule on that line).
 
@@ -38,7 +47,8 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import (Dict, Iterable, Iterator, List, Optional, Sequence, Set,
+                    Tuple)
 
 __all__ = ["LintIssue", "RULES", "lint_paths", "lint_source", "main"]
 
@@ -49,6 +59,8 @@ RULES: Dict[str, str] = {
     "REP003": "no unseeded randomness (np.random.default_rng() without a "
               "seed, or the legacy np.random.* API)",
     "REP004": "every env.process(...) call must pass name=",
+    "REP005": "a yielded res.request() grant must sit inside try/finally "
+              "with a .release(...) in the finally (interrupt-safe hold)",
 }
 
 SUPPRESS_MARK = "lint-ok"
@@ -274,6 +286,108 @@ def _check_rep004(tree: ast.AST, issues: List[LintIssue], path: str) -> None:
                 "traces and deadlock diagnostics unreadable"))
 
 
+# -- REP005 ------------------------------------------------------------------
+
+def _is_request_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "request")
+
+
+def _finalbody_releases(try_node: ast.Try) -> bool:
+    for stmt in try_node.finalbody:
+        for node in ast.walk(stmt):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "release"):
+                return True
+    return False
+
+
+def _expr_yields(node: ast.AST) -> Iterator[ast.Yield]:
+    """Yield expressions in ``node``, excluding nested function bodies."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        n = stack.pop()
+        if isinstance(n, _FUNCTION_NODES + (ast.Lambda,)):
+            continue
+        if isinstance(n, ast.Yield):
+            yield n
+        stack.extend(ast.iter_child_nodes(n))
+
+
+def _check_rep005(fn: ast.AST, issues: List[LintIssue], path: str) -> None:
+    # Names bound to an X.request(...) result anywhere in this function.
+    grant_names: Set[str] = set()
+    for node in _own_nodes(fn):
+        if isinstance(node, ast.Assign) and _is_request_call(node.value):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    grant_names.add(tgt.id)
+        elif isinstance(node, ast.NamedExpr) and \
+                _is_request_call(node.value):
+            grant_names.add(node.target.id)
+    if not grant_names and not any(
+            _is_request_call(y.value)
+            for stmt in getattr(fn, "body", [])
+            for y in _expr_yields(stmt)
+            if y.value is not None):
+        return
+
+    found: List[Tuple[ast.Yield, bool]] = []
+
+    def visit(stmts: List[ast.stmt], protected: bool) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, _FUNCTION_NODES + (ast.ClassDef,)):
+                continue
+            if isinstance(stmt, ast.Try):
+                inner = protected or _finalbody_releases(stmt)
+                visit(stmt.body, inner)
+                for handler in stmt.handlers:
+                    visit(handler.body, protected)
+                visit(stmt.orelse, inner)
+                visit(stmt.finalbody, protected)
+            elif isinstance(stmt, (ast.If, ast.For, ast.While, ast.With)):
+                for field in ("test", "iter"):
+                    expr = getattr(stmt, field, None)
+                    if expr is not None:
+                        found.extend((y, protected)
+                                     for y in _expr_yields(expr))
+                if isinstance(stmt, ast.With):
+                    for item in stmt.items:
+                        found.extend((y, protected)
+                                     for y in _expr_yields(item.context_expr))
+                visit(stmt.body, protected)
+                visit(getattr(stmt, "orelse", []), protected)
+            else:
+                found.extend((y, protected) for y in _expr_yields(stmt))
+
+    visit(list(getattr(fn, "body", [])), False)
+    for y, protected in found:
+        value = y.value
+        if value is None:
+            continue
+        target = value.target if isinstance(value, ast.NamedExpr) else None
+        if target is not None:
+            value = value.value
+        if _is_request_call(value) and target is None:
+            issues.append(LintIssue(
+                path, y.lineno, y.col_offset, "REP005",
+                "yield X.request(...) discards the grant; bind it to a "
+                "name inside try/finally so the hold can be released on "
+                "interrupt"))
+        elif not protected and (
+                (target is not None and _is_request_call(value))
+                or (isinstance(value, ast.Name)
+                    and value.id in grant_names)):
+            issues.append(LintIssue(
+                path, y.lineno, y.col_offset, "REP005",
+                "yield on a resource request outside try/finally; a "
+                "process interrupted here leaks its grants and leaves the "
+                "pending request queued — wrap the wait and hold in "
+                "try/finally with .release(...)"))
+
+
 # -- driver ------------------------------------------------------------------
 
 def lint_source(source: str, path: str = "<string>") -> List[LintIssue]:
@@ -288,6 +402,7 @@ def lint_source(source: str, path: str = "<string>") -> List[LintIssue]:
         if isinstance(node, _FUNCTION_NODES):
             _check_rep001(node, issues, path)
             _check_rep002(node, issues, path)
+            _check_rep005(node, issues, path)
     _check_rep003(tree, issues, path)
     _check_rep004(tree, issues, path)
     suppressed = _suppressions(source)
@@ -323,7 +438,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro.analysis lint",
-        description="Repo-specific AST lint (rules REP001-REP004).")
+        description="Repo-specific AST lint (rules REP001-REP005).")
     parser.add_argument("paths", nargs="*", default=None,
                         help="files or directories (default: the installed "
                              "repro package)")

@@ -8,9 +8,13 @@ Usage::
     python -m repro all --fast           # everything, reduced sizes
     python -m repro fig9 --csv out.csv   # also write the rows as CSV
     python -m repro lint                 # repo-specific AST lint over repro
+    python -m repro trace                # Chrome-trace both substrates
+    python -m repro trace --substrate sim --out sim.json
 
 Each command prints the figure's rows as an aligned table plus the paper-
-claim checklist, mirroring what the benchmark harness asserts.
+claim checklist, mirroring what the benchmark harness asserts.  ``trace``
+runs a small 2x2 hybrid scenario with the observability layer enabled and
+writes a Chrome-trace JSON (open in Perfetto or chrome://tracing).
 """
 
 from __future__ import annotations
@@ -194,6 +198,58 @@ def cmd_ablations(args) -> bool:
     return ok
 
 
+# -- trace: observability over a small scenario -------------------------------
+
+def _trace_sim(fast: bool):
+    """One memopt batch on the discrete-event substrate, 2x2 grid."""
+    from .cluster import Machine, summit
+    from .core import AxoNNConfig, WEAK_SCALING_MODELS, simulate_batch
+    from .obs import from_sim_tracer
+    cfg = AxoNNConfig(
+        spec=WEAK_SCALING_MODELS["12B"], num_gpus=4, g_inter=2, g_data=2,
+        microbatch_size=1, batch_size=8 if fast else 16, memopt=True)
+    machine = Machine(spec=summit(1), trace=True)
+    simulate_batch(cfg, machine=machine)
+    return from_sim_tracer(machine.tracer)
+
+
+def _trace_runtime(fast: bool):
+    """One real-numerics batch on the functional runtime, 2x2 grid."""
+    import numpy as np
+    from .nn import GPTConfig
+    from .obs import RuntimeTracer
+    from .runtime import AxoNNTrainer
+    cfg = GPTConfig(vocab_size=32, seq_len=8, n_layer=4, n_head=2,
+                    hidden=12, dropout=0.0, init_seed=7)
+    tracer = RuntimeTracer()
+    trainer = AxoNNTrainer(cfg, g_inter=2, g_data=2,
+                           microbatch_size=2 if fast else 1, tracer=tracer)
+    rng = np.random.default_rng(7)
+    x = rng.integers(0, cfg.vocab_size, size=(8, cfg.seq_len))
+    y = rng.integers(0, cfg.vocab_size, size=(8, cfg.seq_len))
+    trainer.train_batch(x, y)
+    return tracer.spans
+
+
+def cmd_trace(args) -> bool:
+    """Run a small scenario with tracing; write Chrome-trace JSON."""
+    from .obs import summarize, write_chrome_trace
+    substrates = ["sim", "runtime"] if args.substrate == "both" \
+        else [args.substrate]
+    for sub in substrates:
+        out = args.out
+        if len(substrates) > 1:
+            stem, dot, ext = out.rpartition(".")
+            out = f"{stem}-{sub}.{ext}" if dot else f"{out}-{sub}"
+        spans = _trace_sim(args.fast) if sub == "sim" \
+            else _trace_runtime(args.fast)
+        print(summarize(spans, title=f"{sub} substrate"))
+        write_chrome_trace(out, spans)
+        print(f"wrote {len(spans)} spans to {out} "
+              f"(open in Perfetto / chrome://tracing)\n")
+    return True
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "fig1": cmd_fig1,
     "fig3": cmd_fig3,
@@ -216,9 +272,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="repro",
         description="Regenerate the AxoNN paper's tables and figures.")
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["all", "list", "lint"],
-                        help="which artefact to regenerate (or 'lint' to "
-                             "run the repo-specific static analysis)")
+                        choices=sorted(EXPERIMENTS) + ["all", "list", "lint",
+                                                       "trace"],
+                        help="which artefact to regenerate, 'lint' to run "
+                             "the repo-specific static analysis, or 'trace' "
+                             "to emit a Chrome-trace of a small scenario")
     parser.add_argument("--fast", action="store_true",
                         help="reduced sizes for a quick look")
     parser.add_argument("--models", nargs="+", default=None,
@@ -226,6 +284,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="restrict fig9/table2 to these models")
     parser.add_argument("--csv", default=None,
                         help="also write the rows to this CSV file")
+    parser.add_argument("--substrate", default="both",
+                        choices=["sim", "runtime", "both"],
+                        help="which substrate 'trace' runs on")
+    parser.add_argument("--out", default="trace.json",
+                        help="Chrome-trace output path for 'trace' "
+                             "(suffixed -sim/-runtime when both run)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -233,12 +297,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             doc = (EXPERIMENTS[name].__doc__ or "").strip()
             print(f"  {name:<10} {doc}")
         print("  all        run every experiment")
-        print("  lint       repo-specific AST lint (rules REP001-REP004)")
+        print("  lint       repo-specific AST lint (rules REP001-REP005)")
+        print("  trace      Chrome-trace of a small scenario "
+              "(--substrate, --out)")
         return 0
 
     if args.experiment == "lint":
         from .analysis.lint import main as lint_main
         return lint_main([])
+
+    if args.experiment == "trace":
+        return 0 if cmd_trace(args) else 1
 
     targets = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]

@@ -49,12 +49,13 @@ class SimGPU:
     def compute(self, flops: float, label: str = "kernel",
                 category: str = "compute", work: float = 0.0,
                 stream: Optional[Resource] = None,
-                extra_time: float = 0.0) -> Generator:
+                extra_time: float = 0.0, **meta: object) -> Generator:
         """Process: run ``flops`` worth of kernels on a stream.
 
         ``work`` is the per-kernel work granularity fed to the efficiency
         model (defaults to ``flops``); ``extra_time`` adds fixed software
-        overhead (e.g. the per-pass handling cost of the pipeline).
+        overhead (e.g. the per-pass handling cost of the pipeline); extra
+        keyword arguments become span metadata (microbatch ids, ...).
         Returns the kernel time.
         """
         stream = stream or self.compute_stream
@@ -62,36 +63,37 @@ class SimGPU:
             flops, self.spec.node.gpu.peak_half_flops, work
         ) + self.cal.kernel_launch_overhead + extra_time
         req = stream.request()
-        yield req
-        start = self.env.now
         try:
+            yield req
+            start = self.env.now
             yield self.env.timeout(duration)
         finally:
             stream.release(req)
         if self.tracer is not None:
             self.tracer.record(f"gpu{self.id}.{stream.name.split('.')[-1]}",
                                label, start, self.env.now,
-                               category=category, flops=flops)
+                               category=category, flops=flops, **meta)
         return duration
 
     def busy(self, duration: float, label: str = "busy",
              category: str = "compute",
-             stream: Optional[Resource] = None) -> Generator:
+             stream: Optional[Resource] = None, **meta: object) -> Generator:
         """Process: occupy a stream for a fixed duration (non-flop work such
         as an NCCL rendezvous or a fixed overhead)."""
         if duration < 0:
             raise ValueError(f"negative busy duration: {duration}")
         stream = stream or self.compute_stream
         req = stream.request()
-        yield req
-        start = self.env.now
         try:
+            yield req
+            start = self.env.now
             yield self.env.timeout(duration)
         finally:
             stream.release(req)
         if self.tracer is not None:
             self.tracer.record(f"gpu{self.id}.{stream.name.split('.')[-1]}",
-                               label, start, self.env.now, category=category)
+                               label, start, self.env.now, category=category,
+                               **meta)
         return duration
 
     # -- host <-> device -------------------------------------------------------
@@ -111,14 +113,16 @@ class SimGPU:
             raise ValueError(f"direction must be 'h2d' or 'd2h', got {direction!r}")
         duration = self.dma_time(nbytes)
         slot = self.host_dma_slots.request()
-        yield slot
-        req = self.dma_engine.request()
-        yield req
-        start = self.env.now
+        req = None
         try:
+            yield slot
+            req = self.dma_engine.request()
+            yield req
+            start = self.env.now
             yield self.env.timeout(duration)
         finally:
-            self.dma_engine.release(req)
+            if req is not None:
+                self.dma_engine.release(req)
             self.host_dma_slots.release(slot)
         if self.tracer is not None:
             self.tracer.record(f"gpu{self.id}.dma", label or direction,

@@ -22,7 +22,7 @@ wait cycles impossible.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
 from ..sim import Environment, Resource, Tracer
 from .calibration import CommCostModel
@@ -79,21 +79,29 @@ class Fabric:
 
     # -- processes -----------------------------------------------------------
     def transfer(self, src: int, dst: int, nbytes: int,
-                 model: CommCostModel, label: str = "msg") -> Generator:
+                 model: CommCostModel, label: str = "msg",
+                 meta: Optional[Dict[str, object]] = None) -> Generator:
         """Simulation process moving ``nbytes`` from GPU ``src`` to ``dst``.
 
         Yields until the transfer completes; returns the wire time (excluding
-        queueing) so callers can account overheads.
+        queueing) so callers can account overheads.  ``meta`` is attached to
+        the recorded span (the messenger passes microbatch identity through).
+
+        The whole acquire-hold sequence runs under one ``try/finally``: if
+        the process is cancelled or errors while still waiting on a *later*
+        ``request()``, every already-granted resource is released and the
+        still-pending request is cancelled (:meth:`Resource.release` handles
+        never-granted requests), so a killed transfer leaks nothing.
         """
         resources, intra = self._resources_for(src, dst)
         duration = model.p2p_time(nbytes, intra)
         grants = []
-        for res in resources:
-            req = res.request()
-            yield req
-            grants.append((res, req))
-        start = self.env.now
         try:
+            for res in resources:
+                req = res.request()
+                grants.append((res, req))
+                yield req
+            start = self.env.now
             yield self.env.timeout(duration)
         finally:
             for res, req in reversed(grants):
@@ -102,18 +110,21 @@ class Fabric:
             self.tracer.record(
                 f"gpu{src}.net", label, start, self.env.now,
                 category="p2p", src=src, dst=dst, bytes=nbytes,
-                backend=model.name,
+                backend=model.name, **(meta or {}),
             )
         return duration
 
     def allreduce(self, ranks: List[int], nbytes: int,
-                  model: CommCostModel, label: str = "allreduce") -> Generator:
+                  model: CommCostModel, label: str = "allreduce",
+                  meta: Optional[Dict[str, object]] = None) -> Generator:
         """Simulation process performing an all-reduce over GPU ids ``ranks``
         with ``nbytes`` contributed per rank.
 
         The ring cost model gives the duration; the process holds the NICs of
         every involved node (or the ports, for a single-node group) so that
-        concurrent collectives and point-to-point traffic contend.
+        concurrent collectives and point-to-point traffic contend.  Like
+        :meth:`transfer`, the acquire-hold sequence is fully guarded so a
+        cancelled collective releases every granted resource.
         """
         if len(ranks) <= 1:
             return 0.0
@@ -125,12 +136,12 @@ class Fabric:
         else:
             resources = [self.nics_out[n] for n in nodes]
         grants = []
-        for res in resources:
-            req = res.request()
-            yield req
-            grants.append((res, req))
-        start = self.env.now
         try:
+            for res in resources:
+                req = res.request()
+                grants.append((res, req))
+                yield req
+            start = self.env.now
             yield self.env.timeout(duration)
         finally:
             for res, req in reversed(grants):
@@ -139,6 +150,6 @@ class Fabric:
             self.tracer.record(
                 f"gpu{ranks[0]}.net", label, start, self.env.now,
                 category="allreduce", ranks=len(ranks), bytes=nbytes,
-                backend=model.name,
+                backend=model.name, **(meta or {}),
             )
         return duration

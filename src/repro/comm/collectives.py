@@ -49,17 +49,20 @@ def allreduce(machine: Machine, ranks: List[int], nbytes: int,
         raise ValueError("duplicate ranks in collective group")
     if len(ranks) <= 1:
         return 0.0
+    if stream is not None and stream not in ("compute", "aux"):
+        raise ValueError(f"stream must be 'compute', 'aux' or None, "
+                         f"got {stream!r}")
+    # The whole acquire-hold sequence is guarded: a collective cancelled
+    # while still waiting on a later stream request releases every grant
+    # and cancels the pending request (same contract as Fabric.transfer).
     grants = []
-    if stream is not None:
-        if stream not in ("compute", "aux"):
-            raise ValueError(f"stream must be 'compute', 'aux' or None, "
-                             f"got {stream!r}")
-        for res in _acquire_streams(machine, ranks, stream):
-            req = res.request()
-            yield req
-            grants.append((res, req))
-    start = machine.env.now
     try:
+        if stream is not None:
+            for res in _acquire_streams(machine, ranks, stream):
+                req = res.request()
+                grants.append((res, req))
+                yield req
+        start = machine.env.now
         yield from machine.fabric.allreduce(ranks, nbytes, model, label=label)
     finally:
         for res, req in reversed(grants):

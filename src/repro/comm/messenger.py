@@ -90,19 +90,26 @@ class Messenger:
         self.bytes_sent += msg.nbytes
         return self.inboxes[msg.dst].put(msg)
 
+    def _span_meta(self, msg: Message) -> dict:
+        """Span metadata attached to the fabric's p2p trace record."""
+        mb = msg.meta.get("mb")
+        return {} if mb is None else {"mb": mb}
+
     def _async_send(self, msg: Message) -> Generator:
         yield from self.machine.fabric.transfer(
-            msg.src, msg.dst, msg.nbytes, self.model, label=msg.tag
+            msg.src, msg.dst, msg.nbytes, self.model, label=msg.tag,
+            meta=self._span_meta(msg)
         )
         yield self._deliver(msg)
 
     def _blocking_send(self, msg: Message) -> Generator:
         gpu = self.machine.gpu(msg.src)
         req = gpu.compute_stream.request()
-        yield req
         try:
+            yield req
             yield from self.machine.fabric.transfer(
-                msg.src, msg.dst, msg.nbytes, self.model, label=msg.tag
+                msg.src, msg.dst, msg.nbytes, self.model, label=msg.tag,
+                meta=self._span_meta(msg)
             )
         finally:
             gpu.compute_stream.release(req)

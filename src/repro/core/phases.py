@@ -157,7 +157,8 @@ def run_pipeline_phase(machine: Machine, cfg: AxoNNConfig,
                                    label=f"fwd{mb}",
                                    category="compute",
                                    work=cost.work_granularity,
-                                   extra_time=handling)
+                                   extra_time=handling,
+                                   mb=mb, stage=i)
 
         def bwd(mb: int) -> Generator:
             if track_memory:
@@ -167,7 +168,8 @@ def run_pipeline_phase(machine: Machine, cfg: AxoNNConfig,
                 (cost.recompute_flops + cost.bwd_flops) * factor,
                 label=f"bwd{mb}", category="compute",
                 work=cost.work_granularity,
-                extra_time=handling)
+                extra_time=handling,
+                mb=mb, stage=i)
             if track_memory:
                 gpu.memory.free_label(f"row{row}.recompute")
                 gpu.memory.free_label(f"row{row}.ckpt{mb}")
@@ -320,17 +322,19 @@ def run_data_parallel_and_optimizer(machine: Machine, cfg: AxoNNConfig,
         # Fig. 5 setting: optimizer states removed; only the all-reduce runs.
         dur = allreduce_chunk(grad_bytes)
         yield from gpu.busy(dur, label="allreduce", category="allreduce",
-                            stream=gpu.aux_stream)
+                            stream=gpu.aux_stream, bytes=grad_bytes,
+                            ranks=cfg.g_data)
         return dur, 0.0, env.now - start
 
     if not cfg.memopt:
         # Baseline: monolithic all-reduce then resident optimizer.
         ar = allreduce_chunk(grad_bytes)
         yield from gpu.busy(ar, label="allreduce", category="allreduce",
-                            stream=gpu.aux_stream)
+                            stream=gpu.aux_stream, bytes=grad_bytes,
+                            ranks=cfg.g_data)
         opt = optimizer_time_on_gpu(machine, phi)
         yield from gpu.busy(opt, label="optimizer", category="optimizer",
-                            stream=gpu.compute_stream)
+                            stream=gpu.compute_stream, params=phi)
         return ar, opt, env.now - start
 
     # Memory-optimized path: bucketed CPU offload, chunked all-reduce with
@@ -343,13 +347,15 @@ def run_data_parallel_and_optimizer(machine: Machine, cfg: AxoNNConfig,
     if not cfg.overlap:
         ar = allreduce_chunk(grad_bytes)
         yield from gpu.busy(ar, label="allreduce", category="allreduce",
-                            stream=gpu.aux_stream)
+                            stream=gpu.aux_stream, bytes=grad_bytes,
+                            ranks=cfg.g_data)
         for b in range(n_buckets):
             params_here = min(bsize, phi - b * bsize)
             dur = offload_bucket_time(machine, gpu_id, params_here)
             yield from gpu.busy(dur, label=f"opt-bucket{b}",
                                 category="optimizer",
-                                stream=gpu.compute_stream)
+                                stream=gpu.compute_stream,
+                                params=params_here)
         return ar, env.now - start - ar, env.now - start
 
     # Overlapped: all-reduce chunks on the aux stream feed optimizer bucket
@@ -363,11 +369,12 @@ def run_data_parallel_and_optimizer(machine: Machine, cfg: AxoNNConfig,
         for c in range(n_chunks):
             chunk_params = min(k * bsize, remaining)
             remaining -= chunk_params
-            dur = allreduce_chunk(
-                cfg.spec.gradient_bytes_half(chunk_params))
+            chunk_bytes = cfg.spec.gradient_bytes_half(chunk_params)
+            dur = allreduce_chunk(chunk_bytes)
             yield from gpu.busy(dur, label=f"allreduce-chunk{c}",
                                 category="allreduce",
-                                stream=gpu.aux_stream)
+                                stream=gpu.aux_stream, bytes=chunk_bytes,
+                                chunk=c, ranks=cfg.g_data)
             ar_busy += dur
             ready.put(chunk_params)
 
@@ -381,7 +388,8 @@ def run_data_parallel_and_optimizer(machine: Machine, cfg: AxoNNConfig,
                 dur = offload_bucket_time(machine, gpu_id, params_here)
                 yield from gpu.busy(dur, label="opt-bucket",
                                     category="optimizer",
-                                    stream=gpu.compute_stream)
+                                    stream=gpu.compute_stream,
+                                    params=params_here)
                 opt_busy += dur
 
     procs = [env.process(allreduce_proc(), name="allreduce"),

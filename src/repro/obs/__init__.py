@@ -1,0 +1,60 @@
+"""repro.obs — the unified observability layer.
+
+One span schema, two producers, shared consumers:
+
+* :mod:`.schema` — :class:`ObsSpan`, the ``(rank, stream, name, start,
+  end, category, microbatch, nbytes)`` record both substrates emit, plus
+  converters from the sim tracer's spans;
+* :mod:`.tracer` — :class:`RuntimeTracer`, the wall-clock tracer the
+  functional runtime (:mod:`repro.runtime`) hooks into;
+* :mod:`.export` — Chrome-trace/Perfetto JSON and CSV exporters;
+* :mod:`.report` — utilization, compute-communication overlap, idle
+  breakdown and message-volume reports (the math behind the paper's
+  Fig. 7 evidence).
+
+``python -m repro trace`` runs a configured scenario on either substrate
+and emits the trace plus a terminal summary.
+"""
+
+from .export import chrome_trace, csv_rows, write_chrome_trace, write_csv
+from .report import (
+    busy_time,
+    idle_breakdown,
+    message_volume,
+    message_volume_rows,
+    overlap_stats,
+    overlap_time,
+    summarize,
+    utilization_report,
+)
+from .schema import (
+    CATEGORIES,
+    STREAMS,
+    ObsSpan,
+    from_sim_span,
+    from_sim_tracer,
+    validate_span,
+)
+from .tracer import RuntimeTracer
+
+__all__ = [
+    "CATEGORIES",
+    "STREAMS",
+    "ObsSpan",
+    "from_sim_span",
+    "from_sim_tracer",
+    "validate_span",
+    "RuntimeTracer",
+    "chrome_trace",
+    "csv_rows",
+    "write_chrome_trace",
+    "write_csv",
+    "busy_time",
+    "idle_breakdown",
+    "message_volume",
+    "message_volume_rows",
+    "overlap_stats",
+    "overlap_time",
+    "summarize",
+    "utilization_report",
+]

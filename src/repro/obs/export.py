@@ -1,0 +1,121 @@
+"""Trace exporters: Chrome-trace (Perfetto) JSON and CSV.
+
+:func:`chrome_trace` produces the Trace Event Format dict that
+``chrome://tracing`` and https://ui.perfetto.dev load directly:
+
+* one *complete* event (``"ph": "X"``) per span, with ``ts``/``dur`` in
+  **microseconds** (the format's required unit);
+* ``pid`` = rank, ``tid`` = a stable per-stream id (compute=0, aux=1,
+  dma=2, net=3, further streams enumerated after);
+* ``process_name`` / ``thread_name`` metadata events so the viewer shows
+  ``rank 0`` / ``compute`` instead of bare numbers;
+* span payload (category, microbatch, bytes, extra meta) in ``args``.
+
+:func:`csv_rows` / :func:`write_csv` flatten the same spans to one dict
+row per span for spreadsheet-side analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .schema import STREAMS, ObsSpan
+
+__all__ = ["chrome_trace", "write_chrome_trace", "csv_rows", "write_csv"]
+
+_SECONDS_TO_US = 1e6
+
+
+def _tid_table(spans: Sequence[ObsSpan]) -> Dict[str, int]:
+    """Stable stream -> tid mapping: canonical streams first, then others
+    in first-seen order."""
+    table = {name: i for i, name in enumerate(STREAMS)}
+    for s in spans:
+        if s.stream not in table:
+            table[s.stream] = len(table)
+    return table
+
+
+def chrome_trace(spans: Iterable[ObsSpan]) -> Dict[str, object]:
+    """Build the Trace Event Format document for ``spans``."""
+    spans = list(spans)
+    tids = _tid_table(spans)
+    events: List[Dict[str, object]] = []
+    seen_procs: set = set()
+    seen_threads: set = set()
+    for s in sorted(spans, key=lambda s: (s.rank, tids[s.stream], s.start)):
+        tid = tids[s.stream]
+        if s.rank not in seen_procs:
+            seen_procs.add(s.rank)
+            events.append({
+                "ph": "M", "pid": s.rank, "tid": 0,
+                "name": "process_name", "args": {"name": f"rank {s.rank}"},
+            })
+        if (s.rank, tid) not in seen_threads:
+            seen_threads.add((s.rank, tid))
+            events.append({
+                "ph": "M", "pid": s.rank, "tid": tid,
+                "name": "thread_name", "args": {"name": s.stream},
+            })
+        args: Dict[str, object] = {"category": s.category}
+        if s.microbatch is not None:
+            args["microbatch"] = s.microbatch
+        if s.nbytes is not None:
+            args["bytes"] = s.nbytes
+        args.update(s.with_meta())
+        events.append({
+            "ph": "X",
+            "name": s.name,
+            "cat": s.category,
+            "ts": s.start * _SECONDS_TO_US,
+            "dur": s.duration * _SECONDS_TO_US,
+            "pid": s.rank,
+            "tid": tid,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, spans: Iterable[ObsSpan]) -> int:
+    """Write the Chrome-trace JSON to ``path``; returns the span count."""
+    spans = list(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(spans), fh)
+    return len(spans)
+
+
+_CSV_FIELDS = ("rank", "stream", "name", "category", "start", "end",
+               "duration", "microbatch", "nbytes")
+
+
+def csv_rows(spans: Iterable[ObsSpan]) -> List[Dict[str, object]]:
+    """One flat dict per span (extra meta keys appended after the fixed
+    fields)."""
+    rows = []
+    for s in spans:
+        row: Dict[str, object] = {
+            "rank": s.rank, "stream": s.stream, "name": s.name,
+            "category": s.category, "start": s.start, "end": s.end,
+            "duration": s.duration, "microbatch": s.microbatch,
+            "nbytes": s.nbytes,
+        }
+        row.update(s.with_meta())
+        rows.append(row)
+    return rows
+
+
+def write_csv(path: str, spans: Iterable[ObsSpan]) -> int:
+    """Write one CSV row per span to ``path``; returns the span count."""
+    rows = csv_rows(spans)
+    columns: List[str] = list(_CSV_FIELDS)
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(rows)
+    return len(rows)

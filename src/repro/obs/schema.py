@@ -1,0 +1,137 @@
+"""The shared span schema of the observability layer.
+
+Both execution substrates — the discrete-event performance model
+(:mod:`repro.sim` / :mod:`repro.cluster`) and the functional runtime
+(:mod:`repro.runtime`) — describe what happened as *spans*: named intervals
+on a ``(rank, stream)`` track.  This module defines the one schema they
+share, so exporters (:mod:`repro.obs.export`) and report functions
+(:mod:`repro.obs.report`) never need to know which substrate produced a
+timeline.
+
+A span is:
+
+``rank``
+    The GPU / rank the work ran on (the Chrome-trace ``pid``).
+``stream``
+    Which engine of that rank: ``"compute"`` (default CUDA stream),
+    ``"aux"`` (AxoNN's second stream, paper Fig. 7), ``"dma"`` (host<->
+    device copies), ``"net"`` (NVLink port / NIC occupancy).  The
+    Chrome-trace ``tid``.
+``name`` / ``category``
+    The span label (``fwd3``, ``allreduce-chunk0``, ...) and its coarse
+    class — one of :data:`CATEGORIES` — which the reports aggregate over.
+``start`` / ``end``
+    Seconds.  Simulated seconds on the DES substrate, wall-clock seconds
+    (from an arbitrary origin) on the functional runtime — the schema does
+    not distinguish; all report math is origin- and unit-agnostic.
+``microbatch`` / ``nbytes``
+    Optional payload identity: which microbatch the work belonged to and
+    how many bytes moved (communication and DMA spans).
+``meta``
+    Any further key/value payload (``src``/``dst`` ranks of a transfer,
+    flops of a kernel, backend name, ...), stored as a sorted tuple so
+    spans stay hashable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["CATEGORIES", "STREAMS", "ObsSpan", "validate_span",
+           "from_sim_span", "from_sim_tracer"]
+
+#: canonical span categories; reports aggregate on these
+CATEGORIES = ("compute", "p2p", "allreduce", "optimizer", "h2d", "d2h",
+              "other")
+
+#: canonical stream names in display order (Chrome-trace tid assignment)
+STREAMS = ("compute", "aux", "dma", "net")
+
+
+@dataclass(frozen=True)
+class ObsSpan:
+    """One observed interval on a ``(rank, stream)`` track."""
+
+    rank: int
+    stream: str
+    name: str
+    start: float
+    end: float
+    category: str = "other"
+    microbatch: Optional[int] = None
+    nbytes: Optional[int] = None
+    meta: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def track(self) -> str:
+        """Display track name, matching the sim tracer's convention."""
+        return f"gpu{self.rank}.{self.stream}"
+
+    def with_meta(self) -> Dict[str, object]:
+        return dict(self.meta)
+
+
+def validate_span(span: ObsSpan) -> None:
+    """Raise :class:`ValueError` on a schema violation."""
+    if span.rank < 0:
+        raise ValueError(f"negative rank: {span.rank}")
+    if not span.stream:
+        raise ValueError("empty stream name")
+    if not span.name:
+        raise ValueError("empty span name")
+    if span.end < span.start:
+        raise ValueError(
+            f"span ends before it starts: {span.name} "
+            f"[{span.start}, {span.end}]")
+    if span.category not in CATEGORIES:
+        raise ValueError(
+            f"unknown category {span.category!r}; expected one of "
+            f"{CATEGORIES}")
+    if span.nbytes is not None and span.nbytes < 0:
+        raise ValueError(f"negative nbytes: {span.nbytes}")
+
+
+def _category_of(raw: str) -> str:
+    return raw if raw in CATEGORIES else "other"
+
+
+def from_sim_span(span) -> ObsSpan:
+    """Convert one :class:`repro.sim.Span` to the shared schema.
+
+    The sim tracer's track names follow ``gpu{rank}.{stream}`` (the GPUs
+    and the fabric both use it); anything else maps to rank 0 with the
+    track name as the stream.
+    """
+    track = span.track
+    rank, stream = 0, track
+    if track.startswith("gpu"):
+        head, _, tail = track.partition(".")
+        try:
+            rank = int(head[3:])
+            stream = tail or "compute"
+        except ValueError:
+            pass
+    meta = span.with_meta()
+    microbatch = meta.pop("mb", None)
+    nbytes = meta.pop("bytes", None)
+    return ObsSpan(
+        rank=rank,
+        stream=stream,
+        name=span.name,
+        start=span.start,
+        end=span.end,
+        category=_category_of(span.category),
+        microbatch=microbatch if isinstance(microbatch, int) else None,
+        nbytes=int(nbytes) if isinstance(nbytes, (int, float)) else None,
+        meta=tuple(sorted(meta.items())),
+    )
+
+
+def from_sim_tracer(tracer) -> List[ObsSpan]:
+    """Convert every span of a :class:`repro.sim.Tracer`."""
+    return [from_sim_span(s) for s in tracer.spans]

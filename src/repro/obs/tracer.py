@@ -1,0 +1,95 @@
+"""Wall-clock span tracer for the functional runtime.
+
+The discrete-event substrate already has :class:`repro.sim.Tracer`; this is
+its functional-runtime twin.  It stamps spans with wall-clock seconds from
+a fixed origin (tracer construction), records them directly in the shared
+:class:`~repro.obs.schema.ObsSpan` schema, and costs nothing when disabled
+— the hot paths guard every call with ``if tracer is not None``, and a
+constructed-but-disabled tracer short-circuits in :meth:`record`.
+
+Usage::
+
+    tracer = RuntimeTracer()
+    with tracer.span(rank=0, stream="compute", name="fwd0",
+                     category="compute", microbatch=0):
+        stage.forward(...)
+    tracer.record(rank=1, stream="net", name="forward", start=t0,
+                  end=tracer.now(), category="p2p", nbytes=4096)
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+from .schema import ObsSpan
+
+__all__ = ["RuntimeTracer"]
+
+
+class RuntimeTracer:
+    """Collects :class:`ObsSpan` records with wall-clock timestamps.
+
+    ``clock`` is injectable for deterministic tests (defaults to
+    :func:`time.perf_counter`); timestamps are relative to the clock value
+    at construction so exported traces start near zero.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 clock: Callable[[], float] = time.perf_counter):
+        self.enabled = enabled
+        self._clock = clock
+        self._origin = clock()
+        self.spans: List[ObsSpan] = []
+
+    def now(self) -> float:
+        """Seconds since the tracer was constructed."""
+        return self._clock() - self._origin
+
+    def record(self, rank: int, stream: str, name: str, start: float,
+               end: float, category: str = "other",
+               microbatch: Optional[int] = None,
+               nbytes: Optional[int] = None, **meta: object) -> None:
+        """Record a completed span (timestamps from :meth:`now`)."""
+        if not self.enabled:
+            return
+        if end < start:
+            raise ValueError(
+                f"span ends before it starts: {name} [{start}, {end}]")
+        self.spans.append(ObsSpan(
+            rank=rank, stream=stream, name=name, start=start, end=end,
+            category=category, microbatch=microbatch, nbytes=nbytes,
+            meta=tuple(sorted(meta.items())),
+        ))
+
+    @contextmanager
+    def span(self, rank: int, stream: str, name: str,
+             category: str = "other", microbatch: Optional[int] = None,
+             nbytes: Optional[int] = None,
+             **meta: object) -> Iterator[None]:
+        """Context manager recording the enclosed block as one span."""
+        if not self.enabled:
+            yield
+            return
+        start = self.now()
+        try:
+            yield
+        finally:
+            self.record(rank, stream, name, start, self.now(),
+                        category=category, microbatch=microbatch,
+                        nbytes=nbytes, **meta)
+
+    # -- queries (mirror repro.sim.Tracer) ---------------------------------
+    def tracks(self) -> List[str]:
+        """Track names in first-seen order."""
+        seen: Dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.track, None)
+        return list(seen)
+
+    def by_category(self, category: str) -> List[ObsSpan]:
+        return [s for s in self.spans if s.category == category]
+
+    def clear(self) -> None:
+        self.spans.clear()

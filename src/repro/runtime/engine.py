@@ -48,6 +48,7 @@ import numpy as np
 
 from ..analysis.protocol import TraceRecorder
 from ..nn import AdamW, GPTConfig, LossScaler
+from ..obs import RuntimeTracer
 from .grid import RankGrid
 from .offload import BucketedOffloadAdamW
 from .stage import PipelineStage
@@ -95,7 +96,8 @@ class AxoNNTrainer:
                  bucket_size: int = 4096,
                  coarsening_k: int = 4,
                  loss_scaler: Optional[LossScaler] = None,
-                 recorder: Optional[TraceRecorder] = None):
+                 recorder: Optional[TraceRecorder] = None,
+                 tracer: Optional[RuntimeTracer] = None):
         if microbatch_size < 1:
             raise ValueError("microbatch_size must be >= 1")
         if precision not in ("fp32", "mixed"):
@@ -155,6 +157,11 @@ class AxoNNTrainer:
         #: point-to-point phase and the data-parallel collectives of every
         #: batch are appended to the same trace
         self.recorder = recorder
+        #: optional observability tracer (:mod:`repro.obs`); span names
+        #: mirror the performance model's event names (``fwd{mb}``,
+        #: ``bwd{mb}``, ``allreduce``, ``allreduce-chunk{c}``,
+        #: ``optimizer``) so traces from both substrates line up
+        self.tracer = tracer
         #: per-stage reusable buffers for the data-parallel phase, allocated
         #: on first use (the parameter layout is fixed at construction, so
         #: the cache never needs invalidation)
@@ -211,12 +218,25 @@ class AxoNNTrainer:
         def targets_of(mb: int) -> np.ndarray:
             return microbatches[mb][1]
 
+        fwd, bwd = stage.forward, stage.backward
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            def fwd(mb, *args, **kwargs):
+                with tracer.span(rank, "compute", f"fwd{mb}",
+                                 category="compute", microbatch=mb, stage=i):
+                    return stage.forward(mb, *args, **kwargs)
+
+            def bwd(mb, *args):
+                with tracer.span(rank, "compute", f"bwd{mb}",
+                                 category="compute", microbatch=mb, stage=i):
+                    return stage.backward(mb, *args)
+
         # Degenerate pipeline: a single stage runs everything locally.
         if grid.g_inter == 1:
             for mb in queue:
-                stage.forward(mb, inputs_of(mb), targets=targets_of(mb),
-                              loss_divisor=divisor, loss_scale=scale)
-                stage.backward(mb)
+                fwd(mb, inputs_of(mb), targets=targets_of(mb),
+                    loss_divisor=divisor, loss_scale=scale)
+                bwd(mb)
             return
             yield  # pragma: no cover - makes this function a generator
 
@@ -225,7 +245,7 @@ class AxoNNTrainer:
         if grid.is_first_stage(rank):
             for _ in range(min(self.pipeline_limit, m)):
                 mb = queue.popleft()
-                out = stage.forward(mb, inputs_of(mb))
+                out = fwd(mb, inputs_of(mb))
                 transport.send(rank, next_rank, TAG_FWD, mb, out)
 
         # Expected message count: every stage processes m forward and m
@@ -244,20 +264,20 @@ class AxoNNTrainer:
             if pkt.src == prev_rank and pkt.tag == TAG_FWD:
                 mb = pkt.microbatch
                 if grid.is_last_stage(rank):
-                    stage.forward(mb, pkt.data, targets=targets_of(mb),
-                                  loss_divisor=divisor, loss_scale=scale)
-                    grad_in = stage.backward(mb)  # BACKWARD(1), line 16
+                    fwd(mb, pkt.data, targets=targets_of(mb),
+                        loss_divisor=divisor, loss_scale=scale)
+                    grad_in = bwd(mb)  # BACKWARD(1), line 16
                     transport.send(rank, prev_rank, TAG_BWD, mb, grad_in)
                 else:
-                    out = stage.forward(mb, pkt.data)
+                    out = fwd(mb, pkt.data)
                     transport.send(rank, next_rank, TAG_FWD, mb, out)
             elif pkt.src == next_rank and pkt.tag == TAG_BWD:
                 mb = pkt.microbatch
-                grad_in = stage.backward(mb, pkt.data)
+                grad_in = bwd(mb, pkt.data)
                 if grid.is_first_stage(rank):
                     if queue:  # inject a fresh microbatch (lines 23-26)
                         nxt = queue.popleft()
-                        out = stage.forward(nxt, inputs_of(nxt))
+                        out = fwd(nxt, inputs_of(nxt))
                         transport.send(rank, next_rank, TAG_FWD, nxt, out)
                 else:
                     transport.send(rank, prev_rank, TAG_BWD, mb, grad_in)
@@ -276,9 +296,13 @@ class AxoNNTrainer:
         """
         if self.grid.g_data == 1:
             return
+        tracer = self.tracer if (self.tracer is not None
+                                 and self.tracer.enabled) else None
         for i in range(self.grid.g_inter):
             column = self.grid.data_parallel_ranks(i)
             param_lists = [self.stages[r].parameters() for r in column]
+            col_bytes = sum(p.data.nbytes for p in param_lists[0])
+            ar_start = tracer.now() if tracer is not None else 0.0
             if self.recorder is not None:
                 # One collective per parameter slot, recorded per rank —
                 # outside the numeric loop so recording stays off-hot-path.
@@ -296,6 +320,12 @@ class AxoNNTrainer:
                         p.grad = total.copy()
                     else:
                         np.copyto(p.grad, total)
+            if tracer is not None:
+                ar_end = tracer.now()
+                for r in column:
+                    tracer.record(r, "aux", "allreduce", ar_start, ar_end,
+                                  category="allreduce", nbytes=col_bytes,
+                                  ranks=len(column))
 
     def _column_buffers(self, i: int) -> "_ColumnBuffers":
         """The (lazily allocated) reusable fp16 buffers of column ``i``."""
@@ -344,13 +374,24 @@ class AxoNNTrainer:
         stacked, total = buf.stacked, buf.total
         chunk = max(1, self.coarsening_k * self.bucket_size)
         n_chunks = 0
+        tracer = self.tracer if (self.tracer is not None
+                                 and self.tracer.enabled) else None
+        column = self.grid.data_parallel_ranks(i)
         # Overflowing values legitimately produce inf/nan here (that is what
         # the overflow check downstream detects) — silence the warning.
         with np.errstate(invalid="ignore", over="ignore"):
             for start in range(0, buf.numel, chunk):
                 end = min(start + chunk, buf.numel)
+                t0 = tracer.now() if tracer is not None else 0.0
                 np.sum(stacked[:, start:end], axis=0, dtype=np.float16,
                        out=total[start:end])
+                if tracer is not None:
+                    t1 = tracer.now()
+                    for r in column:
+                        tracer.record(r, "aux", f"allreduce-chunk{n_chunks}",
+                                      t0, t1, category="allreduce",
+                                      nbytes=2 * (end - start),
+                                      chunk=n_chunks, ranks=len(column))
                 n_chunks += 1
         if self.recorder is not None:
             for c in range(n_chunks):
@@ -364,7 +405,8 @@ class AxoNNTrainer:
         batch loss (exactly comparable to a serial full-batch loss)."""
         groups, total_mb = self._split_batch(x, y)
         transport = RankTransport(self.grid.world_size,
-                                  recorder=self.recorder)
+                                  recorder=self.recorder,
+                                  tracer=self.tracer)
 
         for stage in self.stages.values():
             stage.microbatch_losses.clear()
@@ -393,8 +435,8 @@ class AxoNNTrainer:
             applied, chunks = self._mixed_data_parallel_and_optimizer()
         else:
             self._allreduce_fp32()
-            for opt in self.optimizers.values():
-                opt.step()
+            for rank, opt in self.optimizers.items():
+                self._traced_step(rank, opt.step)
         self.batches_trained += 1
         if not applied:
             self.skipped_batches += 1
@@ -409,6 +451,15 @@ class AxoNNTrainer:
         return TrainReport(mean_loss, transport.messages_sent, total_mb,
                            applied=applied, loss_scale=scale,
                            allreduce_chunks=chunks)
+
+    def _traced_step(self, rank: int, step, *args) -> None:
+        """Run an optimizer step, recording it as an ``optimizer`` span."""
+        if self.tracer is not None and self.tracer.enabled:
+            with self.tracer.span(rank, "compute", "optimizer",
+                                  category="optimizer"):
+                step(*args)
+        else:
+            step(*args)
 
     def _mixed_data_parallel_and_optimizer(self) -> Tuple[bool, int]:
         """fp16 all-reduce + globally synchronized overflow skip + step."""
@@ -430,12 +481,12 @@ class AxoNNTrainer:
             i, _j = self.grid.coord_of(rank)
             opt = self.optimizers[rank]
             if isinstance(opt, BucketedOffloadAdamW):
-                opt.step(reduced[i])
+                self._traced_step(rank, opt.step, reduced[i])
             else:
                 # Per-parameter views of the reduced flat, precomputed once
                 # per column (the optimizer copies before descaling, so the
                 # column's replicas can all read the same views).
-                opt.step(self._dp_buffers[i].halves)
+                self._traced_step(rank, opt.step, self._dp_buffers[i].halves)
         self.scaler.update(found_overflow=False)
         return True, chunks
 

@@ -119,7 +119,9 @@ class BucketedOffloadAdamW:
                 f"expected flat gradient of {self.numel} elements, got "
                 f"{half_grads.shape}"
             )
-        if not np.isfinite(half_grads.astype(np.float32)).all():
+        # np.isfinite handles fp16 natively — no fp32 copy of the flat
+        # gradient just to run the overflow check.
+        if not np.isfinite(half_grads).all():
             self.scaler.update(found_overflow=True)
             self.skipped_steps += 1
             return False

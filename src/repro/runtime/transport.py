@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Generator, List, Optional, Set
 
 from ..analysis.protocol import ProtocolError, TraceRecorder, describe_deadlock
+from ..obs import RuntimeTracer
 
 __all__ = ["Packet", "RankTransport", "DeadlockError", "ProtocolError", "RECV"]
 
@@ -85,6 +86,7 @@ class RankTransport:
 
     def __init__(self, n_ranks: int, *,
                  recorder: Optional[TraceRecorder] = None,
+                 tracer: Optional[RuntimeTracer] = None,
                  strict: bool = True):
         if n_ranks < 1:
             raise ValueError("need at least one rank")
@@ -92,11 +94,16 @@ class RankTransport:
         self.inboxes: List[Deque[Packet]] = [deque() for _ in range(n_ranks)]
         self.messages_sent = 0
         self.recorder = recorder
+        #: optional observability tracer; every delivered packet becomes a
+        #: "p2p" span from send time to consumption time on the sender's
+        #: ``net`` track
+        self.tracer = tracer
         self.strict = strict
         # historical senders into each rank: the wait-for edges used by the
         # deadlock diagnosis (a blocked rank most plausibly waits on whoever
         # has been feeding it).
         self._peers_in: List[Set[int]] = [set() for _ in range(n_ranks)]
+        self._send_times: Dict[int, float] = {}
 
     def send(self, src: int, dst: int, tag: str, microbatch: int,
              data: Any = None) -> None:
@@ -105,11 +112,26 @@ class RankTransport:
         self._check_rank(dst)
         if src == dst:
             raise ValueError(f"rank {src} sending to itself")
-        self.inboxes[dst].append(Packet(src, dst, tag, microbatch, data))
+        pkt = Packet(src, dst, tag, microbatch, data)
+        self.inboxes[dst].append(pkt)
         self.messages_sent += 1
         self._peers_in[dst].add(src)
         if self.recorder is not None:
             self.recorder.record_send(src, dst, tag, microbatch)
+        if self.tracer is not None and self.tracer.enabled:
+            self._send_times[id(pkt)] = self.tracer.now()
+
+    def _trace_delivery(self, packet: Packet) -> None:
+        """Record the send-to-consumption interval as a p2p span."""
+        tracer = self.tracer
+        start = self._send_times.pop(id(packet), None)
+        if tracer is None or not tracer.enabled or start is None:
+            return
+        data = packet.data
+        nbytes = int(getattr(data, "nbytes", 0)) if data is not None else None
+        tracer.record(packet.src, "net", packet.tag, start, tracer.now(),
+                      category="p2p", microbatch=packet.microbatch,
+                      nbytes=nbytes, src=packet.src, dst=packet.dst)
 
     def pending(self, rank: int) -> int:
         self._check_rank(rank)
@@ -183,6 +205,8 @@ class RankTransport:
                             self.recorder.record_recv(
                                 rank, packet.src, packet.tag,
                                 packet.microbatch)
+                        if self.tracer is not None:
+                            self._trace_delivery(packet)
                         try:
                             request = gen.send(packet)
                         except StopIteration:

@@ -14,6 +14,7 @@ All primitives are deterministic: waiters are served in request order.
 
 from __future__ import annotations
 
+import bisect
 import heapq
 from typing import Any, List, Optional, Tuple
 
@@ -58,6 +59,11 @@ class Resource:
         #: cumulative (time-weighted) busy integral, for utilization stats
         self._busy_integral = 0.0
         self._last_change = env.now
+        #: (time, busy integral at that time, holders from that time on) —
+        #: one checkpoint per holder-count change, so windowed utilization
+        #: queries can reconstruct the integral at any past instant
+        self._checkpoints: List[Tuple[float, float, int]] = [
+            (env.now, 0.0, 0)]
 
     # -- stats -------------------------------------------------------------
     @property
@@ -75,13 +81,40 @@ class Resource:
         self._busy_integral += self._users * (now - self._last_change)
         self._last_change = now
 
+    def _checkpoint(self) -> None:
+        """Snapshot the integral after a holder-count change (the integral
+        is piecewise linear between changes, so these points suffice to
+        evaluate it at any past time).  Callers must :meth:`_account`
+        *before* mutating ``_users`` so the integral is current."""
+        entry = (self.env.now, self._busy_integral, self._users)
+        if self._checkpoints[-1][0] == self.env.now:
+            self._checkpoints[-1] = entry
+        else:
+            self._checkpoints.append(entry)
+
+    def _integral_at(self, t: float) -> float:
+        """Busy integral accumulated by time ``t`` (0 before creation)."""
+        checkpoints = self._checkpoints
+        if t <= checkpoints[0][0]:
+            return 0.0
+        lo = bisect.bisect_right(checkpoints, (t, float("inf"), 0)) - 1
+        t_i, integral, users = checkpoints[lo]
+        return integral + users * (t - t_i)
+
     def utilization(self, since: float = 0.0) -> float:
-        """Mean fraction of capacity in use over [since, now]."""
+        """Mean fraction of capacity in use over [since, now].
+
+        The busy integral over the window is the *difference* of the
+        cumulative integral at its endpoints — never the lifetime integral
+        divided by the windowed elapsed time, which would exceed 1.0 for a
+        resource busy before ``since``.
+        """
         self._account()
         elapsed = self.env.now - since
         if elapsed <= 0:
             return 0.0
-        return self._busy_integral / (elapsed * self.capacity)
+        window_integral = self._busy_integral - self._integral_at(since)
+        return window_integral / (elapsed * self.capacity)
 
     # -- protocol ------------------------------------------------------------
     def request(self, priority: int = 0) -> Request:
@@ -90,6 +123,7 @@ class Resource:
         if self._users < self.capacity and not self._waiters:
             self._account()
             self._users += 1
+            self._checkpoint()
             req.succeed(req)
         else:
             self._enqueue(req)
@@ -111,6 +145,7 @@ class Resource:
         if nxt is not None:
             self._users += 1
             nxt.succeed(nxt)
+        self._checkpoint()
 
     # -- queue policy (overridden by PriorityResource) ----------------------
     def _enqueue(self, req: Request) -> None:

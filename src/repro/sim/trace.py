@@ -137,6 +137,12 @@ def render_ascii_timeline(tracer: Tracer, width: int = 100,
 
     Each bin shows the first letter of the dominant span category in that
     bin, or ``.`` for idle — a terminal-friendly stand-in for Fig. 7.
+
+    Binning is half-open: a span paints ``[b0, b1)`` so back-to-back spans
+    never overwrite each other's boundary bin (the later span starts in
+    the bin where the earlier one's exclusive right edge lands).  Spans
+    too short to cover a full bin — including zero-width markers — still
+    paint the single bin they start in.
     """
     if not tracer.spans:
         return "(empty timeline)"
@@ -150,9 +156,9 @@ def render_ascii_timeline(tracer: Tracer, width: int = 100,
         row = ["."] * width
         for s in tracer.on_track(track):
             b0 = max(0, min(width - 1, int((s.start - lo) * scale)))
-            b1 = max(0, min(width - 1, int((s.end - lo) * scale)))
+            b1 = max(b0 + 1, min(width, int((s.end - lo) * scale)))
             ch = (s.category or s.name or "x")[0]
-            for i in range(b0, b1 + 1):
+            for i in range(b0, b1):
                 row[i] = ch
         lines.append(f"{track:>24} |{''.join(row)}|")
     return "\n".join(lines)

@@ -1,4 +1,4 @@
-"""Unit tests for the repo-specific AST lint rules (REP001-REP004)."""
+"""Unit tests for the repo-specific AST lint rules (REP001-REP005)."""
 
 import textwrap
 
@@ -141,6 +141,77 @@ class TestREP004:
         assert _codes("pool.process(item)\n") == []
 
 
+class TestREP005:
+    def test_unprotected_grant_yield_flagged(self):
+        src = """
+        def proc(env, res):
+            req = res.request()
+            yield req
+            yield env.timeout(1.0)
+            res.release(req)
+        """
+        assert _codes(src) == ["REP005"]
+
+    def test_direct_request_yield_flagged(self):
+        # The grant object is discarded: nothing can ever release it.
+        src = """
+        def proc(env, res):
+            yield res.request()
+            yield env.timeout(1.0)
+        """
+        assert _codes(src) == ["REP005"]
+
+    def test_try_finally_with_release_clean(self):
+        src = """
+        def proc(env, res):
+            req = res.request()
+            try:
+                yield req
+                yield env.timeout(1.0)
+            finally:
+                res.release(req)
+        """
+        assert _codes(src) == []
+
+    def test_finally_without_release_still_flagged(self):
+        src = """
+        def proc(env, res):
+            req = res.request()
+            try:
+                yield req
+            finally:
+                log.append("done")
+        """
+        assert _codes(src) == ["REP005"]
+
+    def test_loop_acquire_pattern_clean(self):
+        # The Fabric idiom: acquire several resources inside one guarded
+        # block, release them all (including a still-pending request) in
+        # the finally.
+        src = """
+        def transfer(env, resources):
+            grants = []
+            try:
+                for res in resources:
+                    req = res.request()
+                    grants.append((res, req))
+                    yield req
+                yield env.timeout(1.0)
+            finally:
+                for res, req in reversed(grants):
+                    res.release(req)
+        """
+        assert _codes(src) == []
+
+    def test_non_request_yields_untouched(self):
+        src = """
+        def proc(env, store):
+            item = yield store.get()
+            yield env.timeout(1.0)
+        """
+        assert _codes(src) == []
+
+
 class TestMachinery:
     def test_suppression_comment(self):
         src = "rng = np.random.default_rng()  # lint-ok: REP003 reason\n"
@@ -164,4 +235,5 @@ class TestMachinery:
         assert issues[0].code == "PARSE"
 
     def test_rule_catalogue_complete(self):
-        assert set(RULES) == {"REP001", "REP002", "REP003", "REP004"}
+        assert set(RULES) == {"REP001", "REP002", "REP003", "REP004",
+                              "REP005"}

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import csv
+import json
 
 import pytest
 
@@ -50,6 +51,26 @@ class TestCLI:
             rows = list(csv.DictReader(fh))
         assert len(rows) == 4
         assert rows[0]["gpus"] == "48"
+
+    def test_trace_runtime_substrate(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--fast", "--substrate", "runtime",
+                     "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "runtime" in out
+        doc = json.loads(path.read_text())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert complete
+        for e in complete:
+            for key in ("name", "ts", "dur", "pid", "tid"):
+                assert key in e, key
+
+    def test_trace_both_substrates(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--fast", "--out", str(path)]) == 0
+        for suffix in ("sim", "runtime"):
+            doc = json.loads((tmp_path / f"trace-{suffix}.json").read_text())
+            assert any(e["ph"] == "X" for e in doc["traceEvents"]), suffix
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):

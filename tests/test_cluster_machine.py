@@ -12,6 +12,7 @@ from repro.cluster import (
     summit,
     validate_calibration,
 )
+from repro.sim import Interrupt
 
 
 class TestCalibration:
@@ -136,6 +137,60 @@ class TestFabric:
         m.env.process(m.fabric.allreduce([3], 32 * MB, m.cal.nccl))
         m.run()
         assert m.now == 0.0
+
+    def _all_resources(self, m):
+        return (m.fabric.ports_out + m.fabric.ports_in
+                + m.fabric.nics_out + m.fabric.nics_in)
+
+    def test_interrupted_transfer_releases_everything(self):
+        # Regression: a transfer cancelled while queueing for its *second*
+        # resource must release the first grant and cancel the pending
+        # request, leaving the fabric exactly as it found it.
+        m = self._machine()
+        model = m.cal.mpi
+        m.env.process(m.fabric.transfer(2, 1, 16 * MB, model))  # holds gpu1.in
+
+        def doomed(env):
+            try:
+                yield from m.fabric.transfer(0, 1, 16 * MB, model)
+            except Interrupt:
+                pass
+
+        victim = m.env.process(doomed(m.env))
+
+        def killer(env):
+            yield env.timeout(1e-9)
+            victim.interrupt("cancelled")
+
+        m.env.process(killer(m.env))
+        m.run()
+        for res in self._all_resources(m):
+            assert res.count == 0, res.name
+            assert res.queue_len == 0, res.name
+
+    def test_interrupted_allreduce_releases_everything(self):
+        m = self._machine()
+        # Inter-node transfer holds node0's egress NIC; the collective
+        # queues behind it and is then cancelled.
+        m.env.process(m.fabric.transfer(1, 7, 8 * MB, m.cal.mpi))
+
+        def doomed(env):
+            try:
+                yield from m.fabric.allreduce([0, 6], 32 * MB, m.cal.nccl)
+            except Interrupt:
+                pass
+
+        victim = m.env.process(doomed(m.env))
+
+        def killer(env):
+            yield env.timeout(1e-9)
+            victim.interrupt("cancelled")
+
+        m.env.process(killer(m.env))
+        m.run()
+        for res in self._all_resources(m):
+            assert res.count == 0, res.name
+            assert res.queue_len == 0, res.name
 
     def test_trace_records_transfers(self):
         m = self._machine()

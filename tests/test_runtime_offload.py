@@ -35,6 +35,10 @@ class TestBucketedOffload:
             mono.step(grads16)
             flat = np.concatenate([g.reshape(-1) for g in grads16])
             bucket.step(flat)
+        # All five steps applied, none skipped: the fp16-native overflow
+        # check must agree with the monolithic optimizer's verdict.
+        assert bucket.steps == 5
+        assert bucket.skipped_steps == 0
         for a, b in zip(p_mono, p_bucket):
             np.testing.assert_allclose(a.data, b.data, rtol=1e-5, atol=1e-7)
 

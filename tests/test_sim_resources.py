@@ -130,6 +130,54 @@ def test_utilization_accounting():
     assert res.utilization() == pytest.approx(0.4)
 
 
+def test_windowed_utilization_accounting():
+    # Regression: utilization(since=...) used to subtract only the elapsed
+    # time, not the busy time outside the window, so a window placed after
+    # a busy stretch could report utilization > 1.0.
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user(env):
+        req = res.request()
+        yield req
+        yield env.timeout(4)  # busy [0, 4]
+        res.release(req)
+        yield env.timeout(6)  # idle [4, 10]
+
+    env.process(user(env))
+    env.run()
+    # Window [5, 10] is entirely idle.
+    assert res.utilization(since=5) == pytest.approx(0.0)
+    # Window [2, 10]: busy [2, 4] of an 8-second window.
+    assert res.utilization(since=2) == pytest.approx(0.25)
+    # No window ever exceeds full utilization.
+    for since in [0, 1, 2, 3, 3.9]:
+        assert res.utilization(since=since) <= 1.0 + 1e-12
+
+
+def test_windowed_utilization_during_active_hold():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    checks = []
+
+    def holder(env, hold):
+        req = res.request()
+        yield req
+        yield env.timeout(hold)
+        res.release(req)
+
+    def observer(env):
+        yield env.timeout(6)
+        # [4, 6]: one of two slots busy on [4, 5] -> 1 / (2 * 2) = 0.25
+        checks.append(res.utilization(since=4))
+
+    env.process(holder(env, 5))
+    env.process(holder(env, 3))
+    env.process(observer(env))
+    env.run()
+    assert checks == [pytest.approx(0.25)]
+
+
 def test_priority_resource_orders_by_priority():
     env = Environment()
     res = PriorityResource(env, capacity=1)

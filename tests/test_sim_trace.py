@@ -85,6 +85,34 @@ def test_render_empty_timeline():
     assert "empty" in render_ascii_timeline(Tracer())
 
 
+def _row(text, line=1):
+    """Extract the painted bins of the n-th track row."""
+    return text.splitlines()[line].split("|")[1]
+
+
+def test_render_half_open_bins_keep_adjacent_spans_distinct():
+    # Regression: the right edge used to be painted inclusively, so a span
+    # ending exactly where the next one starts overwrote its first bin.
+    tr = Tracer()
+    tr.record("t", "o", 0.0, 1.0, category="optimizer")
+    tr.record("t", "a", 1.0, 2.0, category="allreduce")
+    assert _row(render_ascii_timeline(tr, width=10)) == "oooooaaaaa"
+
+
+def test_render_span_does_not_bleed_into_idle_tail():
+    tr = Tracer()
+    tr.record("t", "o", 0.0, 1.0, category="optimizer")
+    row = _row(render_ascii_timeline(tr, width=10, t1=2.0))
+    assert row == "ooooo....."
+
+
+def test_render_zero_width_span_paints_one_bin():
+    tr = Tracer()
+    tr.record("t", "mark", 1.0, 1.0, category="optimizer")
+    row = _row(render_ascii_timeline(tr, width=10, t0=0.0, t1=2.0))
+    assert row == ".....o...."
+
+
 @given(
     ivs=st.lists(
         st.tuples(st.floats(min_value=0, max_value=100, allow_nan=False),
