@@ -35,9 +35,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():
-        print(f"baseline {args.baseline} not found; run "
-              f"benchmarks/bench_wallclock.py first", file=sys.stderr)
-        return 2
+        # No baseline is not a regression — a fresh checkout (or CI cache
+        # miss) has nothing to compare against.  Say so clearly and pass.
+        print(f"no baseline found at {args.baseline}; nothing to compare "
+              f"against.\nRun `PYTHONPATH=src python "
+              f"benchmarks/bench_wallclock.py` to record one.")
+        return 0
     baseline = json.loads(args.baseline.read_text())["trainers"]
 
     fresh = bench_wallclock.bench_trainers()

@@ -12,11 +12,11 @@ breakage the test suite may not catch:
   :mod:`repro.analysis.sanitizer` and the documented hot-path contract in
   :mod:`repro.nn.tensor`.
 
-* **REP002** — rank programs only ``yield RECV``.  A function that yields
-  :data:`~repro.runtime.RECV` anywhere is a rank program for the
-  cooperative transport; any other yielded value is a protocol error at
-  runtime (a bare ``yield`` after ``return`` — the make-me-a-generator
-  idiom — is allowed).
+* **REP002** — rank programs only ``yield RECV`` or
+  ``yield recv_within(...)``.  A function that yields either anywhere is a
+  rank program for the cooperative transport; any other yielded value is a
+  protocol error at runtime (a bare ``yield`` after ``return`` — the
+  make-me-a-generator idiom — is allowed).
 
 * **REP003** — no unseeded randomness: ``np.random.default_rng()`` without
   a seed and the legacy global ``np.random.*`` API both break the
@@ -34,6 +34,13 @@ breakage the test suite may not catch:
   ``Fabric.transfer`` leak this rule was extracted from.  Yielding a
   ``request()`` call directly is always flagged: the grant is unnamed, so
   no ``finally`` can release it.
+
+* **REP006** — a rank program that performs a *timed* receive
+  (``yield recv_within(...)``) must do so inside a ``try`` that handles
+  ``TimeoutError`` or ``RankFailure``.  A timed receive exists precisely
+  because the channel can be severed by a fault plan; letting the timeout
+  escape tears down the whole batch with an unhandled exception instead of
+  triggering the program's degraded path.
 
 Suppression: append ``# lint-ok: REP003 <reason>`` to the offending line
 (bare ``# lint-ok`` suppresses every rule on that line).
@@ -61,6 +68,8 @@ RULES: Dict[str, str] = {
     "REP004": "every env.process(...) call must pass name=",
     "REP005": "a yielded res.request() grant must sit inside try/finally "
               "with a .release(...) in the finally (interrupt-safe hold)",
+    "REP006": "a `yield recv_within(...)` timed receive must be inside a "
+              "try that handles TimeoutError or RankFailure",
 }
 
 SUPPRESS_MARK = "lint-ok"
@@ -203,26 +212,47 @@ def _check_rep001(fn: ast.AST, issues: List[LintIssue], path: str) -> None:
 
 # -- REP002 ------------------------------------------------------------------
 
-def _check_rep002(fn: ast.AST, issues: List[LintIssue], path: str) -> None:
+def _is_recv_marker(value: Optional[ast.AST]) -> bool:
+    """``RECV`` or ``recv_within(...)`` — the two legal yield requests."""
+    if isinstance(value, ast.Name) and value.id == "RECV":
+        return True
+    return _is_timed_recv(value)
+
+
+def _is_timed_recv(value: Optional[ast.AST]) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    fn = value.func
+    name = fn.id if isinstance(fn, ast.Name) else \
+        fn.attr if isinstance(fn, ast.Attribute) else None
+    return name == "recv_within"
+
+
+def _is_rank_program(fn: ast.AST) -> Tuple[bool, List[ast.AST]]:
     yields = [n for n in _own_nodes(fn)
               if isinstance(n, (ast.Yield, ast.YieldFrom))]
-    is_rank_program = any(
-        isinstance(y, ast.Yield) and isinstance(y.value, ast.Name)
-        and y.value.id == "RECV" for y in yields)
-    if not is_rank_program:
+    is_rank = any(isinstance(y, ast.Yield) and _is_recv_marker(y.value)
+                  for y in yields)
+    return is_rank, yields
+
+
+def _check_rep002(fn: ast.AST, issues: List[LintIssue], path: str) -> None:
+    is_rank, yields = _is_rank_program(fn)
+    if not is_rank:
         return
     for y in yields:
         if isinstance(y, ast.YieldFrom):
             issues.append(LintIssue(
                 path, y.lineno, y.col_offset, "REP002",
                 "rank programs may not use `yield from`; every suspension "
-                "point must be an explicit `yield RECV`"))
-        elif y.value is not None and not (
-                isinstance(y.value, ast.Name) and y.value.id == "RECV"):
+                "point must be an explicit `yield RECV` / "
+                "`yield recv_within(...)`"))
+        elif y.value is not None and not _is_recv_marker(y.value):
             issues.append(LintIssue(
                 path, y.lineno, y.col_offset, "REP002",
-                "rank programs may only `yield RECV` (a bare `yield` after "
-                "`return` is allowed as the generator marker)"))
+                "rank programs may only `yield RECV` or "
+                "`yield recv_within(...)` (a bare `yield` after `return` "
+                "is allowed as the generator marker)"))
 
 
 # -- REP003 ------------------------------------------------------------------
@@ -388,6 +418,69 @@ def _check_rep005(fn: ast.AST, issues: List[LintIssue], path: str) -> None:
                 "try/finally with .release(...)"))
 
 
+# -- REP006 ------------------------------------------------------------------
+
+_TIMEOUT_HANDLERS = {"TimeoutError", "RankFailure", "Exception",
+                     "BaseException"}
+
+
+def _handles_timeout(try_node: ast.Try) -> bool:
+    """Does any except clause catch TimeoutError / RankFailure?"""
+    for handler in try_node.handlers:
+        t = handler.type
+        if t is None:  # bare except
+            return True
+        types = t.elts if isinstance(t, ast.Tuple) else [t]
+        for node in types:
+            name = node.id if isinstance(node, ast.Name) else \
+                node.attr if isinstance(node, ast.Attribute) else None
+            if name in _TIMEOUT_HANDLERS:
+                return True
+    return False
+
+
+def _check_rep006(fn: ast.AST, issues: List[LintIssue], path: str) -> None:
+    is_rank, _yields = _is_rank_program(fn)
+    if not is_rank:
+        return
+
+    def visit(stmts: List[ast.stmt], protected: bool) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, _FUNCTION_NODES + (ast.ClassDef,)):
+                continue
+            if isinstance(stmt, ast.Try):
+                inner = protected or _handles_timeout(stmt)
+                visit(stmt.body, inner)
+                for handler in stmt.handlers:
+                    visit(handler.body, protected)
+                visit(stmt.orelse, inner)
+                visit(stmt.finalbody, protected)
+            elif isinstance(stmt, (ast.If, ast.For, ast.While, ast.With)):
+                for field in ("test", "iter"):
+                    expr = getattr(stmt, field, None)
+                    if expr is not None:
+                        flag(_expr_yields(expr), protected)
+                if isinstance(stmt, ast.With):
+                    for item in stmt.items:
+                        flag(_expr_yields(item.context_expr), protected)
+                visit(stmt.body, protected)
+                visit(getattr(stmt, "orelse", []), protected)
+            else:
+                flag(_expr_yields(stmt), protected)
+
+    def flag(ys: Iterator[ast.Yield], protected: bool) -> None:
+        for y in ys:
+            if _is_timed_recv(y.value) and not protected:
+                issues.append(LintIssue(
+                    path, y.lineno, y.col_offset, "REP006",
+                    "`yield recv_within(...)` outside a try that handles "
+                    "TimeoutError/RankFailure; a timed receive exists "
+                    "because the channel can be severed — handle the "
+                    "timeout or use a plain `yield RECV`"))
+
+    visit(list(getattr(fn, "body", [])), False)
+
+
 # -- driver ------------------------------------------------------------------
 
 def lint_source(source: str, path: str = "<string>") -> List[LintIssue]:
@@ -403,6 +496,7 @@ def lint_source(source: str, path: str = "<string>") -> List[LintIssue]:
             _check_rep001(node, issues, path)
             _check_rep002(node, issues, path)
             _check_rep005(node, issues, path)
+            _check_rep006(node, issues, path)
     _check_rep003(tree, issues, path)
     _check_rep004(tree, issues, path)
     suppressed = _suppressions(source)
@@ -444,6 +538,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "repro package)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON document (for CI and "
+                             "tooling) instead of plain lines")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -453,9 +550,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     paths = args.paths or [str(Path(__file__).resolve().parents[1])]
     issues = lint_paths(paths)
+    n_files = sum(1 for _ in _iter_python_files(paths))
+    if args.json:
+        import json as _json
+        print(_json.dumps({
+            "files_checked": n_files,
+            "issue_count": len(issues),
+            "clean": not issues,
+            "issues": [{"path": i.path, "line": i.line, "col": i.col,
+                        "code": i.code, "message": i.message}
+                       for i in issues],
+        }, indent=2))
+        return 1 if issues else 0
     for issue in issues:
         print(issue)
-    n_files = sum(1 for _ in _iter_python_files(paths))
     if issues:
         print(f"{len(issues)} issue(s) in {n_files} file(s)")
         return 1

@@ -16,6 +16,7 @@ Index (see DESIGN.md for the full mapping):
 * Fig. 10 — :mod:`.convergence`
 * Table I / Table II — :mod:`.tables`
 * extensions — :mod:`.ablations`
+* resilience (MTBF x checkpoint interval vs. Young/Daly) — :mod:`.resilience`
 """
 
 from .ablations import (
@@ -46,6 +47,7 @@ from .scaling import (
     strong_scaling_rows,
     weak_scaling_rows,
 )
+from .resilience import resilience_claims, resilience_report, resilience_rows
 from .tables import table1_claims, table1_rows, table2_claims, table2_rows
 
 __all__ = [
@@ -86,6 +88,9 @@ __all__ = [
     "make_baseline_config",
     "strong_scaling_rows",
     "weak_scaling_rows",
+    "resilience_claims",
+    "resilience_report",
+    "resilience_rows",
     "table1_claims",
     "table1_rows",
     "table2_claims",

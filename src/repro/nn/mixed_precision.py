@@ -48,6 +48,17 @@ class LossScaler:
         self.min_scale = min_scale
         self._good_steps = 0
 
+    @property
+    def good_steps(self) -> int:
+        """Overflow-free steps since the last scale transition — part of
+        the training state: a checkpoint that drops it replays the next
+        scale growth at the wrong step and forks the loss trajectory."""
+        return self._good_steps
+
+    @good_steps.setter
+    def good_steps(self, value: int) -> None:
+        self._good_steps = int(value)
+
     def scale_loss(self, loss: Tensor) -> Tensor:
         """Multiply the loss by the current scale (pre-backward)."""
         return loss * self.scale

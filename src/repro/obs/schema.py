@@ -41,12 +41,15 @@ from typing import Dict, Iterable, List, Optional, Tuple
 __all__ = ["CATEGORIES", "STREAMS", "ObsSpan", "validate_span",
            "from_sim_span", "from_sim_tracer"]
 
-#: canonical span categories; reports aggregate on these
+#: canonical span categories; reports aggregate on these.  The last three
+#: belong to the resilience layer: injected faults, rollback/respawn
+#: recoveries, and checkpoint/snapshot writes.
 CATEGORIES = ("compute", "p2p", "allreduce", "optimizer", "h2d", "d2h",
-              "other")
+              "other", "fault", "recovery", "checkpoint")
 
-#: canonical stream names in display order (Chrome-trace tid assignment)
-STREAMS = ("compute", "aux", "dma", "net")
+#: canonical stream names in display order (Chrome-trace tid assignment);
+#: ``fault`` carries the resilience layer's markers
+STREAMS = ("compute", "aux", "dma", "net", "fault")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,31 @@
+"""repro.resilience: deterministic fault injection, detection, recovery.
+
+One seeded :class:`FaultPlan` drives both substrates:
+
+* the **functional runtime** — :class:`FaultInjector` plugged into
+  :class:`~repro.runtime.RankTransport` crashes ranks and drops/delays
+  messages for real; :class:`ResilientTrainer` detects the failure via
+  heartbeat timeout and rolls the 2D grid back to an in-memory snapshot,
+  bit-identically;
+* the **performance substrate** — :func:`simulate_resilient_run` models
+  checkpoint-write cost, Poisson failures and rework on the DES, and the
+  MTBF x interval sweep compares the empirical optimum against Young/Daly
+  (:func:`young_daly_interval_s`).
+
+See DESIGN.md section 8 and ``python -m repro faults``.
+"""
+
+from .faults import (DELIVER, DROP, Fault, FaultInjector, FaultPlan,
+                     RetryPolicy)
+from .recovery import RecoveryEvent, ResilientTrainer
+from .sim import (FailureModel, RunStats, fit_optimal_interval,
+                  simulate_resilient_run, sweep_intervals,
+                  young_daly_interval_s, young_daly_interval_steps)
+
+__all__ = [
+    "Fault", "FaultPlan", "FaultInjector", "RetryPolicy", "DELIVER", "DROP",
+    "RecoveryEvent", "ResilientTrainer",
+    "FailureModel", "RunStats", "simulate_resilient_run", "sweep_intervals",
+    "fit_optimal_interval", "young_daly_interval_s",
+    "young_daly_interval_steps",
+]

@@ -8,24 +8,37 @@ counter — round-trips through a plain dict of arrays (and, via
 
 Restoring requires a trainer with the same model configuration and grid;
 resuming then continues bit-for-bit where the saved run left off, which the
-tests assert.
+tests assert.  *Bit-for-bit* requires more than arrays: the state also
+captures every dropout module's RNG bit-generator state and the loss
+scaler's good-step counter — without them a resumed run replays different
+dropout masks (or grows the loss scale at the wrong step) and silently
+forks the trajectory.  The crash-recovery equivalence guarantee of
+:mod:`repro.resilience` is built directly on this completeness.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
 from ..nn import AdamW
+from ..nn.modules import Dropout
 from .engine import AxoNNTrainer
 from .offload import BucketedOffloadAdamW
+from .stage import PipelineStage
 
 __all__ = ["trainer_state_dict", "load_trainer_state", "save_trainer",
            "load_trainer"]
 
 _META_KEY = "__meta__"
+
+
+def _dropout_modules(stage: PipelineStage) -> List[Dropout]:
+    """All dropout modules of a stage, in deterministic traversal order."""
+    return [m for layer in stage.layers for m in layer.modules()
+            if isinstance(m, Dropout)]
 
 
 def trainer_state_dict(trainer: AxoNNTrainer) -> Dict[str, np.ndarray]:
@@ -56,9 +69,17 @@ def trainer_state_dict(trainer: AxoNNTrainer) -> Dict[str, np.ndarray]:
         "batches_trained": trainer.batches_trained,
         "skipped_batches": trainer.skipped_batches,
         "loss_scale": trainer.scaler.scale,
+        "loss_scale_good_steps": trainer.scaler.good_steps,
         "precision": trainer.precision,
         "g_inter": trainer.grid.g_inter,
         "g_data": trainer.grid.g_data,
+        # Dropout RNG bit-generator states, per rank in traversal order.
+        # PCG64 state dicts are plain ints, so they ride in the JSON meta.
+        "rng_states": {
+            f"rank{rank}": [m.rng.bit_generator.state
+                            for m in _dropout_modules(trainer.stages[rank])]
+            for rank in range(trainer.grid.world_size)
+        },
     }
     state[_META_KEY] = np.frombuffer(
         json.dumps(meta).encode(), dtype=np.uint8).copy()
@@ -100,11 +121,17 @@ def load_trainer_state(trainer: AxoNNTrainer,
             opt.device_half[...] = opt.host_master.astype(np.float16)
             opt.steps = int(state[f"{prefix}.opt.steps"])
         elif isinstance(opt, AdamW):
-            for k, (p, st) in enumerate(zip(opt.params, opt.state)):
+            for k, st in enumerate(opt.state):
                 for key in ("exp_avg", "exp_avg_sq", "momentum"):
                     full = f"{prefix}.opt.{k}.{key}"
                     if full in state:
                         st[key] = state[full].copy()
+                    else:
+                        # The optimizer allocates moments lazily on the first
+                        # step, so a checkpoint taken before that has none —
+                        # restoring it must drop moments accumulated since,
+                        # or a rollback-and-replay silently double-trains.
+                        st.pop(key, None)
             opt.steps = int(state[f"{prefix}.opt.steps"])
         else:  # MixedPrecisionAdamW
             for k in range(len(opt.params)):
@@ -117,6 +144,18 @@ def load_trainer_state(trainer: AxoNNTrainer,
     trainer.batches_trained = meta["batches_trained"]
     trainer.skipped_batches = meta["skipped_batches"]
     trainer.scaler.scale = meta["loss_scale"]
+    trainer.scaler.good_steps = meta.get("loss_scale_good_steps", 0)
+    rng_states = meta.get("rng_states")
+    if rng_states is not None:
+        for rank in range(trainer.grid.world_size):
+            drops = _dropout_modules(trainer.stages[rank])
+            saved = rng_states.get(f"rank{rank}", [])
+            if len(saved) != len(drops):
+                raise ValueError(
+                    f"rank {rank}: checkpoint has {len(saved)} dropout RNG "
+                    f"states, model has {len(drops)} dropout modules")
+            for m, st in zip(drops, saved):
+                m.rng.bit_generator.state = st
 
 
 def save_trainer(trainer: AxoNNTrainer, path: str) -> None:

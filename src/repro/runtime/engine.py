@@ -42,7 +42,7 @@ comparable to the serial reference.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Generator, List, Optional, Tuple, Union
+from typing import Callable, Dict, Generator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -115,6 +115,9 @@ class AxoNNTrainer:
         self.offload = offload
         self.bucket_size = bucket_size
         self.coarsening_k = coarsening_k
+        self.checkpoint_activations = checkpoint_activations
+        self._opt_hparams = dict(lr=lr, betas=betas,
+                                 weight_decay=weight_decay)
         # Section IV-A: pipeline_limit is fixed to G_inter.
         self.pipeline_limit = g_inter if pipeline_limit is None \
             else pipeline_limit
@@ -130,27 +133,7 @@ class AxoNNTrainer:
         self.stages: Dict[int, PipelineStage] = {}
         self.optimizers: Dict[int, Union[AdamW, BucketedOffloadAdamW]] = {}
         for rank in range(self.grid.world_size):
-            i, _j = self.grid.coord_of(rank)
-            stage = PipelineStage(cfg, i, g_inter,
-                                  checkpoint_activations=checkpoint_activations)
-            self.stages[rank] = stage
-            if offload:
-                # Per-rank scaler objects would desync on dynamic updates;
-                # every optimizer shares the trainer's scaler.
-                self.optimizers[rank] = BucketedOffloadAdamW(
-                    stage.parameters(), bucket_size=bucket_size, lr=lr,
-                    betas=betas, weight_decay=weight_decay,
-                    scaler=_FrozenScaleView(self))
-            elif precision == "mixed":
-                from ..nn import MixedPrecisionAdamW
-                self.optimizers[rank] = MixedPrecisionAdamW(
-                    stage.parameters(), lr=lr, betas=betas,
-                    weight_decay=weight_decay,
-                    scaler=_FrozenScaleView(self))
-            else:
-                self.optimizers[rank] = AdamW(stage.parameters(), lr=lr,
-                                              betas=betas,
-                                              weight_decay=weight_decay)
+            self._build_rank(rank)
         self.batches_trained = 0
         self.skipped_batches = 0
         #: optional communication trace for the protocol verifier; the
@@ -163,9 +146,45 @@ class AxoNNTrainer:
         #: ``optimizer``) so traces from both substrates line up
         self.tracer = tracer
         #: per-stage reusable buffers for the data-parallel phase, allocated
-        #: on first use (the parameter layout is fixed at construction, so
-        #: the cache never needs invalidation)
+        #: on first use (the parameter layout is fixed at construction; the
+        #: cache is only invalidated when a rank is respawned after a fault)
         self._dp_buffers: Dict[int, _ColumnBuffers] = {}
+        #: optional factory for the per-batch transport; the resilience
+        #: layer installs one that injects faults (see repro.resilience)
+        self.transport_factory: Optional[Callable[[], RankTransport]] = None
+
+    def _build_rank(self, rank: int) -> None:
+        """(Re)construct one rank's stage and optimizer from scratch.
+
+        Used at construction for every rank, and by the recovery
+        coordinator to respawn a crashed rank before restoring its state
+        from the latest snapshot.  Any cached data-parallel buffers
+        referencing the old parameter objects must be invalidated by the
+        caller (:meth:`invalidate_buffers`).
+        """
+        i, _j = self.grid.coord_of(rank)
+        stage = PipelineStage(
+            self.cfg, i, self.grid.g_inter,
+            checkpoint_activations=self.checkpoint_activations)
+        self.stages[rank] = stage
+        hp = self._opt_hparams
+        if self.offload:
+            # Per-rank scaler objects would desync on dynamic updates;
+            # every optimizer shares the trainer's scaler.
+            self.optimizers[rank] = BucketedOffloadAdamW(
+                stage.parameters(), bucket_size=self.bucket_size,
+                scaler=_FrozenScaleView(self), **hp)
+        elif self.precision == "mixed":
+            from ..nn import MixedPrecisionAdamW
+            self.optimizers[rank] = MixedPrecisionAdamW(
+                stage.parameters(), scaler=_FrozenScaleView(self), **hp)
+        else:
+            self.optimizers[rank] = AdamW(stage.parameters(), **hp)
+
+    def invalidate_buffers(self) -> None:
+        """Drop cached data-parallel buffers (call after respawning a rank:
+        the cached views alias the *old* stage's parameter objects)."""
+        self._dp_buffers.clear()
 
     # -- shard bookkeeping -------------------------------------------------
     def _split_batch(self, x: np.ndarray, y: np.ndarray):
@@ -404,9 +423,12 @@ class AxoNNTrainer:
         """One full DATA_PARALLEL_STEP + optimizer step; returns the mean
         batch loss (exactly comparable to a serial full-batch loss)."""
         groups, total_mb = self._split_batch(x, y)
-        transport = RankTransport(self.grid.world_size,
-                                  recorder=self.recorder,
-                                  tracer=self.tracer)
+        if self.transport_factory is not None:
+            transport = self.transport_factory()
+        else:
+            transport = RankTransport(self.grid.world_size,
+                                      recorder=self.recorder,
+                                      tracer=self.tracer)
 
         for stage in self.stages.values():
             stage.microbatch_losses.clear()

@@ -14,12 +14,35 @@ training run is bit-reproducible — which the serial-vs-parallel equivalence
 tests rely on.
 
 Protocol misuse raises :class:`~repro.analysis.protocol.ProtocolError`:
-yielding anything but :data:`RECV`, or (with the default ``strict=True``)
-finishing a run with undelivered packets rotting in an inbox.  Deadlock
-(every live rank blocked on an empty inbox) raises :class:`DeadlockError`
-with a wait-for-graph diagnosis: which rank waits on whom, plus the nearest
-unmatched sends.  Either way, all still-suspended generators are closed so a
-failing run never leaks rank programs mid-``finally``.
+yielding anything but :data:`RECV` / :func:`recv_within`, or (with the
+default ``strict=True``) finishing a run with undelivered packets rotting
+in an inbox.  Deadlock (every live rank blocked on an empty inbox) raises
+:class:`DeadlockError` with a wait-for-graph diagnosis: which rank waits on
+whom, plus the nearest unmatched sends.  Either way, all still-suspended
+generators are closed so a failing run never leaks rank programs
+mid-``finally``.
+
+Faults (:mod:`repro.resilience`)
+--------------------------------
+Pass ``injector=`` (a :class:`~repro.resilience.FaultInjector`) to subject
+the run to a deterministic :class:`~repro.resilience.FaultPlan`:
+
+* *time* is the scheduler-sweep counter :attr:`RankTransport.tick`;
+* a **crash** kills a rank's generator mid-flight; its inbox is discarded
+  and later sends to it vanish (the network cannot address a dead NIC);
+* **drop/delay/degrade/straggler** faults act on individual sends; a
+  dropped send is retransmitted with exponential backoff when a
+  ``retry=`` (:class:`~repro.resilience.RetryPolicy`) is given;
+* every live rank *heartbeats* once per sweep; a rank that stops beating
+  (it crashed) is declared failed ``detect_timeout`` ticks later and the
+  run raises :class:`RankFailure` naming the dead ranks — the signal the
+  recovery coordinator (:class:`~repro.resilience.ResilientTrainer`)
+  turns into a rollback-and-respawn.
+
+A rank program that waits on a channel a plan can sever should use a
+*timed receive* — ``pkt = yield recv_within(ticks)`` — and handle
+:class:`TimeoutError` / :class:`RankFailure` (lint rule REP006 enforces
+the handler).
 
 Pass ``recorder=``\\ (a :class:`~repro.analysis.protocol.TraceRecorder`) to
 log every send and delivery for post-hoc verification with
@@ -28,17 +51,48 @@ log every send and delivery for post-hoc verification with
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, Generator, List, Optional, Set
+from typing import (Any, Deque, Dict, Generator, List, Optional, Set, Tuple,
+                    TYPE_CHECKING)
 
 from ..analysis.protocol import ProtocolError, TraceRecorder, describe_deadlock
 from ..obs import RuntimeTracer
 
-__all__ = ["Packet", "RankTransport", "DeadlockError", "ProtocolError", "RECV"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (resilience
+    # imports runtime); the injector/retry objects are duck-typed here
+    from ..resilience.faults import FaultInjector, RetryPolicy
+
+__all__ = ["Packet", "RankTransport", "DeadlockError", "ProtocolError",
+           "RankFailure", "RECV", "TimedRecv", "recv_within"]
 
 #: sentinel yielded by a rank program to request the next inbox message
 RECV = "recv"
+
+#: sweeps a silent (crashed) rank survives before being declared failed
+DEFAULT_DETECT_TIMEOUT = 25
+
+#: injector verdict meaning "lose this packet" (mirrors resilience.faults)
+_DROP = "drop"
+
+
+@dataclass(frozen=True)
+class TimedRecv:
+    """A receive with a deadline: ``yield recv_within(n)`` resumes with the
+    next packet, or raises :class:`TimeoutError` inside the rank program
+    after ``n`` scheduler sweeps with an empty inbox."""
+
+    timeout: int
+
+    def __post_init__(self):
+        if self.timeout < 1:
+            raise ValueError("recv timeout must be >= 1 tick")
+
+
+def recv_within(ticks: int) -> TimedRecv:
+    """A timed receive request for ``yield`` (see :class:`TimedRecv`)."""
+    return TimedRecv(ticks)
 
 
 class DeadlockError(RuntimeError):
@@ -64,6 +118,30 @@ class DeadlockError(RuntimeError):
         self.orphans = list(orphans or [])
 
 
+class RankFailure(RuntimeError):
+    """Heartbeat timeout: one or more ranks were declared dead.
+
+    Raised by :meth:`RankTransport.run` after a crashed rank has been
+    silent for ``detect_timeout`` scheduler sweeps.  The recovery
+    coordinator catches this, rolls every rank back to the latest
+    snapshot, respawns the dead ranks and retries the batch.
+
+    Attributes
+    ----------
+    dead : sorted rank ids declared failed
+    detected_at : the scheduler tick of the declaration
+    crashed_at : dict rank -> tick of its last observed heartbeat
+    """
+
+    def __init__(self, message: str, dead: Optional[List[int]] = None,
+                 detected_at: int = 0,
+                 crashed_at: Optional[Dict[int, int]] = None) -> None:
+        super().__init__(message)
+        self.dead = sorted(dead or [])
+        self.detected_at = detected_at
+        self.crashed_at = dict(crashed_at or {})
+
+
 @dataclass(frozen=True)
 class Packet:
     """One delivered message."""
@@ -82,44 +160,120 @@ class RankTransport:
     post-hoc protocol verification.  ``strict`` (default) makes ``run()``
     raise :class:`ProtocolError` if packets remain undelivered when all
     programs have finished — the static signature of a forgotten receive.
+    ``injector``/``retry``/``detect_timeout`` enable the fault layer (see
+    the module docstring); without an injector the scheduler behaves
+    exactly as the fault-free original.
     """
 
     def __init__(self, n_ranks: int, *,
                  recorder: Optional[TraceRecorder] = None,
                  tracer: Optional[RuntimeTracer] = None,
-                 strict: bool = True):
+                 strict: bool = True,
+                 injector: Optional["FaultInjector"] = None,
+                 retry: Optional["RetryPolicy"] = None,
+                 detect_timeout: int = DEFAULT_DETECT_TIMEOUT):
         if n_ranks < 1:
             raise ValueError("need at least one rank")
+        if detect_timeout < 1:
+            raise ValueError("detect_timeout must be >= 1 tick")
         self.n_ranks = n_ranks
         self.inboxes: List[Deque[Packet]] = [deque() for _ in range(n_ranks)]
         self.messages_sent = 0
         self.recorder = recorder
         #: optional observability tracer; every delivered packet becomes a
         #: "p2p" span from send time to consumption time on the sender's
-        #: ``net`` track
+        #: ``net`` track; injected faults become "fault" spans
         self.tracer = tracer
         self.strict = strict
+        self.injector = injector
+        self.retry = retry
+        self.detect_timeout = detect_timeout
+        #: scheduler-sweep counter — the fault layer's clock
+        self.tick = 0
+        #: ranks killed by an injected crash
+        self.dead: Set[int] = set()
+        #: ranks whose generator returned normally
+        self.finished: Set[int] = set()
+        #: dropped sends that exhausted (or had no) retry budget
+        self.lost_packets: List[Packet] = []
+        # heartbeat bookkeeping: last sweep each rank was seen alive
+        self._last_beat: Dict[int, int] = {}
+        # deferred deliveries: heap of (due_tick, seq, Packet)
+        self._delayed: List[Tuple[int, int, Packet]] = []
+        # pending retransmissions: heap of (due_tick, seq, Packet, attempt)
+        self._retries: List[Tuple[int, int, Packet, int]] = []
+        self._defer_seq = 0
         # historical senders into each rank: the wait-for edges used by the
         # deadlock diagnosis (a blocked rank most plausibly waits on whoever
         # has been feeding it).
         self._peers_in: List[Set[int]] = [set() for _ in range(n_ranks)]
         self._send_times: Dict[int, float] = {}
 
+    # -- sending ----------------------------------------------------------
     def send(self, src: int, dst: int, tag: str, microbatch: int,
              data: Any = None) -> None:
-        """Non-blocking buffered send (MPI_Isend)."""
+        """Non-blocking buffered send (MPI_Isend).
+
+        With an ``injector`` the send is subject to the fault plan: it may
+        be dropped (then retransmitted per the ``retry`` policy), delayed,
+        or — when the destination is dead — silently discarded.
+        """
         self._check_rank(src)
         self._check_rank(dst)
         if src == dst:
             raise ValueError(f"rank {src} sending to itself")
         pkt = Packet(src, dst, tag, microbatch, data)
-        self.inboxes[dst].append(pkt)
         self.messages_sent += 1
-        self._peers_in[dst].add(src)
         if self.recorder is not None:
             self.recorder.record_send(src, dst, tag, microbatch)
         if self.tracer is not None and self.tracer.enabled:
             self._send_times[id(pkt)] = self.tracer.now()
+        self._attempt_send(pkt, attempt=0)
+
+    def _attempt_send(self, pkt: Packet, attempt: int) -> None:
+        """Run one (re)transmission attempt through the fault layer."""
+        if pkt.dst in self.dead:
+            # The network cannot address a dead NIC; the message vanishes.
+            self._fault_span(pkt.src, f"send-to-dead:{pkt.tag}",
+                             dst=pkt.dst)
+            self.lost_packets.append(pkt)
+            return
+        verdict: object = None
+        if self.injector is not None:
+            verdict = self.injector.on_send(pkt.src, pkt.dst, pkt.tag,
+                                            self.tick)
+        if verdict == _DROP:
+            if self.retry is not None and attempt < self.retry.max_retries:
+                due = self.tick + self.retry.backoff(attempt)
+                self._fault_span(pkt.src, f"retry{attempt}:{pkt.tag}",
+                                 dst=pkt.dst, due=due)
+                heapq.heappush(self._retries,
+                               (due, self._next_seq(), pkt, attempt + 1))
+            else:
+                self._fault_span(pkt.src, f"lost:{pkt.tag}", dst=pkt.dst)
+                self.lost_packets.append(pkt)
+            return
+        if isinstance(verdict, int) and verdict > 0:
+            heapq.heappush(self._delayed,
+                           (self.tick + verdict, self._next_seq(), pkt))
+            return
+        self._enqueue(pkt)
+
+    def _enqueue(self, pkt: Packet) -> None:
+        self.inboxes[pkt.dst].append(pkt)
+        self._peers_in[pkt.dst].add(pkt.src)
+
+    def _next_seq(self) -> int:
+        self._defer_seq += 1
+        return self._defer_seq
+
+    def _fault_span(self, rank: int, name: str, **meta: object) -> None:
+        """Zero-duration marker span on the rank's ``fault`` track."""
+        if self.tracer is None or not self.tracer.enabled:
+            return
+        now = self.tracer.now()
+        self.tracer.record(rank, "fault", name, now, now, category="fault",
+                           tick=self.tick, **meta)
 
     def _trace_delivery(self, packet: Packet) -> None:
         """Record the send-to-consumption interval as a p2p span."""
@@ -153,16 +307,63 @@ class RankTransport:
             except Exception:
                 pass  # a failing finally must not mask the primary error
 
+    # -- fault-layer sweep hooks -------------------------------------------
+    def _kill(self, rank: int, live: Dict[int, Generator]) -> None:
+        """Crash ``rank``: close its generator, void its inbox."""
+        gen = live.pop(rank, None)
+        if gen is not None:
+            try:
+                gen.close()
+            except Exception:
+                pass  # a dying rank must not take the scheduler with it
+        self.dead.add(rank)
+        self.inboxes[rank].clear()
+        self._fault_span(rank, f"crash-rank{rank}")
+
+    def _begin_sweep(self, live: Dict[int, Generator]) -> None:
+        """Inject due crashes; release due delayed/retried packets."""
+        if self.injector is not None:
+            for fault in self.injector.crashes_due(self.tick):
+                if fault.rank in live:
+                    self._kill(fault.rank, live)
+                elif fault.rank in self.finished:
+                    # The rank's program already returned, but the node dies
+                    # before the end-of-batch barrier: the batch still fails.
+                    self.dead.add(fault.rank)
+                    self._fault_span(fault.rank,
+                                     f"crash-rank{fault.rank}-post")
+        while self._retries and self._retries[0][0] <= self.tick:
+            _due, _seq, pkt, attempt = heapq.heappop(self._retries)
+            self._attempt_send(pkt, attempt)
+        while self._delayed and self._delayed[0][0] <= self.tick:
+            _due, _seq, pkt = heapq.heappop(self._delayed)
+            if pkt.dst in self.dead:
+                self.lost_packets.append(pkt)
+            else:
+                self._enqueue(pkt)
+
+    def _suspects_expired(self) -> List[int]:
+        """Dead ranks whose silence exceeded the detection timeout."""
+        return sorted(
+            r for r in self.dead
+            if self.tick - self._last_beat.get(r, 0) > self.detect_timeout)
+
+    def _has_future_work(self, deadlines: Dict[int, int]) -> bool:
+        """Can advancing the tick alone unblock the run?"""
+        return bool(self._delayed or self._retries or deadlines
+                    or self.dead)
+
     # -- scheduler ---------------------------------------------------------
     def run(self, programs: Dict[int, Generator]) -> None:
         """Drive rank programs to completion.
 
         ``programs`` maps rank id -> generator.  The protocol: a program
-        yields :data:`RECV` to wait for its next message; the yield
-        expression evaluates to the :class:`Packet`.  Any other yielded
-        value raises :class:`ProtocolError`.  On any error or deadlock,
-        every still-suspended generator is closed before the exception
-        propagates.
+        yields :data:`RECV` (or a :func:`recv_within` request) to wait for
+        its next message; the yield expression evaluates to the
+        :class:`Packet`.  Any other yielded value raises
+        :class:`ProtocolError`.  On any error, deadlock, or detected rank
+        failure, every still-suspended generator is closed before the
+        exception propagates.
         """
         for rank in programs:
             self._check_rank(rank)
@@ -177,30 +378,98 @@ class RankTransport:
 
     def _run_loop(self, live: Dict[int, Generator]) -> None:
         # waiting[rank] is True when the rank has yielded RECV and its inbox
-        # was empty at last visit.
+        # was empty at last visit; deadlines[rank] is the tick at which a
+        # pending timed recv expires.
         started: Dict[int, bool] = {r: False for r in live}
         waiting: Dict[int, bool] = {r: False for r in live}
+        deadlines: Dict[int, int] = {}
+        for r in live:
+            self._last_beat[r] = self.tick
 
         while live:
-            progressed = False
-            for rank in sorted(live):
-                gen = live.get(rank)
-                if gen is None:
-                    continue
-                while True:
-                    if not started[rank]:
+            self._begin_sweep(live)
+            progressed = self._sweep(live, started, waiting, deadlines)
+            # Heartbeats: every rank whose generator still exists is alive,
+            # blocked or not.  Crashed ranks fell out of `live` and go
+            # silent; normal completions are registered in `finished`.
+            for r in live:
+                self._last_beat[r] = self.tick
+            expired = self._suspects_expired()
+            if expired:
+                raise RankFailure(
+                    f"rank(s) {expired} stopped heartbeating "
+                    f"(last beat {[self._last_beat.get(r, 0) for r in expired]}, "
+                    f"declared dead at tick {self.tick} after "
+                    f"{self.detect_timeout}-tick timeout)",
+                    dead=expired, detected_at=self.tick,
+                    crashed_at={r: self._last_beat.get(r, 0)
+                                for r in expired})
+            self.tick += 1
+            if live and not progressed:
+                if self._has_future_work(deadlines):
+                    continue  # pure time advance can still unblock the run
+                stuck = sorted(live)
+                wait_for = {r: sorted(self._peers_in[r]) for r in stuck}
+                orphans = self._orphans()
+                raise DeadlockError(
+                    describe_deadlock(stuck, wait_for, orphans,
+                                      self.messages_sent),
+                    stuck=stuck, wait_for=wait_for, orphans=orphans,
+                )
+        if self.injector is not None:
+            # Crash faults scheduled past the batch's last sweep fire at
+            # the barrier rather than silently never happening.
+            for fault in self.injector.pending_crashes(self.tick):
+                self.dead.add(fault.rank)
+                self._fault_span(fault.rank,
+                                 f"crash-rank{fault.rank}-barrier")
+        if self.dead:
+            # Every program completed, but a rank died along the way: the
+            # end-of-batch barrier (gradient all-reduce) cannot complete.
+            dead = sorted(self.dead)
+            raise RankFailure(
+                f"rank(s) {dead} died during the batch; failure detected "
+                f"at the end-of-batch barrier (tick {self.tick})",
+                dead=dead, detected_at=self.tick,
+                crashed_at={r: self._last_beat.get(r, 0) for r in dead})
+
+    def _sweep(self, live: Dict[int, Generator], started: Dict[int, bool],
+               waiting: Dict[int, bool], deadlines: Dict[int, int]) -> bool:
+        """One round-robin pass over all live ranks."""
+        progressed = False
+        for rank in sorted(live):
+            gen = live.get(rank)
+            if gen is None:
+                continue  # killed earlier in this sweep
+            while True:
+                if not started[rank]:
+                    try:
+                        request = next(gen)
+                        started[rank] = True
+                    except StopIteration:
+                        self._retire(rank, live)
+                        progressed = True
+                        break
+                elif waiting[rank]:
+                    if not self.inboxes[rank]:
+                        due = deadlines.get(rank)
+                        if due is None or self.tick < due:
+                            break  # still blocked
+                        # Timed recv expired: deliver the timeout instead.
+                        del deadlines[rank]
+                        waiting[rank] = False
                         try:
-                            request = next(gen)
-                            started[rank] = True
+                            request = gen.throw(TimeoutError(
+                                f"rank {rank} recv timed out at tick "
+                                f"{self.tick} (deadline {due})"))
                         except StopIteration:
-                            del live[rank]
+                            self._retire(rank, live)
                             progressed = True
                             break
-                    elif waiting[rank]:
-                        if not self.inboxes[rank]:
-                            break  # still blocked
+                    else:
                         packet = self.inboxes[rank].popleft()
                         waiting[rank] = False
+                        deadlines.pop(rank, None)
                         if self.recorder is not None:
                             self.recorder.record_recv(
                                 rank, packet.src, packet.tag,
@@ -210,28 +479,33 @@ class RankTransport:
                         try:
                             request = gen.send(packet)
                         except StopIteration:
-                            del live[rank]
+                            self._retire(rank, live)
                             progressed = True
                             break
-                    else:
-                        break
-                    if request != RECV:
-                        raise ProtocolError(
-                            f"rank {rank} yielded {request!r}; rank programs "
-                            f"may only yield RECV"
-                        )
-                    waiting[rank] = True
-                    progressed = True
-                    # Loop again: the message may already be waiting.
-            if live and not progressed:
-                stuck = sorted(live)
-                wait_for = {r: sorted(self._peers_in[r]) for r in stuck}
-                orphans = self._orphans()
-                raise DeadlockError(
-                    describe_deadlock(stuck, wait_for, orphans,
-                                      self.messages_sent),
-                    stuck=stuck, wait_for=wait_for, orphans=orphans,
-                )
+                else:
+                    break
+                if isinstance(request, TimedRecv):
+                    deadlines[rank] = self.tick + request.timeout
+                elif request != RECV:
+                    raise ProtocolError(
+                        f"rank {rank} yielded {request!r}; rank programs "
+                        f"may only yield RECV or recv_within(...)"
+                    )
+                waiting[rank] = True
+                progressed = True
+                if self.injector is not None:
+                    # Under fault injection each rank advances one blocking
+                    # step per sweep, so the tick clock has per-receive
+                    # resolution for crash/delay schedules.  (Values are
+                    # unaffected: delivery stays FIFO per channel, and rank
+                    # programs are deterministic in their inputs.)
+                    break
+                # Loop again: the message may already be waiting.
+        return progressed
+
+    def _retire(self, rank: int, live: Dict[int, Generator]) -> None:
+        del live[rank]
+        self.finished.add(rank)
 
     def _raise_on_orphans(self) -> None:
         orphans = self._orphans()

@@ -93,6 +93,63 @@ class TestCheckpointRoundTrip:
         with pytest.raises(ValueError, match="precision"):
             load_trainer_state(other, state)
 
+    def test_mixed_with_gradient_checkpointing_and_dropout(self):
+        """Round-trip under the full feature stack: mixed precision,
+        activation (gradient) checkpointing, and active dropout.  Resume
+        mid-run and continue; weights and losses must match exactly —
+        which requires the checkpoint to carry every dropout RNG
+        bit-generator state and the loss scaler's good-step counter."""
+        cfg = GPTConfig(vocab_size=17, seq_len=8, n_layer=4, n_head=2,
+                        hidden=12, dropout=0.1, init_seed=33)
+
+        def mk():
+            return AxoNNTrainer(
+                cfg, g_inter=2, g_data=2, microbatch_size=2, lr=1e-3,
+                precision="mixed", checkpoint_activations=True,
+                loss_scaler=LossScaler(init_scale=64, dynamic=True,
+                                       growth_interval=2))
+
+        corpus = SyntheticCorpus(cfg.vocab_size, 4000, seed=6)
+        batches = LMBatches(corpus, batch_size=8, seq_len=cfg.seq_len)
+        original = mk()
+        for i in range(3):
+            original.train_batch(*batches.batch(i))
+        snapshot = trainer_state_dict(original)
+
+        resumed = mk()
+        load_trainer_state(resumed, snapshot)
+        assert resumed.scaler.scale == original.scaler.scale
+        assert resumed.scaler.good_steps == original.scaler.good_steps
+
+        for i in range(3, 6):
+            a = original.train_batch(*batches.batch(i)).loss
+            b = resumed.train_batch(*batches.batch(i)).loss
+            assert a == b  # bit-identical, batch by batch
+        sa, sb = original.gather_state(), resumed.gather_state()
+        for k in sa:
+            np.testing.assert_array_equal(sa[k], sb[k], err_msg=k)
+
+    def test_pre_step_snapshot_restores_empty_moments(self):
+        """A checkpoint taken before the first optimizer step must roll a
+        trained optimizer all the way back to pristine (lazily empty)
+        moment state — the rollback-and-replay path of the resilience
+        layer depends on this."""
+        batches = make_batches()
+        trainer = make_trainer()
+        virgin = trainer_state_dict(trainer)
+        ref = make_trainer()
+
+        for i in range(2):
+            trainer.train_batch(*batches.batch(i))
+        load_trainer_state(trainer, virgin)
+        for i in range(2):
+            a = trainer.train_batch(*batches.batch(i)).loss
+            b = ref.train_batch(*batches.batch(i)).loss
+            assert a == b
+        sa, sb = trainer.gather_state(), ref.gather_state()
+        for k in sa:
+            np.testing.assert_array_equal(sa[k], sb[k], err_msg=k)
+
     def test_loss_scale_restored(self):
         trainer = make_trainer(precision="mixed",
                                loss_scaler=LossScaler(init_scale=4096,
