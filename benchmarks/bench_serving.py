@@ -1,0 +1,110 @@
+"""Serving benchmark for the inference layer (PR 5).
+
+Times two things and writes the results to ``BENCH_PR5.json`` at the
+repository root:
+
+* **functional** — wall-clock serving throughput (generated tokens per
+  second, min over repeats) of the continuous-batching
+  :class:`~repro.serve.PipelineServer` on a small GPT, against the same
+  requests served strictly one at a time (``max_active=1``) and through
+  plain serial :func:`repro.nn.generate` — continuous batching must not
+  be slower than the sequential policies it replaces;
+* **des** — the deterministic DES twin at the paper settings: saturated
+  throughput vs the analytic roofline plus light-load TTFT p50/p99.  The
+  DES numbers are exactly reproducible, so they regression-gate the
+  *model*, not the machine.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+
+``benchmarks/check_regression.py`` compares a fresh run against the
+committed ``BENCH_PR5.json`` (skipping cleanly when it is absent).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from repro.experiments import serving_rows
+from repro.nn import GPT, GPTConfig, generate
+from repro.perf import time_fn
+from repro.serve import PipelineServer, RequestSpec, make_requests
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
+
+# Functional workload: 16 mixed requests on a 2-stage pipeline of the
+# 4-layer benchmark GPT (same model family as bench_wallclock).
+CFG = GPTConfig(vocab_size=64, seq_len=48, n_layer=4, n_head=4, hidden=64,
+                dropout=0.0, init_seed=7)
+N_REQUESTS = 16
+REPEATS = 3
+
+
+def bench_functional() -> Dict[str, Dict[str, float]]:
+    requests = make_requests(
+        CFG, N_REQUESTS, RequestSpec(mean_prompt=8, mean_new_tokens=8,
+                                     seed=0))
+    new_tokens = sum(r.max_new_tokens for r in requests)
+    model = GPT(CFG)
+
+    def serve_batched():
+        PipelineServer(CFG, g_inter=2, max_batch=4).serve(requests)
+
+    def serve_sequential():
+        PipelineServer(CFG, g_inter=2, max_batch=1,
+                       max_active=1).serve(requests)
+
+    def serve_serial():
+        for req in requests:
+            generate(model, req.prompt, req.max_new_tokens,
+                     temperature=req.temperature, top_k=req.top_k,
+                     rng=np.random.default_rng(req.seed),
+                     greedy=req.greedy)
+
+    out: Dict[str, Dict[str, float]] = {}
+    for name, fn in (("batched", serve_batched),
+                     ("sequential", serve_sequential),
+                     ("serial_generate", serve_serial)):
+        stats = time_fn(fn, repeats=REPEATS)
+        out[name] = {"min_s": stats.min,
+                     "tokens_per_s": new_tokens / stats.min}
+        print(f"{name:>16}: {stats.min:.4f}s  "
+              f"({out[name]['tokens_per_s']:.1f} tok/s)")
+    return out
+
+
+def bench_des() -> Dict[str, float]:
+    rows = serving_rows(fast=True)
+    sat = max(r["throughput_tok_s"] for r in rows)
+    out = {
+        "roofline_tok_s": rows[0]["roofline_tok_s"],
+        "saturated_throughput_tok_s": sat,
+        "roofline_fraction": sat / rows[0]["roofline_tok_s"],
+        "ttft_p50_ms_light": rows[0]["ttft_p50_ms"],
+        "ttft_p99_ms_light": rows[0]["ttft_p99_ms"],
+        "ttft_p99_ms_overload": rows[-1]["ttft_p99_ms"],
+    }
+    for key, value in out.items():
+        print(f"{key:>28}: {value:.2f}")
+    return out
+
+
+def main() -> int:
+    print("== functional: PipelineServer wall-clock ==")
+    functional = bench_functional()
+    print("\n== DES twin (deterministic) ==")
+    des = bench_des()
+    report = {"functional": functional, "des": des}
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

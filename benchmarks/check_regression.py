@@ -1,9 +1,12 @@
-"""Performance-regression gate for the trainer step times.
+"""Performance-regression gate for the trainer step times and serving
+throughput.
 
 Re-measures the trainer section of :mod:`bench_wallclock` and compares
 each variant's ``min_s`` against the committed ``BENCH_PR1.json``
-baseline.  Exits nonzero when any step time regressed by more than the
-threshold (default 20%), so CI can fail the build::
+baseline; when ``BENCH_PR5.json`` is present it also re-measures the
+:mod:`bench_serving` functional throughput (tokens/s) and the
+deterministic DES tail latency.  Exits nonzero when any metric regressed
+by more than the threshold (default 20%), so CI can fail the build::
 
     PYTHONPATH=src python benchmarks/check_regression.py
     PYTHONPATH=src python benchmarks/check_regression.py --threshold 0.1
@@ -22,7 +25,47 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-import bench_wallclock  # noqa: E402  (needs the path tweak above)
+import bench_serving  # noqa: E402  (needs the path tweak above)
+import bench_wallclock  # noqa: E402
+
+
+def check_serving(baseline_path: Path, threshold: float) -> bool:
+    """Compare fresh serving numbers against ``BENCH_PR5.json``.
+
+    Returns True when a regression was detected.  Throughput must not
+    drop by more than ``threshold``; the DES p99 TTFT (deterministic in
+    the model, so any change is a model change) must not grow by more
+    than ``threshold``.
+    """
+    if not baseline_path.exists():
+        print(f"no serving baseline found at {baseline_path}; nothing to "
+              f"compare against.\nRun `PYTHONPATH=src python "
+              f"benchmarks/bench_serving.py` to record one.")
+        return False
+    baseline = json.loads(baseline_path.read_text())
+
+    failed = False
+    fresh = bench_serving.bench_functional()
+    for name, stats in fresh.items():
+        base = baseline["functional"][name]["tokens_per_s"]
+        ratio = stats["tokens_per_s"] / base
+        status = "ok"
+        if ratio < 1.0 - threshold:
+            status = "REGRESSION"
+            failed = True
+        print(f"{name:>16}: {stats['tokens_per_s']:.1f} tok/s vs baseline "
+              f"{base:.1f} tok/s ({ratio:.2f}x)  {status}")
+
+    des = bench_serving.bench_des()
+    for key in ("saturated_throughput_tok_s", "ttft_p99_ms_light"):
+        base, now = baseline["des"][key], des[key]
+        worse = now / base if key.startswith("ttft") else base / now
+        status = "ok"
+        if worse > 1.0 + threshold:
+            status = "REGRESSION"
+            failed = True
+        print(f"{key:>28}: {now:.2f} vs baseline {base:.2f}  {status}")
+    return failed
 
 
 def main(argv=None) -> int:
@@ -32,16 +75,26 @@ def main(argv=None) -> int:
                         help="committed BENCH_PR1.json to compare against")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="max allowed fractional step-time regression")
+    parser.add_argument("--serving-baseline", type=Path,
+                        default=bench_serving.OUTPUT,
+                        help="committed BENCH_PR5.json to compare against")
     args = parser.parse_args(argv)
 
-    if not args.baseline.exists():
+    failed = check_trainers(args.baseline, args.threshold)
+    failed = check_serving(args.serving_baseline, args.threshold) or failed
+    return 1 if failed else 0
+
+
+def check_trainers(baseline_path: Path, threshold: float) -> bool:
+    """Compare fresh trainer step times against ``BENCH_PR1.json``."""
+    if not baseline_path.exists():
         # No baseline is not a regression — a fresh checkout (or CI cache
         # miss) has nothing to compare against.  Say so clearly and pass.
-        print(f"no baseline found at {args.baseline}; nothing to compare "
+        print(f"no baseline found at {baseline_path}; nothing to compare "
               f"against.\nRun `PYTHONPATH=src python "
               f"benchmarks/bench_wallclock.py` to record one.")
-        return 0
-    baseline = json.loads(args.baseline.read_text())["trainers"]
+        return False
+    baseline = json.loads(baseline_path.read_text())["trainers"]
 
     fresh = bench_wallclock.bench_trainers()
     failed = False
@@ -49,12 +102,12 @@ def main(argv=None) -> int:
         base_min = baseline[name]["min_s"]
         ratio = stats["min_s"] / base_min
         status = "ok"
-        if ratio > 1.0 + args.threshold:
+        if ratio > 1.0 + threshold:
             status = "REGRESSION"
             failed = True
         print(f"{name:>13}: {stats['min_s']:.4f}s vs baseline "
               f"{base_min:.4f}s ({ratio:.2f}x)  {status}")
-    return 1 if failed else 0
+    return failed
 
 
 if __name__ == "__main__":

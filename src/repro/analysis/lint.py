@@ -35,6 +35,14 @@ breakage the test suite may not catch:
   ``request()`` call directly is always flagged: the grant is unnamed, so
   no ``finally`` can release it.
 
+* **REP007** — serving RNG provenance: inside :mod:`repro.serve` (any path
+  with a ``serve`` component), every ``np.random.default_rng(...)`` call
+  must be built from something recognizably a seed — an integer literal or
+  an expression mentioning a ``*seed*``-named variable/attribute.  Workload
+  arrival times and request sampling streams feed the serving equivalence
+  and latency claims; an RNG seeded from ambient state (time, os.urandom,
+  another generator) silently de-determinizes them.
+
 * **REP006** — a rank program that performs a *timed* receive
   (``yield recv_within(...)``) must do so inside a ``try`` that handles
   ``TimeoutError`` or ``RankFailure``.  A timed receive exists precisely
@@ -70,6 +78,8 @@ RULES: Dict[str, str] = {
               "with a .release(...) in the finally (interrupt-safe hold)",
     "REP006": "a `yield recv_within(...)` timed receive must be inside a "
               "try that handles TimeoutError or RankFailure",
+    "REP007": "serving RNGs (repro.serve) must be built from an explicit "
+              "seed: an int literal or a *seed*-named variable/attribute",
 }
 
 SUPPRESS_MARK = "lint-ok"
@@ -481,6 +491,45 @@ def _check_rep006(fn: ast.AST, issues: List[LintIssue], path: str) -> None:
     visit(list(getattr(fn, "body", [])), False)
 
 
+# -- REP007 ------------------------------------------------------------------
+
+def _mentions_seed(node: ast.AST) -> bool:
+    """Is the expression recognizably seed-derived?  True for integer
+    literals anywhere in it and for any name/attribute containing "seed"."""
+    for n in ast.walk(node):
+        if isinstance(n, ast.Constant) and isinstance(n.value, int) \
+                and not isinstance(n.value, bool):
+            return True
+        if isinstance(n, ast.Name) and "seed" in n.id.lower():
+            return True
+        if isinstance(n, ast.Attribute) and "seed" in n.attr.lower():
+            return True
+    return False
+
+
+def _check_rep007(tree: ast.AST, issues: List[LintIssue], path: str) -> None:
+    if "serve" not in Path(path).parts:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _dotted(node.func)
+        if chain[-1:] != ["default_rng"] or \
+                (len(chain) == 3 and chain[:2] not in (["np", "random"],
+                                                       ["numpy", "random"])):
+            continue
+        seed_exprs = list(node.args) + [kw.value for kw in node.keywords]
+        if not seed_exprs:
+            continue  # the unseeded case is REP003's finding
+        if not any(_mentions_seed(e) for e in seed_exprs):
+            issues.append(LintIssue(
+                path, node.lineno, node.col_offset, "REP007",
+                "serving RNG seeded from something that is not an explicit "
+                "seed; arrival/sampling streams must be reproducible — "
+                "derive the argument from a *seed*-named value or an int "
+                "literal"))
+
+
 # -- driver ------------------------------------------------------------------
 
 def lint_source(source: str, path: str = "<string>") -> List[LintIssue]:
@@ -499,6 +548,7 @@ def lint_source(source: str, path: str = "<string>") -> List[LintIssue]:
             _check_rep006(node, issues, path)
     _check_rep003(tree, issues, path)
     _check_rep004(tree, issues, path)
+    _check_rep007(tree, issues, path)
     suppressed = _suppressions(source)
     out = []
     for issue in issues:

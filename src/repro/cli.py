@@ -15,6 +15,9 @@ Usage::
     python -m repro faults               # fault injection on both substrates
     python -m repro faults --substrate sim --report faults.json
     python -m repro faults --substrate runtime --seed 3
+    python -m repro serve                # inference serving, both substrates
+    python -m repro serve --fast         # reduced sizes / shorter horizons
+    python -m repro serve --substrate sim --csv sweep.csv
 
 Each command prints the figure's rows as an aligned table plus the paper-
 claim checklist, mirroring what the benchmark harness asserts.  ``trace``
@@ -23,7 +26,11 @@ writes a Chrome-trace JSON (open in Perfetto or chrome://tracing).
 ``faults`` runs a deterministic fault plan: on the functional runtime it
 crashes ranks mid-batch and checks the recovered loss trajectory is
 bit-identical to a fault-free run; on the DES it sweeps MTBF x checkpoint
-interval against the Young/Daly optimum.
+interval against the Young/Daly optimum.  ``serve`` exercises the
+inference-serving layer: on the functional runtime it checks the
+continuous-batching pipeline server emits token-for-token what serial
+``generate`` emits; on the DES it sweeps offered load against the analytic
+roofline and replays a replica-crash failover.
 """
 
 from __future__ import annotations
@@ -430,6 +437,94 @@ def cmd_faults(args) -> bool:
     return ok
 
 
+# -- serve: pipeline-parallel inference serving on both substrates ------------
+
+def _serve_functional(fast: bool, seed: int) -> Dict:
+    """Token-equivalence demo: PipelineServer vs serial ``generate``, with
+    and without continuous batching."""
+    import numpy as np
+
+    from .nn import GPT, GPTConfig, generate
+    from .serve import PipelineServer, RequestSpec, make_requests
+
+    cfg = GPTConfig(vocab_size=61, seq_len=48, n_layer=4, n_head=2,
+                    hidden=16)
+    requests = make_requests(cfg, 6 if fast else 12,
+                             RequestSpec(mean_prompt=6, mean_new_tokens=6,
+                                         seed=seed))
+    model = GPT(cfg)  # same (init_seed, slot) weights as the stage shards
+    serial = {
+        req.rid: generate(model, req.prompt, req.max_new_tokens,
+                          temperature=req.temperature, top_k=req.top_k,
+                          rng=np.random.default_rng(req.seed),
+                          greedy=req.greedy)
+        for req in requests
+    }
+    batched = PipelineServer(cfg, g_inter=3, max_batch=4).serve(requests)
+    sequential = PipelineServer(cfg, g_inter=3, max_batch=1,
+                                max_active=1).serve(requests)
+    rows = [{
+        "rid": req.rid, "prompt": int(np.asarray(req.prompt).size),
+        "new_tokens": req.max_new_tokens,
+        "sampling": "greedy" if req.greedy else
+        f"T={req.temperature:.2f}" + (f",k={req.top_k}" if req.top_k else ""),
+        "batched_identical": bool(np.array_equal(batched[req.rid],
+                                                 serial[req.rid])),
+        "sequential_identical": bool(np.array_equal(sequential[req.rid],
+                                                    serial[req.rid])),
+    } for req in requests]
+    return {
+        "rows": rows,
+        "passed": all(r["batched_identical"] and r["sequential_identical"]
+                      for r in rows),
+    }
+
+
+def cmd_serve(args) -> bool:
+    """Inference serving: functional token-equivalence check plus the DES
+    load sweep, Little's-law closed loop, and replica failover."""
+    import json
+    substrates = ["runtime", "sim"] if args.substrate == "both" \
+        else [args.substrate]
+    seed = args.seed if args.seed is not None else 0
+    report: Dict[str, object] = {}
+    ok = True
+
+    if "runtime" in substrates:
+        result = _serve_functional(args.fast, seed)
+        report["runtime"] = result
+        _emit("serve: pipeline server vs serial generate "
+              "(3-stage pipeline, continuous batching on/off)",
+              result["rows"], None, None)
+        print("\n== serve: functional equivalence ==")
+        print(f"  [{'PASS' if result['passed'] else 'FAIL'}] pipeline "
+              "serving is token-for-token identical to serial generate "
+              "(greedy + seeded sampling, with and without batching)")
+        ok = ok and result["passed"]
+
+    if "sim" in substrates:
+        from .experiments import (serving_claims, serving_closed_loop,
+                                  serving_failover, serving_rows)
+        rows = serving_rows(args.fast, seed=seed)
+        closed = serving_closed_loop(args.fast, seed=seed)
+        failover = serving_failover(args.fast, seed=seed)
+        claims = serving_claims(rows, closed, failover)
+        report["sim"] = {"rows": rows, "closed_loop": closed,
+                         "failover": failover, "claims": claims}
+        ok = _emit("serve: throughput vs offered load "
+                   "(DES, V100-calibrated 2-replica pipeline)",
+                   rows, None, args.csv) and ok
+        _emit("serve: closed-loop Little's law", [closed], None, None)
+        ok = _emit("serve: replica failover under a seeded crash",
+                   [failover], claims, None) and ok
+
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report, fh, indent=2, default=float)
+        print(f"\nwrote serving report to {args.report}")
+    return ok
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "fig1": cmd_fig1,
     "fig3": cmd_fig3,
@@ -453,12 +548,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="Regenerate the AxoNN paper's tables and figures.")
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "list", "lint",
-                                                       "trace", "faults"],
+                                                       "trace", "faults",
+                                                       "serve"],
                         help="which artefact to regenerate, 'lint' to run "
                              "the repo-specific static analysis, 'trace' "
                              "to emit a Chrome-trace of a small scenario, "
-                             "or 'faults' to run a deterministic fault plan "
-                             "against either substrate")
+                             "'faults' to run a deterministic fault plan "
+                             "against either substrate, or 'serve' to "
+                             "exercise the inference-serving layer")
     parser.add_argument("--fast", action="store_true",
                         help="reduced sizes for a quick look")
     parser.add_argument("--models", nargs="+", default=None,
@@ -492,11 +589,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             doc = (EXPERIMENTS[name].__doc__ or "").strip()
             print(f"  {name:<10} {doc}")
         print("  all        run every experiment")
-        print("  lint       repo-specific AST lint (rules REP001-REP006)")
+        print("  lint       repo-specific AST lint (rules REP001-REP007)")
         print("  trace      Chrome-trace of a small scenario "
               "(--substrate, --out, --faults)")
         print("  faults     deterministic fault injection on either "
               "substrate (--substrate, --plan, --seed, --report)")
+        print("  serve      pipeline inference serving on either substrate "
+              "(--substrate, --fast, --csv, --report)")
         return 0
 
     if args.experiment == "lint":
@@ -508,6 +607,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.experiment == "faults":
         return 0 if cmd_faults(args) else 1
+
+    if args.experiment == "serve":
+        return 0 if cmd_serve(args) else 1
 
     targets = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]

@@ -17,6 +17,7 @@ Index (see DESIGN.md for the full mapping):
 * Table I / Table II — :mod:`.tables`
 * extensions — :mod:`.ablations`
 * resilience (MTBF x checkpoint interval vs. Young/Daly) — :mod:`.resilience`
+* serving (load sweep, Little's law, replica failover) — :mod:`.serving`
 """
 
 from .ablations import (
@@ -48,6 +49,14 @@ from .scaling import (
     weak_scaling_rows,
 )
 from .resilience import resilience_claims, resilience_report, resilience_rows
+from .serving import (
+    serving_claims,
+    serving_closed_loop,
+    serving_failover,
+    serving_model,
+    serving_report,
+    serving_rows,
+)
 from .tables import table1_claims, table1_rows, table2_claims, table2_rows
 
 __all__ = [
@@ -91,6 +100,12 @@ __all__ = [
     "resilience_claims",
     "resilience_report",
     "resilience_rows",
+    "serving_claims",
+    "serving_closed_loop",
+    "serving_failover",
+    "serving_model",
+    "serving_report",
+    "serving_rows",
     "table1_claims",
     "table1_rows",
     "table2_claims",

@@ -19,7 +19,7 @@ from .clip import (
     global_grad_norm,
     partial_sq_norm,
 )
-from .generation import generate, sequence_log_prob
+from .generation import generate, sample_token, sequence_log_prob
 from .schedule import (
     ConstantLR,
     LinearWarmupLR,
@@ -58,8 +58,11 @@ from .transformer import (
     GPTConfig,
     GPTEmbedding,
     GPTHead,
+    KVCache,
+    LayerKVCache,
     MLP,
     build_layer,
+    kv_cache_bytes,
     num_layer_slots,
 )
 
@@ -71,6 +74,7 @@ __all__ = [
     "global_grad_norm",
     "partial_sq_norm",
     "generate",
+    "sample_token",
     "sequence_log_prob",
     "ConstantLR",
     "LinearWarmupLR",
@@ -98,6 +102,9 @@ __all__ = [
     "MLP",
     "build_layer",
     "num_layer_slots",
+    "KVCache",
+    "LayerKVCache",
+    "kv_cache_bytes",
     "Optimizer",
     "SGD",
     "Adam",

@@ -14,20 +14,54 @@ from typing import Optional
 import numpy as np
 
 from .tensor import no_grad
-from .transformer import GPT
+from .transformer import GPT, KVCache
 
-__all__ = ["generate", "sequence_log_prob"]
+__all__ = ["generate", "sample_token", "sequence_log_prob"]
+
+
+def sample_token(logits_row: np.ndarray, temperature: float = 1.0,
+                 top_k: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 greedy: bool = False) -> int:
+    """Draw the next token id from one vocab-sized logits row.
+
+    All math runs in float64 from an explicit cast of the raw logits, so
+    any producer of bit-identical logits draws bit-identical tokens from
+    the same RNG stream.  Shared by :func:`generate` and the serving engine
+    (`repro.serve`) — token-for-token equivalence between the two paths is
+    by construction, not by accident.
+    """
+    last = np.asarray(logits_row).astype(np.float64)
+    if greedy:
+        return int(np.argmax(last))
+    if rng is None:
+        raise ValueError("sampling requires an explicit rng (or greedy=True)")
+    last = last / temperature
+    if top_k is not None and top_k < last.size:
+        cutoff = np.partition(last, -top_k)[-top_k]
+        last = np.where(last < cutoff, -np.inf, last)
+    last -= last.max()
+    probs = np.exp(last)
+    probs /= probs.sum()
+    return int(rng.choice(probs.size, p=probs))
 
 
 def generate(model: GPT, prompt: np.ndarray, max_new_tokens: int,
              temperature: float = 1.0, top_k: Optional[int] = None,
              rng: Optional[np.random.Generator] = None,
-             greedy: bool = False) -> np.ndarray:
+             greedy: bool = False, use_cache: bool = True) -> np.ndarray:
     """Continue ``prompt`` (1-D int array) by ``max_new_tokens`` tokens.
 
     ``greedy=True`` takes the argmax; otherwise samples from the softmax at
     the given ``temperature``, optionally truncated to the ``top_k`` most
     likely tokens.  The context is cropped to the model's ``seq_len``.
+
+    With ``use_cache=True`` (the default) decode is incremental: the prompt
+    is prefetched in one batched forward that fills per-layer KV caches and
+    each subsequent step feeds only the newest token — O(n) attention per
+    token instead of re-running the full O(n^2) forward.  Once the sequence
+    outgrows ``seq_len`` the loop falls back to the sliding-window full
+    recompute, matching the uncached path exactly.
     """
     prompt = np.asarray(prompt)
     if prompt.ndim != 1 or prompt.size == 0:
@@ -44,24 +78,22 @@ def generate(model: GPT, prompt: np.ndarray, max_new_tokens: int,
     was_training = model.training
     model.eval()
     tokens = prompt.astype(np.int64).tolist()
+    cache: Optional[KVCache] = None
     try:
         for _ in range(max_new_tokens):
-            context = np.asarray(tokens[-model.cfg.seq_len:])[None, :]
             with no_grad():
-                logits, _ = model(context)
-            last = logits.data[0, -1].astype(np.float64)
-            if greedy:
-                nxt = int(np.argmax(last))
-            else:
-                last = last / temperature
-                if top_k is not None and top_k < last.size:
-                    cutoff = np.partition(last, -top_k)[-top_k]
-                    last = np.where(last < cutoff, -np.inf, last)
-                last -= last.max()
-                probs = np.exp(last)
-                probs /= probs.sum()
-                nxt = int(rng.choice(probs.size, p=probs))
-            tokens.append(nxt)
+                if use_cache and len(tokens) <= model.cfg.seq_len:
+                    if cache is None:
+                        cache = KVCache(model.cfg, batch_size=1)
+                        context = np.asarray(tokens)[None, :]
+                    else:
+                        context = np.asarray(tokens[-1:])[None, :]
+                    logits, _ = model(context, cache=cache)
+                else:
+                    context = np.asarray(tokens[-model.cfg.seq_len:])[None, :]
+                    logits, _ = model(context)
+            tokens.append(sample_token(logits.data[0, -1], temperature,
+                                       top_k, rng, greedy))
     finally:
         model.train(was_training)
     return np.asarray(tokens, dtype=np.int64)

@@ -25,10 +25,11 @@ import numpy as np
 
 from . import functional as F
 from .modules import Dropout, Embedding, LayerNorm, Linear, Module
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = ["GPTConfig", "CausalSelfAttention", "MLP", "Block",
-           "GPTEmbedding", "GPTHead", "GPT", "build_layer", "num_layer_slots"]
+           "GPTEmbedding", "GPTHead", "GPT", "build_layer", "num_layer_slots",
+           "LayerKVCache", "KVCache", "kv_cache_bytes"]
 
 
 @dataclass(frozen=True)
@@ -62,6 +63,75 @@ class GPTConfig:
         return np.random.default_rng((self.init_seed, slot))
 
 
+class LayerKVCache:
+    """Preallocated key/value buffers for one attention layer.
+
+    Incremental decode appends the newest positions' K/V rows and attends
+    over the whole buffer, so generating token ``n`` costs O(n) attention
+    work instead of re-running the full O(n^2) forward.  Buffers are sized
+    once at ``cfg.seq_len`` capacity — no per-token allocation.
+    """
+
+    __slots__ = ("k", "v", "length")
+
+    def __init__(self, cfg: GPTConfig, batch_size: int = 1):
+        shape = (batch_size, cfg.n_head, cfg.seq_len, cfg.head_dim)
+        self.k = np.empty(shape, dtype=np.float32)
+        self.v = np.empty(shape, dtype=np.float32)
+        self.length = 0
+
+    @property
+    def batch_size(self) -> int:
+        return self.k.shape[0]
+
+    @property
+    def capacity(self) -> int:
+        return self.k.shape[2]
+
+    @property
+    def nbytes(self) -> int:
+        return self.k.nbytes + self.v.nbytes
+
+    def extend(self, k_new: np.ndarray,
+               v_new: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Append ``t`` new positions; return views of all cached K/V."""
+        b, _, t, _ = k_new.shape
+        if b != self.batch_size:
+            raise ValueError(
+                f"cache built for batch {self.batch_size}, got {b}")
+        end = self.length + t
+        if end > self.capacity:
+            raise ValueError(
+                f"KV cache overflow: {end} > capacity {self.capacity}")
+        self.k[:, :, self.length:end] = k_new
+        self.v[:, :, self.length:end] = v_new
+        self.length = end
+        return self.k[:, :, :end], self.v[:, :, :end]
+
+
+class KVCache:
+    """Per-block :class:`LayerKVCache` set for a full :class:`GPT`."""
+
+    def __init__(self, cfg: GPTConfig, batch_size: int = 1):
+        self.cfg = cfg
+        self.blocks = [LayerKVCache(cfg, batch_size)
+                       for _ in range(cfg.n_layer)]
+
+    @property
+    def length(self) -> int:
+        return self.blocks[0].length
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self.blocks)
+
+
+def kv_cache_bytes(cfg: GPTConfig, batch_size: int = 1) -> int:
+    """Full-capacity KV footprint: ``2 * n_layer * seq_len * hidden * 4``
+    bytes per sequence — the serving memory budget (DESIGN.md section 9)."""
+    return 2 * cfg.n_layer * cfg.seq_len * cfg.hidden * 4 * batch_size
+
+
 class CausalSelfAttention(Module):
     """Multi-head self-attention with a causal mask."""
 
@@ -76,16 +146,30 @@ class CausalSelfAttention(Module):
         mask = np.triu(np.ones((cfg.seq_len, cfg.seq_len), dtype=bool), k=1)
         self._mask = mask
 
-    def forward(self, x: Tensor) -> Tensor:
+    def forward(self, x: Tensor,
+                cache: Optional[LayerKVCache] = None) -> Tensor:
         b, t, h = x.shape
         nh, hd = self.cfg.n_head, self.cfg.head_dim
         qkv = self.qkv(x)  # (b, t, 3h)
         qkv = qkv.reshape(b, t, 3, nh, hd)
         qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, b, nh, t, hd)
         q, k, v = qkv[0], qkv[1], qkv[2]
+        past = 0
+        if cache is not None:
+            if is_grad_enabled():
+                raise RuntimeError(
+                    "KV-cached attention is inference-only; wrap the call "
+                    "in no_grad()")
+            past = cache.length
+            k_all, v_all = cache.extend(k.data, v.data)
+            k, v = Tensor(k_all), Tensor(v_all)
         # Fused scale + causal mask + softmax: one node instead of three.
-        att = F.masked_softmax(q @ k.swapaxes(-1, -2), self._mask[:t, :t],
-                               scale=1.0 / np.sqrt(hd))  # (b, nh, t, t)
+        # Query rows past..past+t of the causal mask attend over all
+        # past+t cached keys, so the cached slice generalizes the
+        # from-scratch [:t, :t] case (past == 0).
+        att = F.masked_softmax(q @ k.swapaxes(-1, -2),
+                               self._mask[past:past + t, :past + t],
+                               scale=1.0 / np.sqrt(hd))  # (b, nh, t, past+t)
         att = self.drop(att)
         y = att @ v  # (b, nh, t, hd)
         y = y.transpose(0, 2, 1, 3).reshape(b, t, h)
@@ -116,8 +200,9 @@ class Block(Module):
         self.ln2 = LayerNorm(cfg.hidden)
         self.mlp = MLP(cfg, rng)
 
-    def forward(self, x: Tensor) -> Tensor:
-        x = x + self.attn(self.ln1(x))
+    def forward(self, x: Tensor,
+                cache: Optional[LayerKVCache] = None) -> Tensor:
+        x = x + self.attn(self.ln1(x), cache=cache)
         x = x + self.mlp(self.ln2(x))
         return x
 
@@ -135,14 +220,18 @@ class GPTEmbedding(Module):
         self.pos = Embedding(cfg.seq_len, cfg.hidden, rng=rng, init_std=0.01)
         self.drop = Dropout(cfg.dropout, seed=int(rng.integers(2 ** 31)))
 
-    def forward(self, ids) -> Tensor:
+    def forward(self, ids, pos_offset: int = 0) -> Tensor:
         if isinstance(ids, Tensor):
             ids = ids.data
         ids = np.asarray(ids)
         if ids.max() >= self.cfg.vocab_size:
             raise ValueError("token id outside vocabulary")
         b, t = ids.shape
-        positions = np.arange(t)
+        if pos_offset + t > self.cfg.seq_len:
+            raise ValueError(
+                f"positions {pos_offset}..{pos_offset + t} exceed "
+                f"seq_len {self.cfg.seq_len}")
+        positions = np.arange(pos_offset, pos_offset + t)
         return self.drop(self.tok(ids) + self.pos(positions))
 
 
@@ -205,11 +294,16 @@ class GPT(Module):
         return [self.embedding, *self.blocks, self.head]
 
     def forward(self, ids: np.ndarray,
-                targets: Optional[np.ndarray] = None
+                targets: Optional[np.ndarray] = None,
+                cache: Optional[KVCache] = None
                 ) -> Tuple[Tensor, Optional[Tensor]]:
-        x = self.embedding(ids)
-        for blk in self.blocks:
-            x = blk(x)
+        if cache is not None and targets is not None:
+            raise ValueError("KV-cached forward is inference-only; "
+                             "targets are unsupported")
+        offset = cache.length if cache is not None else 0
+        x = self.embedding(ids, pos_offset=offset)
+        for i, blk in enumerate(self.blocks):
+            x = blk(x, cache=None if cache is None else cache.blocks[i])
         logits = self.head(x)
         loss = F.cross_entropy(logits, targets) if targets is not None else None
         return logits, loss

@@ -49,7 +49,7 @@ CATEGORIES = ("compute", "p2p", "allreduce", "optimizer", "h2d", "d2h",
 
 #: canonical stream names in display order (Chrome-trace tid assignment);
 #: ``fault`` carries the resilience layer's markers
-STREAMS = ("compute", "aux", "dma", "net", "fault")
+STREAMS = ("compute", "aux", "dma", "net", "fault", "serve")
 
 
 @dataclass(frozen=True)

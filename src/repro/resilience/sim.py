@@ -26,7 +26,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..obs import ObsSpan
-from ..sim import Environment, Interrupt
+from ..sim import Environment, Interrupt, poisson_process
 
 __all__ = ["FailureModel", "RunStats", "young_daly_interval_s",
            "young_daly_interval_steps", "simulate_resilient_run",
@@ -129,12 +129,14 @@ def _trainer_proc(env: Environment, p: FailureModel, st: Dict[str, float],
 
 def _failure_proc(env: Environment, p: FailureModel, trainer,
                   st: Dict[str, float]):
-    rng = np.random.default_rng(p.seed)
-    while trainer.is_alive:
-        yield env.timeout(float(rng.exponential(p.mtbf_s)))
-        if trainer.is_alive:
-            st["n_failures"] += 1
-            trainer.interrupt("gpu-failure")
+    def fail(_now: float) -> None:
+        st["n_failures"] += 1
+        trainer.interrupt("gpu-failure")
+
+    # Same draw/check order as the historical inline loop, so existing
+    # seeded results are bit-identical.
+    yield from poisson_process(env, p.mtbf_s, p.seed, fail,
+                               alive=lambda: trainer.is_alive)
 
 
 def simulate_resilient_run(p: FailureModel,

@@ -22,7 +22,7 @@ from .engine import AxoNNTrainer, TrainReport
 from .grid import RankGrid
 from .offload import BucketedOffloadAdamW
 from .serial import SerialTrainer, state_dict_as_slots
-from .stage import PipelineStage, partition_layers
+from .stage import InferenceStage, PipelineStage, partition_layers
 from .transport import RECV, DeadlockError, Packet, ProtocolError, RankTransport
 
 __all__ = [
@@ -40,6 +40,7 @@ __all__ = [
     "BucketedOffloadAdamW",
     "SerialTrainer",
     "state_dict_as_slots",
+    "InferenceStage",
     "PipelineStage",
     "partition_layers",
     "RankTransport",

@@ -19,10 +19,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..nn import GPTConfig, Module, Tensor, build_layer, num_layer_slots
+from ..nn import (Block, GPTConfig, GPTEmbedding, LayerKVCache, Module,
+                  Tensor, build_layer, no_grad, num_layer_slots)
 from ..nn.checkpoint import CheckpointedStack, optimal_checkpoint_interval
 
-__all__ = ["partition_layers", "PipelineStage"]
+__all__ = ["partition_layers", "PipelineStage", "InferenceStage"]
 
 
 def partition_layers(n_slots: int, g_inter: int) -> List[Tuple[int, int]]:
@@ -184,3 +185,92 @@ class PipelineStage:
         g = x_in.grad
         x_in.zero_grad()
         return g
+
+
+class InferenceStage:
+    """Forward-only pipeline shard for serving (:mod:`repro.serve`).
+
+    Shares :func:`partition_layers`/:func:`build_layer` with
+    :class:`PipelineStage`, so rank ``i`` holds exactly the weights the
+    training stage would — the serial/pipeline numerical-equivalence
+    property carries over to inference verbatim.  Instead of autograd
+    bookkeeping, each in-flight *request* owns per-block
+    :class:`~repro.nn.LayerKVCache` buffers: a decode step feeds only the
+    newest token's activation through the shard and attends over the cache.
+    Layers run in eval mode (dropout off), matching ``model.eval()`` on the
+    serial side.
+    """
+
+    def __init__(self, cfg: GPTConfig, stage_index: int, g_inter: int):
+        self.cfg = cfg
+        self.stage_index = stage_index
+        self.g_inter = g_inter
+        ranges = partition_layers(num_layer_slots(cfg), g_inter)
+        self.slot_range = ranges[stage_index]
+        self.layers: List[Module] = [
+            build_layer(cfg, slot) for slot in range(*self.slot_range)
+        ]
+        for layer in self.layers:
+            layer.eval()
+        self.is_first = stage_index == 0
+        self.is_last = stage_index == g_inter - 1
+        #: request id -> {layer index -> LayerKVCache}
+        self._caches: Dict[int, Dict[int, LayerKVCache]] = {}
+        #: request id -> positions consumed so far (the position offset)
+        self._pos: Dict[int, int] = {}
+
+    # -- request lifecycle -------------------------------------------------
+    @property
+    def inflight_requests(self) -> int:
+        return len(self._caches)
+
+    def kv_bytes(self) -> int:
+        """Current KV-cache footprint of all in-flight requests (full
+        capacity; buffers are preallocated at admission)."""
+        return sum(c.nbytes for caches in self._caches.values()
+                   for c in caches.values())
+
+    def start_request(self, rid: int, batch_size: int = 1) -> None:
+        if rid in self._caches:
+            raise RuntimeError(f"request {rid} already in flight on stage "
+                               f"{self.stage_index}")
+        self._caches[rid] = {
+            li: LayerKVCache(self.cfg, batch_size)
+            for li, layer in enumerate(self.layers)
+            if isinstance(layer, Block)
+        }
+        self._pos[rid] = 0
+
+    def finish_request(self, rid: int) -> None:
+        self._caches.pop(rid)
+        self._pos.pop(rid)
+
+    # -- execution ---------------------------------------------------------
+    def forward(self, rid: int, data: np.ndarray) -> np.ndarray:
+        """One forward-only pass for request ``rid``.
+
+        * first stage: ``data`` is an integer token array (b, t) — the
+          whole prompt at prefill, the single newest token at decode;
+        * other stages: ``data`` is the boundary activation from upstream;
+        * last stage: returns logits (b, t, vocab).
+        """
+        if rid not in self._caches:
+            raise RuntimeError(f"request {rid} not started on stage "
+                               f"{self.stage_index}")
+        caches = self._caches[rid]
+        pos = self._pos[rid]
+        t = np.asarray(data).shape[1]
+        with no_grad():
+            if self.is_first:
+                x = np.asarray(data)
+            else:
+                x = Tensor(np.asarray(data, dtype=np.float32))
+            for li, layer in enumerate(self.layers):
+                if isinstance(layer, GPTEmbedding):
+                    x = layer(x, pos_offset=pos)
+                elif isinstance(layer, Block):
+                    x = layer(x, cache=caches[li])
+                else:  # GPTHead
+                    x = layer(x)
+        self._pos[rid] = pos + t
+        return x.data

@@ -1,0 +1,35 @@
+"""Message-driven pipeline-parallel inference serving (both substrates).
+
+* :mod:`repro.serve.engine` — the functional path: continuous-batching
+  scheduler driving forward-only Algorithm-2 message passing over
+  :class:`~repro.runtime.transport.RankTransport`, token-for-token
+  identical to serial :func:`repro.nn.generate`;
+* :mod:`repro.serve.workload` — seeded synthetic request mixes and
+  (bursty) Poisson arrival specs;
+* :mod:`repro.serve.sim` — the DES twin: replicated pipelines, bounded
+  admission queues, TTFT/TPOT/p99 metrics, load sweeps, and replica
+  failover under injected crashes.
+"""
+
+from .engine import PipelineServer, Request
+from .sim import (
+    ServingModel,
+    ServingStats,
+    simulate_closed_loop,
+    simulate_serving,
+    sweep_offered_load,
+)
+from .workload import ArrivalSpec, RequestSpec, make_requests
+
+__all__ = [
+    "PipelineServer",
+    "Request",
+    "ServingModel",
+    "ServingStats",
+    "simulate_closed_loop",
+    "simulate_serving",
+    "sweep_offered_load",
+    "ArrivalSpec",
+    "RequestSpec",
+    "make_requests",
+]

@@ -1,0 +1,511 @@
+"""DES twin of the serving engine: replicated pipelines at paper scale.
+
+The functional engine (:mod:`repro.serve.engine`) proves the scheduling is
+*correct*; this module measures what the same policy *costs* on Summit-class
+hardware, exactly the way :mod:`repro.resilience.sim` is the performance
+twin of the recovery machinery.  Each replica is one ``g_inter``-deep
+pipeline whose stages are simulation processes connected by stores; a
+router with bounded admission queues feeds requests from a seeded
+(optionally bursty) Poisson source (:func:`repro.sim.poisson_process` —
+the same generator the failure injector uses); replica crashes come from a
+:class:`~repro.resilience.FaultPlan` and trigger failover re-admission of
+every outstanding request.
+
+Modeled costs follow the repo's calibration idiom: a pipeline group-pass
+on one stage costs ``alpha + beta_d * n_decode_items + beta_p *
+n_prefill_tokens``, with the betas derivable from the V100 spec via
+:meth:`ServingModel.from_cluster`.  The analytic roofline used by the
+experiment table falls straight out of this cost model: with saturated
+continuous batches of width ``B``, the bottleneck stage emits ``B`` tokens
+every ``stage_time(B, 0)`` seconds per replica, discounted by each
+request's one-off prefill occupancy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster import ClusterSpec, default_calibration, summit
+from ..nn import GPTConfig
+from ..obs import ObsSpan
+from ..resilience import FaultPlan
+from ..sim import Environment, Interrupt, Store, poisson_process
+from .workload import ArrivalSpec, RequestSpec
+
+__all__ = ["ServingModel", "ServingStats", "simulate_serving",
+           "simulate_closed_loop", "sweep_offered_load"]
+
+
+@dataclass(frozen=True)
+class ServingModel:
+    """Cost/topology parameters of a replicated serving deployment."""
+
+    n_replicas: int = 2
+    g_inter: int = 4               #: pipeline depth of each replica
+    stage_alpha_s: float = 1e-3    #: fixed per-group stage overhead
+    decode_s_per_item: float = 5e-4  #: per decode token per stage
+    prefill_s_per_token: float = 1e-4  #: per prompt token per stage
+    max_batch: int = 8             #: decode-group width (per-pass batch)
+    pipeline_limit: int = 0        #: in-flight groups (0 -> g_inter)
+    max_active: int = 0            #: KV-resident requests per replica
+                                   #: (0 -> max_batch * pipeline_limit)
+    queue_capacity: int = 64       #: bounded admission queue per replica
+
+    def __post_init__(self):
+        if self.n_replicas < 1 or self.g_inter < 1 or self.max_batch < 1:
+            raise ValueError("replicas/stages/batch must be >= 1")
+        if min(self.stage_alpha_s, self.decode_s_per_item,
+               self.prefill_s_per_token) <= 0:
+            raise ValueError("all cost coefficients must be positive")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+
+    @property
+    def effective_pipeline_limit(self) -> int:
+        return self.pipeline_limit if self.pipeline_limit > 0 \
+            else self.g_inter
+
+    @property
+    def effective_max_active(self) -> int:
+        """KV slots per replica.  Keeping ``pipeline_limit`` decode
+        groups of width ``max_batch`` in flight needs this many resident
+        requests; fewer leaves pipeline bubbles between a request's
+        consecutive tokens (each token must round-trip all stages before
+        the next can start)."""
+        return self.max_active if self.max_active > 0 \
+            else self.max_batch * self.effective_pipeline_limit
+
+    def stage_time_s(self, n_decode: int, n_prefill_tokens: int) -> float:
+        """One group-pass on one stage."""
+        return (self.stage_alpha_s + self.decode_s_per_item * n_decode
+                + self.prefill_s_per_token * n_prefill_tokens)
+
+    def decode_roofline_tok_s(self) -> float:
+        """Decode-only ceiling: saturated batches, prefill ignored."""
+        return self.n_replicas * self.max_batch / \
+            self.stage_time_s(self.max_batch, 0)
+
+    def token_roofline_tok_s(self, mean_prompt: float,
+                             mean_new_tokens: float) -> float:
+        """Effective token ceiling for a request mix.
+
+        Bottleneck-stage busy time per request: one prefill group-pass plus
+        ``mean_new_tokens`` shares of a width-``max_batch`` decode pass.
+        """
+        per_req = (self.stage_time_s(0, int(round(mean_prompt)))
+                   + mean_new_tokens
+                   * self.stage_time_s(self.max_batch, 0) / self.max_batch)
+        return self.n_replicas * mean_new_tokens / per_req
+
+    @classmethod
+    def from_cluster(cls, cfg: GPTConfig, cluster: Optional[ClusterSpec]
+                     = None, n_replicas: int = 2, g_inter: int = 4,
+                     max_batch: int = 8, **kw) -> "ServingModel":
+        """Derive the cost coefficients from a GPU spec + calibration.
+
+        Decode is bandwidth/overhead bound (tiny GEMMs reading the whole
+        shard's weights and KV); prefill amortizes kernel launches over the
+        prompt and runs near the calibrated GEMM efficiency.
+        """
+        cluster = cluster or summit(1)
+        cal = default_calibration()
+        params_per_stage = 12 * cfg.n_layer * cfg.hidden ** 2 / g_inter
+        peak = cluster.node.gpu.peak_half_flops
+        # one token through one stage: 2 flops/param at decode-batch
+        # granularity (low kernel efficiency) + the weight read from HBM
+        flops = 2.0 * params_per_stage
+        decode = cal.compute.time(flops, peak) \
+            + 2 * params_per_stage / cal.hbm_bandwidth
+        prefill = cal.compute.time(flops, peak, work=flops * 64)
+        alpha = cal.kernel_launch_overhead * (cfg.n_layer / g_inter + 2) \
+            + cal.nccl.p2p_alpha_intra
+        return cls(n_replicas=n_replicas, g_inter=g_inter,
+                   max_batch=max_batch, stage_alpha_s=alpha,
+                   decode_s_per_item=decode, prefill_s_per_token=prefill,
+                   **kw)
+
+
+@dataclass
+class ServingStats:
+    """Aggregated outcome of one simulated serving run."""
+
+    horizon_s: float
+    offered_req_s: float
+    n_arrived: int = 0
+    n_admitted: int = 0
+    n_rejected: int = 0
+    n_completed: int = 0
+    n_restarts: int = 0
+    tokens_out: int = 0
+    ttft_s: List[float] = field(default_factory=list)
+    tpot_s: List[float] = field(default_factory=list)
+    sojourn_s: List[float] = field(default_factory=list)
+    concurrency_integral: float = 0.0  #: integral of in-system count dt
+
+    @property
+    def throughput_tok_s(self) -> float:
+        return self.tokens_out / self.horizon_s if self.horizon_s else 0.0
+
+    @property
+    def throughput_req_s(self) -> float:
+        return self.n_completed / self.horizon_s if self.horizon_s else 0.0
+
+    @property
+    def mean_concurrency(self) -> float:
+        """Time-averaged number of requests in the system (Little's L)."""
+        return self.concurrency_integral / self.horizon_s \
+            if self.horizon_s else 0.0
+
+    @property
+    def mean_sojourn_s(self) -> float:
+        return float(np.mean(self.sojourn_s)) if self.sojourn_s else 0.0
+
+    def ttft_percentile(self, q: float) -> float:
+        return float(np.percentile(self.ttft_s, q)) if self.ttft_s else 0.0
+
+    @property
+    def mean_tpot_s(self) -> float:
+        return float(np.mean(self.tpot_s)) if self.tpot_s else 0.0
+
+
+class _ReqState:
+    """One request's lifecycle inside the simulation."""
+
+    __slots__ = ("rid", "arrival_s", "prompt_len", "new_tokens",
+                 "tokens_done", "first_token_s", "last_step_s", "finish_s",
+                 "restarts", "done_event")
+
+    def __init__(self, rid: int, arrival_s: float, prompt_len: int,
+                 new_tokens: int, done_event=None):
+        self.rid = rid
+        self.arrival_s = arrival_s
+        self.prompt_len = prompt_len
+        self.new_tokens = new_tokens
+        self.tokens_done = 0
+        self.first_token_s: Optional[float] = None
+        self.last_step_s = arrival_s
+        self.finish_s: Optional[float] = None
+        self.restarts = 0
+        self.done_event = done_event
+
+
+class _Replica:
+    """One pipeline replica: stage stores + the continuous-batch state."""
+
+    def __init__(self, env: Environment, model: ServingModel, index: int):
+        self.env = env
+        self.model = model
+        self.index = index
+        self.alive = True
+        self.stores = [Store(env) for _ in range(model.g_inter)]
+        self.queue: Deque[_ReqState] = deque()
+        self.active: Dict[int, _ReqState] = {}
+        self.ready: Deque[_ReqState] = deque()
+        self.inflight = 0
+        self.procs = []
+
+    @property
+    def load(self) -> int:
+        return len(self.queue) + len(self.active)
+
+    def outstanding(self) -> List[_ReqState]:
+        return list(self.queue) + list(self.active.values())
+
+
+class _Cluster:
+    """Shared router/bookkeeping state for one simulation run."""
+
+    def __init__(self, env: Environment, model: ServingModel,
+                 stats: ServingStats, spans: Optional[List[ObsSpan]]):
+        self.env = env
+        self.model = model
+        self.stats = stats
+        self.spans = spans
+        self.replicas = [_Replica(env, model, i)
+                         for i in range(model.n_replicas)]
+        self.in_system = 0
+        self._conc_mark = 0.0
+
+    # -- Little's law bookkeeping -----------------------------------------
+    def _track(self, delta: int) -> None:
+        now = self.env.now
+        self.stats.concurrency_integral += \
+            self.in_system * (now - self._conc_mark)
+        self._conc_mark = now
+        self.in_system += delta
+
+    def flush_concurrency(self) -> None:
+        self._track(0)
+
+    # -- admission ---------------------------------------------------------
+    def admit(self, st: _ReqState, forced: bool = False) -> bool:
+        """Route to the least-loaded live replica; bounded queue unless
+        ``forced`` (failover re-admission keeps its admission)."""
+        live = [r for r in self.replicas if r.alive]
+        if not live:
+            if not forced:  # whole cluster down: drop at the front door
+                self.stats.n_rejected += 1
+            return False
+        rep = min(live, key=lambda r: (r.load, r.index))
+        if not forced:
+            if len(rep.queue) >= self.model.queue_capacity:
+                self.stats.n_rejected += 1
+                return False
+            self.stats.n_admitted += 1
+            self._track(+1)
+        rep.queue.append(st)
+        self.pump(rep)
+        return True
+
+    # -- scheduling --------------------------------------------------------
+    def pump(self, rep: _Replica) -> None:
+        """Dispatch groups while the pipeline has room (continuous
+        batching: prefills join the moment a batch slot is free)."""
+        model = self.model
+        while rep.alive and rep.inflight < model.effective_pipeline_limit:
+            if rep.queue and len(rep.active) < model.effective_max_active:
+                st = rep.queue.popleft()
+                rep.active[st.rid] = st
+                st.last_step_s = self.env.now
+                rep.inflight += 1
+                rep.stores[0].put(("prefill", [st]))
+            elif rep.ready:
+                group = []
+                for _ in range(min(len(rep.ready), model.max_batch)):
+                    group.append(rep.ready.popleft())
+                for st in group:
+                    st.last_step_s = self.env.now
+                rep.inflight += 1
+                rep.stores[0].put(("decode", group))
+            else:
+                return
+
+    def finish_group(self, rep: _Replica, kind: str,
+                     group: List[_ReqState]) -> None:
+        now = self.env.now
+        rep.inflight -= 1
+        for st in group:
+            st.tokens_done += 1
+            self.stats.tokens_out += 1
+            if st.tokens_done == 1:
+                st.first_token_s = now
+                self.stats.ttft_s.append(now - st.arrival_s)
+                self._span(rep, "prefill", st.last_step_s, now, st.rid,
+                           "compute")
+            else:
+                self._span(rep, f"decode{st.tokens_done - 1}",
+                           st.last_step_s, now, st.rid, "compute")
+            if st.tokens_done >= st.new_tokens:
+                st.finish_s = now
+                del rep.active[st.rid]
+                self.stats.n_completed += 1
+                self.stats.sojourn_s.append(now - st.arrival_s)
+                if st.new_tokens > 1 and st.first_token_s is not None:
+                    self.stats.tpot_s.append(
+                        (now - st.first_token_s) / (st.new_tokens - 1))
+                self._track(-1)
+                self._span(rep, "request", st.arrival_s, now, st.rid,
+                           "other")
+                if st.done_event is not None and not st.done_event.triggered:
+                    st.done_event.succeed()
+            else:
+                rep.ready.append(st)
+        self.pump(rep)
+
+    def _span(self, rep: _Replica, name: str, start: float, end: float,
+              rid: int, category: str) -> None:
+        if self.spans is not None:
+            self.spans.append(ObsSpan(rep.index, "serve", name, start, end,
+                                      category=category, microbatch=rid))
+
+    # -- failover ----------------------------------------------------------
+    def crash(self, rep: _Replica) -> None:
+        """Kill a replica; re-admit every outstanding request elsewhere
+        (KV state is lost, so they restart from prefill)."""
+        if not rep.alive:
+            return
+        rep.alive = False
+        for proc in rep.procs:
+            if proc.is_alive:
+                proc.interrupt("replica-crash")
+        orphans = rep.outstanding()
+        rep.queue.clear()
+        rep.active.clear()
+        rep.ready.clear()
+        rep.inflight = 0
+        for st in orphans:
+            st.restarts += 1
+            self.stats.n_restarts += 1
+            st.tokens_done = 0
+            st.first_token_s = None
+            if not self.admit(st, forced=True):
+                # no live replica left: the request is lost
+                self._track(-1)
+
+
+def _stage_proc(env: Environment, cluster: _Cluster, rep: _Replica,
+                i: int):
+    model = cluster.model
+    try:
+        while True:
+            kind, group = yield rep.stores[i].get()
+            if kind == "prefill":
+                cost = model.stage_time_s(0, group[0].prompt_len)
+            else:
+                cost = model.stage_time_s(len(group), 0)
+            yield env.timeout(cost)
+            if not rep.alive:
+                return
+            if i + 1 < model.g_inter:
+                rep.stores[i + 1].put((kind, group))
+            else:
+                cluster.finish_group(rep, kind, group)
+    except Interrupt:
+        return
+
+
+def _build(env: Environment, model: ServingModel, stats: ServingStats,
+           spans: Optional[List[ObsSpan]],
+           plan: Optional[FaultPlan]) -> _Cluster:
+    cluster = _Cluster(env, model, stats, spans)
+    for rep in cluster.replicas:
+        for i in range(model.g_inter):
+            rep.procs.append(env.process(
+                _stage_proc(env, cluster, rep, i),
+                name=f"replica{rep.index}-stage{i}"))
+    if plan is not None:
+        for fault in plan.faults:
+            if fault.kind != "crash":
+                continue
+            rep_idx = fault.rank if fault.rank is not None else 0
+            if not 0 <= rep_idx < model.n_replicas:
+                raise ValueError(f"crash fault names replica {rep_idx}; "
+                                 f"model has {model.n_replicas}")
+            at_s = float(fault.tick if fault.tick is not None else 0)
+
+            def _crash_proc(env: Environment, idx: int = rep_idx,
+                            t: float = at_s):
+                yield env.timeout(t)
+                cluster.crash(cluster.replicas[idx])
+                if spans is not None:
+                    spans.append(ObsSpan(idx, "serve", "replica-crash",
+                                         t, env.now, category="fault"))
+
+            env.process(_crash_proc(env),
+                        name=f"crash-replica{rep_idx}@{at_s}")
+    return cluster
+
+
+def _request_sizes(cfg_seq_len: int, spec: RequestSpec,
+                   rng: np.random.Generator) -> Tuple[int, int]:
+    """Same clipping contract as :func:`repro.serve.workload.make_requests`."""
+    p = int(min(1 + rng.geometric(1.0 / spec.mean_prompt),
+                cfg_seq_len - 1))
+    m = int(min(1 + rng.geometric(1.0 / spec.mean_new_tokens),
+                cfg_seq_len - p))
+    return p, m
+
+
+def simulate_serving(model: ServingModel, arrivals: ArrivalSpec,
+                     horizon_s: float, request_spec: Optional[RequestSpec]
+                     = None, seq_len: int = 64,
+                     plan: Optional[FaultPlan] = None,
+                     spans: Optional[List[ObsSpan]] = None) -> ServingStats:
+    """Open-loop run: seeded Poisson/bursty arrivals for ``horizon_s``
+    simulated seconds; returns latency/throughput accounting."""
+    spec = request_spec or RequestSpec()
+    env = Environment()
+    stats = ServingStats(horizon_s=horizon_s,
+                         offered_req_s=arrivals.rate_per_s)
+    cluster = _build(env, model, stats, spans, plan)
+    size_rng = np.random.default_rng(spec.seed + 1)
+    next_rid = [0]
+
+    def on_arrival(now: float) -> None:
+        stats.n_arrived += 1
+        p, m = _request_sizes(seq_len, spec, size_rng)
+        cluster.admit(_ReqState(next_rid[0], now, p, m))
+        next_rid[0] += 1
+
+    env.process(
+        poisson_process(env, arrivals.mean_interarrival(),
+                        seed=arrivals.seed, on_event=on_arrival,
+                        alive=lambda: env.now < horizon_s),
+        name="request-arrivals")
+    env.run(until=horizon_s)
+    # drain what is already in the system so completions are counted
+    env.run()
+    cluster.flush_concurrency()
+    return stats
+
+
+def simulate_closed_loop(model: ServingModel, n_clients: int,
+                         horizon_s: float,
+                         request_spec: Optional[RequestSpec] = None,
+                         seq_len: int = 64) -> ServingStats:
+    """Closed-loop run: ``n_clients`` clients, each keeping exactly one
+    request in flight (zero think time) — the textbook setting for
+    checking Little's law ``L = X * W``."""
+    spec = request_spec or RequestSpec()
+    env = Environment()
+    stats = ServingStats(horizon_s=horizon_s, offered_req_s=0.0)
+    cluster = _build(env, model, stats, None, None)
+    size_rng = np.random.default_rng(spec.seed + 2)
+    next_rid = [0]
+
+    def _client_proc(env: Environment, cid: int):
+        while env.now < horizon_s:
+            p, m = _request_sizes(seq_len, spec, size_rng)
+            done = env.event()
+            st = _ReqState(next_rid[0], env.now, p, m, done_event=done)
+            next_rid[0] += 1
+            stats.n_arrived += 1
+            stats.n_admitted += 1
+            cluster._track(+1)
+            rep = min([r for r in cluster.replicas if r.alive],
+                      key=lambda r: (r.load, r.index))
+            rep.queue.append(st)
+            cluster.pump(rep)
+            yield done
+
+    for cid in range(n_clients):
+        env.process(_client_proc(env, cid), name=f"client{cid}")
+    env.run(until=horizon_s)
+    env.run()
+    cluster.flush_concurrency()
+    return stats
+
+
+def sweep_offered_load(model: ServingModel, load_fractions: List[float],
+                       horizon_s: float = 60.0,
+                       request_spec: Optional[RequestSpec] = None,
+                       seq_len: int = 64, seed: int = 0,
+                       burst_factor: float = 1.0) -> List[Dict[str, float]]:
+    """Throughput/latency at each offered load, as fractions of the
+    analytic token roofline — the serving experiment's core table."""
+    spec = request_spec or RequestSpec()
+    roofline = model.token_roofline_tok_s(spec.mean_prompt,
+                                          spec.mean_new_tokens)
+    rows = []
+    for frac in load_fractions:
+        req_rate = frac * roofline / spec.mean_new_tokens
+        arrivals = ArrivalSpec(rate_per_s=req_rate, seed=seed,
+                               burst_factor=burst_factor)
+        stats = simulate_serving(model, arrivals, horizon_s,
+                                 request_spec=spec, seq_len=seq_len)
+        rows.append({
+            "load_fraction": frac,
+            "offered_tok_s": req_rate * spec.mean_new_tokens,
+            "throughput_tok_s": stats.throughput_tok_s,
+            "roofline_tok_s": roofline,
+            "ttft_p50_ms": stats.ttft_percentile(50) * 1e3,
+            "ttft_p99_ms": stats.ttft_percentile(99) * 1e3,
+            "tpot_ms": stats.mean_tpot_s * 1e3,
+            "completed": float(stats.n_completed),
+            "rejected": float(stats.n_rejected),
+        })
+    return rows

@@ -1,0 +1,119 @@
+"""Synthetic serving workloads: seeded request mixes and arrival processes.
+
+Two independent seeded streams, so the same request mix can be replayed
+under different arrival intensities:
+
+* :func:`make_requests` — deterministic request parameters (prompt tokens,
+  generation budgets, sampling settings) for the functional engine and the
+  DES twin alike;
+* :class:`ArrivalSpec` — an arrival-process description consumed by
+  :func:`repro.sim.poisson_process`: constant-rate Poisson, or a bursty
+  on/off modulated Poisson (rate multiplied by ``burst_factor`` during the
+  "on" fraction of each period — a square-wave intensity, the standard
+  simple model for diurnal/bursty traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..nn import GPTConfig
+from .engine import Request
+
+__all__ = ["ArrivalSpec", "RequestSpec", "make_requests"]
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """Size/sampling distribution of the synthetic request mix."""
+
+    mean_prompt: int = 8         #: mean prompt length (geometric-ish)
+    mean_new_tokens: int = 8     #: mean generation budget
+    greedy_fraction: float = 0.5  #: fraction of requests decoded greedily
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.mean_prompt < 1 or self.mean_new_tokens < 1:
+            raise ValueError("mean prompt/new-token lengths must be >= 1")
+        if not 0.0 <= self.greedy_fraction <= 1.0:
+            raise ValueError("greedy_fraction must be in [0, 1]")
+
+
+def make_requests(cfg: GPTConfig, n: int,
+                  spec: Optional[RequestSpec] = None) -> List[Request]:
+    """``n`` deterministic requests drawn from ``spec``'s distributions.
+
+    Lengths are clipped so ``prompt + max_new_tokens <= cfg.seq_len`` (the
+    engine's admission contract); each request gets its own sampling seed
+    derived from the spec seed and its id.
+    """
+    spec = spec or RequestSpec()
+    rng = np.random.default_rng(spec.seed)
+    requests = []
+    for rid in range(n):
+        p = int(min(1 + rng.geometric(1.0 / spec.mean_prompt),
+                    cfg.seq_len - 1))
+        m = int(min(1 + rng.geometric(1.0 / spec.mean_new_tokens),
+                    cfg.seq_len - p))
+        prompt = rng.integers(0, cfg.vocab_size, size=p)
+        greedy = bool(rng.random() < spec.greedy_fraction)
+        requests.append(Request(
+            rid=rid, prompt=prompt, max_new_tokens=m,
+            temperature=float(rng.uniform(0.7, 1.3)),
+            top_k=int(rng.integers(2, max(3, cfg.vocab_size // 2)))
+            if rng.random() < 0.5 else None,
+            greedy=greedy, seed=spec.seed * 1_000_003 + rid))
+    return requests
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Seeded (possibly bursty) Poisson arrival process.
+
+    ``rate_per_s`` is the *mean* arrival rate.  With ``burst_factor > 1``
+    the instantaneous rate follows a square wave of period
+    ``burst_period_s``: ``burst_factor`` times the base rate during the
+    first ``burst_fraction`` of each period, and proportionally less in
+    the remainder, so the long-run mean stays ``rate_per_s``.
+    """
+
+    rate_per_s: float
+    seed: int = 0
+    burst_factor: float = 1.0
+    burst_period_s: float = 10.0
+    burst_fraction: float = 0.3
+
+    def __post_init__(self):
+        if self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+        if not 0.0 < self.burst_fraction < 1.0:
+            raise ValueError("burst_fraction must be in (0, 1)")
+        if self.burst_period_s <= 0:
+            raise ValueError("burst_period_s must be positive")
+        if self.burst_factor * self.burst_fraction >= 1.0 and \
+                self.burst_factor > 1.0:
+            raise ValueError(
+                "burst_factor * burst_fraction must stay < 1 so the "
+                "off-phase rate remains positive")
+
+    def mean_interarrival(self) -> Callable[[float], float]:
+        """The ``mean_interval_s(now)`` callable for
+        :func:`repro.sim.poisson_process`."""
+        base = self.rate_per_s
+        if self.burst_factor == 1.0:
+            return lambda _now: 1.0 / base
+        hi = base * self.burst_factor
+        lo = base * (1.0 - self.burst_factor * self.burst_fraction) / \
+            (1.0 - self.burst_fraction)
+        period, on = self.burst_period_s, self.burst_fraction
+
+        def mean(now: float) -> float:
+            phase = (now % period) / period
+            return 1.0 / (hi if phase < on else lo)
+
+        return mean

@@ -19,6 +19,7 @@ from .engine import (
     SimulationError,
     Timeout,
 )
+from .processes import poisson_process
 from .resources import PriorityResource, Request, Resource, Store
 from .trace import (
     Span,
@@ -38,6 +39,7 @@ __all__ = [
     "Process",
     "SimulationError",
     "Timeout",
+    "poisson_process",
     "PriorityResource",
     "Request",
     "Resource",

@@ -1,0 +1,46 @@
+"""Reusable stochastic event processes for the DES substrate.
+
+One seeded Poisson generator serves every subsystem that needs memoryless
+arrivals — GPU failures in :mod:`repro.resilience.sim`, inference-request
+arrivals in :mod:`repro.serve.sim` — so the arrival statistics (and their
+determinism guarantees) live in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from .engine import Environment
+
+__all__ = ["poisson_process"]
+
+MeanInterval = Union[float, Callable[[float], float]]
+
+
+def poisson_process(env: Environment, mean_interval_s: MeanInterval,
+                    seed: int, on_event: Callable[[float], None],
+                    alive: Optional[Callable[[], bool]] = None):
+    """Generator: fire ``on_event(now)`` at exponential inter-arrival times.
+
+    ``mean_interval_s`` is either a constant mean or a callable of the
+    current sim time returning the instantaneous mean — the latter yields a
+    (piecewise-)inhomogeneous process, used for bursty request workloads.
+    The RNG is built from ``seed`` inside the process, so two runs with the
+    same seed see the same arrival times regardless of what else the
+    simulation does.  ``alive`` (checked before each wait *and* before each
+    firing, matching the historical failure-injector semantics) stops the
+    process once it returns False.
+
+    Drive it with ``env.process(poisson_process(...), name=...)``.
+    """
+    rng = np.random.default_rng(seed)
+    while alive is None or alive():
+        mean = (mean_interval_s(env.now) if callable(mean_interval_s)
+                else mean_interval_s)
+        if mean <= 0:
+            raise ValueError("mean inter-arrival time must be positive")
+        yield env.timeout(float(rng.exponential(mean)))
+        if alive is None or alive():
+            on_event(env.now)

@@ -1,4 +1,4 @@
-"""Unit tests for the repo-specific AST lint rules (REP001-REP006)."""
+"""Unit tests for the repo-specific AST lint rules (REP001-REP007)."""
 
 import textwrap
 
@@ -318,6 +318,37 @@ class TestREP006:
         assert _codes(src) == []
 
 
+class TestREP007:
+    SERVE = "src/repro/serve/engine.py"
+
+    def _codes_at(self, source, path):
+        return [i.code for i in lint_source(textwrap.dedent(source), path)]
+
+    def test_derived_seed_in_serve_flagged(self):
+        for arg in ("time.time()", "os.getpid()", "hash(rid)"):
+            src = f"rng = np.random.default_rng({arg})\n"
+            assert self._codes_at(src, self.SERVE) == ["REP007"], arg
+
+    def test_explicit_seed_allowed(self):
+        for arg in ("0", "req.seed", "seed", "self.seed * 3 + rid",
+                    "spec.seed + 1"):
+            src = f"rng = np.random.default_rng({arg})\n"
+            assert self._codes_at(src, self.SERVE) == [], arg
+
+    def test_no_arg_case_belongs_to_rep003(self):
+        src = "rng = np.random.default_rng()\n"
+        assert self._codes_at(src, self.SERVE) == ["REP003"]
+
+    def test_non_serve_paths_exempt(self):
+        src = "rng = np.random.default_rng(time.time())\n"
+        assert self._codes_at(src, "src/repro/nn/generation.py") == []
+
+    def test_suppression_comment(self):
+        src = ("rng = np.random.default_rng(time.time())"
+               "  # lint-ok: REP007 demo\n")
+        assert self._codes_at(src, self.SERVE) == []
+
+
 class TestMachinery:
     def test_suppression_comment(self):
         src = "rng = np.random.default_rng()  # lint-ok: REP003 reason\n"
@@ -342,4 +373,4 @@ class TestMachinery:
 
     def test_rule_catalogue_complete(self):
         assert set(RULES) == {"REP001", "REP002", "REP003", "REP004",
-                              "REP005", "REP006"}
+                              "REP005", "REP006", "REP007"}

@@ -72,6 +72,34 @@ class TestCLI:
             doc = json.loads((tmp_path / f"trace-{suffix}.json").read_text())
             assert any(e["ph"] == "X" for e in doc["traceEvents"]), suffix
 
+    def test_list_includes_serve(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "serve" in out
+        assert "REP007" in out
+
+    def test_serve_functional_fast(self, capsys):
+        assert main(["serve", "--fast", "--substrate", "runtime"]) == 0
+        out = capsys.readouterr().out
+        assert "functional equivalence" in out
+        assert "[PASS]" in out
+        assert "[FAIL]" not in out
+
+    def test_serve_sim_fast_with_csv_and_report(self, tmp_path, capsys):
+        csv_path = tmp_path / "sweep.csv"
+        report_path = tmp_path / "serve.json"
+        assert main(["serve", "--fast", "--substrate", "sim",
+                     "--csv", str(csv_path),
+                     "--report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[FAIL]" not in out
+        with open(csv_path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 6
+        assert float(rows[0]["load_fraction"]) == 0.25
+        doc = json.loads(report_path.read_text())
+        assert all(doc["sim"]["claims"].values())
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
