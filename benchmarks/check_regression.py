@@ -2,11 +2,18 @@
 throughput.
 
 Re-measures the trainer section of :mod:`bench_wallclock` and compares
-each variant's ``min_s`` against the committed ``BENCH_PR1.json``
-baseline; when ``BENCH_PR5.json`` is present it also re-measures the
+each variant's ``min_s`` against the **best** time recorded for that
+variant across *every* committed ``BENCH_PR*.json`` at the repo root
+that carries a ``trainers`` section (a later PR may have made a variant
+faster; the gate must hold the high-water mark, not the oldest file).
+The winning baseline file is printed per variant.  When
+``BENCH_PR5.json`` is present it also re-measures the
 :mod:`bench_serving` functional throughput (tokens/s) and the
-deterministic DES tail latency.  Exits nonzero when any metric regressed
-by more than the threshold (default 20%), so CI can fail the build::
+deterministic DES tail latency, and when ``BENCH_PR6.json`` is present
+it re-measures one process-backend step (:mod:`bench_scaling`) and —
+only on machines with >= 4 cores — asserts the >= 2x scaling bar at 4
+ranks.  Exits nonzero when any metric regressed by more than the
+threshold (default 20%), so CI can fail the build::
 
     PYTHONPATH=src python benchmarks/check_regression.py
     PYTHONPATH=src python benchmarks/check_regression.py --threshold 0.1
@@ -22,11 +29,15 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from typing import Dict, Tuple
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-import bench_serving  # noqa: E402  (needs the path tweak above)
+import bench_scaling  # noqa: E402  (needs the path tweak above)
+import bench_serving  # noqa: E402
 import bench_wallclock  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def check_serving(baseline_path: Path, threshold: float) -> bool:
@@ -70,43 +81,125 @@ def check_serving(baseline_path: Path, threshold: float) -> bool:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", type=Path,
-                        default=bench_wallclock.OUTPUT,
-                        help="committed BENCH_PR1.json to compare against")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="max allowed fractional step-time regression")
     parser.add_argument("--serving-baseline", type=Path,
                         default=bench_serving.OUTPUT,
                         help="committed BENCH_PR5.json to compare against")
+    parser.add_argument("--scaling-baseline", type=Path,
+                        default=bench_scaling.OUTPUT,
+                        help="committed BENCH_PR6.json to compare against")
+    parser.add_argument("--bench-root", type=Path, default=REPO_ROOT,
+                        help="directory globbed for BENCH_PR*.json trainer "
+                             "baselines")
     args = parser.parse_args(argv)
 
-    failed = check_trainers(args.baseline, args.threshold)
+    failed = check_trainers(args.threshold, args.bench_root)
     failed = check_serving(args.serving_baseline, args.threshold) or failed
+    failed = check_scaling(args.scaling_baseline, args.threshold) or failed
     return 1 if failed else 0
 
 
-def check_trainers(baseline_path: Path, threshold: float) -> bool:
-    """Compare fresh trainer step times against ``BENCH_PR1.json``."""
-    if not baseline_path.exists():
+def best_trainer_baselines(root: Path = REPO_ROOT) -> Dict[str, Tuple[float, str]]:
+    """Best ``min_s`` per trainer variant across all ``BENCH_PR*.json``.
+
+    Returns ``{variant: (min_s, filename)}`` — the fastest time any
+    committed bench file ever recorded for that variant and which file
+    holds it.  Files without a ``trainers`` section (e.g. the serving
+    baseline) are skipped.
+    """
+    best: Dict[str, Tuple[float, str]] = {}
+    for path in sorted(root.glob("BENCH_PR*.json")):
+        try:
+            trainers = json.loads(path.read_text()).get("trainers")
+        except (json.JSONDecodeError, OSError):
+            continue
+        if not isinstance(trainers, dict):
+            continue
+        for name, stats in trainers.items():
+            min_s = stats.get("min_s")
+            if min_s is None:
+                continue
+            if name not in best or min_s < best[name][0]:
+                best[name] = (min_s, path.name)
+    return best
+
+
+def check_trainers(threshold: float, root: Path = REPO_ROOT) -> bool:
+    """Compare fresh trainer step times against the best committed time.
+
+    The baseline per variant is the minimum ``min_s`` across every
+    ``BENCH_PR*.json`` carrying a ``trainers`` section; the file that
+    holds the winning time is printed alongside each comparison.
+    """
+    best = best_trainer_baselines(root)
+    if not best:
         # No baseline is not a regression — a fresh checkout (or CI cache
         # miss) has nothing to compare against.  Say so clearly and pass.
-        print(f"no baseline found at {baseline_path}; nothing to compare "
+        print(f"no trainer baseline found (no BENCH_PR*.json with a "
+              f"trainers section under {root}); nothing to compare "
               f"against.\nRun `PYTHONPATH=src python "
               f"benchmarks/bench_wallclock.py` to record one.")
         return False
-    baseline = json.loads(baseline_path.read_text())["trainers"]
 
     fresh = bench_wallclock.bench_trainers()
     failed = False
     for name, stats in fresh.items():
-        base_min = baseline[name]["min_s"]
+        if name not in best:
+            print(f"{name:>13}: {stats['min_s']:.4f}s (no baseline; "
+                  f"recorded for future gates)")
+            continue
+        base_min, source = best[name]
         ratio = stats["min_s"] / base_min
         status = "ok"
         if ratio > 1.0 + threshold:
             status = "REGRESSION"
             failed = True
-        print(f"{name:>13}: {stats['min_s']:.4f}s vs baseline "
-              f"{base_min:.4f}s ({ratio:.2f}x)  {status}")
+        print(f"{name:>13}: {stats['min_s']:.4f}s vs best baseline "
+              f"{base_min:.4f}s from {source} ({ratio:.2f}x)  {status}")
+    return failed
+
+
+def check_scaling(baseline_path: Path, threshold: float) -> bool:
+    """Gate the process-backend numbers against ``BENCH_PR6.json``.
+
+    Re-measures one 2-rank process-backend step and compares it with the
+    committed time.  The ISSUE's >= 2x-at-4-ranks bar is asserted only
+    when both the recording machine and this one have >= 4 cores — on
+    fewer cores the workers time-slice one CPU and the bar is physically
+    unattainable, so it is reported as not measurable instead of faked.
+    """
+    if not baseline_path.exists():
+        print(f"no scaling baseline found at {baseline_path}; nothing to "
+              f"compare against.\nRun `PYTHONPATH=src python "
+              f"benchmarks/bench_scaling.py` to record one.")
+        return False
+    baseline = json.loads(baseline_path.read_text())
+
+    failed = False
+    fresh = bench_scaling.bench_backend("process", 2)
+    base_min = baseline["scaling"]["process"]["2"]["min_s"]
+    ratio = fresh["min_s"] / base_min
+    status = "ok"
+    if ratio > 1.0 + threshold:
+        status = "REGRESSION"
+        failed = True
+    print(f"{'process x2':>13}: {fresh['min_s']:.4f}s vs baseline "
+          f"{base_min:.4f}s ({ratio:.2f}x)  {status}")
+
+    n_cores = bench_scaling.cores()
+    recorded_cores = int(baseline.get("cores", 1))
+    if n_cores >= 4 and recorded_cores >= 4:
+        speedup = baseline["speedup_vs_1rank"]["process"]["4"]
+        ok = speedup >= 2.0
+        if not ok:
+            failed = True
+        print(f"{'scaling bar':>13}: process x4 {speedup:.2f}x vs x1 "
+              f"(target >= 2.0x)  {'ok' if ok else 'REGRESSION'}")
+    else:
+        print(f"{'scaling bar':>13}: not measurable (recorded on "
+              f"{recorded_cores} core(s), running on {n_cores}); "
+              f"honest numbers only")
     return failed
 
 

@@ -50,6 +50,15 @@ breakage the test suite may not catch:
   escape tears down the whole batch with an unhandled exception instead of
   triggering the program's degraded path.
 
+* **REP008** — transport payloads must be data, not code: an argument to
+  a ``send(...)``/``.send(...)`` call may not be a lambda, a generator
+  expression, or a locally ``def``-ed function.  The cooperative transport
+  would happily deliver such a payload in-process, but the process backend
+  pickles every payload across a shared-memory ring — closures and
+  generators do not pickle, so the same rank program would work on one
+  backend and explode on the other.  This is the static twin of the
+  runtime ``_payload_ok`` check in :mod:`repro.runtime.parallel`.
+
 Suppression: append ``# lint-ok: REP003 <reason>`` to the offending line
 (bare ``# lint-ok`` suppresses every rule on that line).
 
@@ -80,6 +89,9 @@ RULES: Dict[str, str] = {
               "try that handles TimeoutError or RankFailure",
     "REP007": "serving RNGs (repro.serve) must be built from an explicit "
               "seed: an int literal or a *seed*-named variable/attribute",
+    "REP008": "send(...) payloads must be picklable data (ndarrays, "
+              "scalars, containers) — never lambdas, generator "
+              "expressions, or locally defined functions",
 }
 
 SUPPRESS_MARK = "lint-ok"
@@ -530,6 +542,63 @@ def _check_rep007(tree: ast.AST, issues: List[LintIssue], path: str) -> None:
                 "literal"))
 
 
+# -- REP008 ------------------------------------------------------------------
+
+def _is_send_call(node: ast.Call) -> bool:
+    fn = node.func
+    name = fn.id if isinstance(fn, ast.Name) else \
+        fn.attr if isinstance(fn, ast.Attribute) else None
+    return name == "send"
+
+
+def _check_rep008_tree(tree: ast.AST, issues: List[LintIssue],
+                       path: str) -> None:
+    """Flag lambda / generator-expression literals passed to send()."""
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and _is_send_call(node)):
+            continue
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, ast.Lambda):
+                issues.append(LintIssue(
+                    path, arg.lineno, arg.col_offset, "REP008",
+                    "a lambda is passed to send(); closures do not pickle "
+                    "across the process backend's shared-memory rings — "
+                    "send data and reconstruct behaviour on the far side"))
+            elif isinstance(arg, ast.GeneratorExp):
+                issues.append(LintIssue(
+                    path, arg.lineno, arg.col_offset, "REP008",
+                    "a generator expression is passed to send(); "
+                    "generators do not pickle across the process backend's "
+                    "shared-memory rings — materialize it (list/tuple/"
+                    "ndarray) before sending"))
+
+
+def _check_rep008(fn: ast.AST, issues: List[LintIssue], path: str) -> None:
+    """Flag locally ``def``-ed functions passed to send() by name."""
+    local_fns: Set[str] = set()
+    for node in _own_nodes(fn):
+        if isinstance(node, _FUNCTION_NODES):
+            local_fns.add(node.name)
+        elif isinstance(node, ast.Assign) and \
+                isinstance(node.value, ast.Lambda):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    local_fns.add(tgt.id)
+    if not local_fns:
+        return
+    for node in _own_nodes(fn):
+        if not (isinstance(node, ast.Call) and _is_send_call(node)):
+            continue
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, ast.Name) and arg.id in local_fns:
+                issues.append(LintIssue(
+                    path, arg.lineno, arg.col_offset, "REP008",
+                    f"locally defined function {arg.id!r} is passed to "
+                    f"send(); nested functions do not pickle across the "
+                    f"process backend's shared-memory rings — only "
+                    f"module-level callables and plain data survive"))
+
+
 # -- driver ------------------------------------------------------------------
 
 def lint_source(source: str, path: str = "<string>") -> List[LintIssue]:
@@ -546,9 +615,11 @@ def lint_source(source: str, path: str = "<string>") -> List[LintIssue]:
             _check_rep002(node, issues, path)
             _check_rep005(node, issues, path)
             _check_rep006(node, issues, path)
+            _check_rep008(node, issues, path)
     _check_rep003(tree, issues, path)
     _check_rep004(tree, issues, path)
     _check_rep007(tree, issues, path)
+    _check_rep008_tree(tree, issues, path)
     suppressed = _suppressions(source)
     out = []
     for issue in issues:

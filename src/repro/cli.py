@@ -18,6 +18,8 @@ Usage::
     python -m repro serve                # inference serving, both substrates
     python -m repro serve --fast         # reduced sizes / shorter horizons
     python -m repro serve --substrate sim --csv sweep.csv
+    python -m repro train --backend process --ranks 4
+    python -m repro train --backend cooperative --ranks 2 --steps 5
 
 Each command prints the figure's rows as an aligned table plus the paper-
 claim checklist, mirroring what the benchmark harness asserts.  ``trace``
@@ -30,7 +32,11 @@ interval against the Young/Daly optimum.  ``serve`` exercises the
 inference-serving layer: on the functional runtime it checks the
 continuous-batching pipeline server emits token-for-token what serial
 ``generate`` emits; on the DES it sweeps offered load against the analytic
-roofline and replays a replica-crash failover.
+roofline and replays a replica-crash failover.  ``train`` runs a few real
+training steps on either execution backend — the in-process cooperative
+scheduler or the multiprocessing + shared-memory ``process`` backend —
+with one pipeline stage per rank, and cross-checks the process backend's
+losses against the cooperative ones bit-for-bit.
 """
 
 from __future__ import annotations
@@ -525,6 +531,60 @@ def cmd_serve(args) -> bool:
     return ok
 
 
+# -- train: real training steps on either execution backend -------------------
+
+def cmd_train(args) -> bool:
+    """A few real training steps on the chosen execution backend; with
+    ``--backend process`` each rank is an OS process exchanging ndarray
+    activations over shared-memory rings, and the losses are cross-checked
+    bit-for-bit against the in-process cooperative backend."""
+    import numpy as np
+    from .nn import GPTConfig
+    from .runtime import BACKENDS, AxoNNTrainer
+
+    ranks = args.ranks
+    if ranks < 1:
+        print("--ranks must be >= 1")
+        return False
+    n_layer = max(ranks, 2 if args.fast else 4)
+    cfg = GPTConfig(vocab_size=64, seq_len=8 if args.fast else 16,
+                    n_layer=n_layer, n_head=2,
+                    hidden=16 if args.fast else 32,
+                    dropout=0.1, init_seed=7)
+    steps = args.steps if args.steps is not None else (2 if args.fast else 4)
+    rng = np.random.default_rng(11)
+    batch = 2 * max(ranks, 2)
+    batches = [(rng.integers(0, cfg.vocab_size, (batch, cfg.seq_len)),
+                rng.integers(0, cfg.vocab_size, (batch, cfg.seq_len)))
+               for _ in range(steps)]
+
+    def run(backend: str):
+        trainer = AxoNNTrainer(cfg, g_inter=ranks, g_data=1,
+                               microbatch_size=2, backend=backend)
+        try:
+            return [trainer.train_batch(x, y) for x, y in batches]
+        finally:
+            trainer.close()
+
+    print(f"\n== train: {steps} steps, {ranks} rank(s), backend="
+          f"{args.backend} (one pipeline stage per rank) ==")
+    reports = run(args.backend)
+    rows = [{"step": i, "loss": r.loss, "messages": r.messages}
+            for i, r in enumerate(reports)]
+    _emit(f"train: loss trajectory ({args.backend})", rows, None, args.csv)
+    if args.backend not in BACKENDS:  # argparse already guards; belt+braces
+        return False
+    if args.backend != "process":
+        return all(np.isfinite(r.loss) for r in reports)
+    reference = run("cooperative")
+    identical = [p.loss == c.loss for p, c in zip(reports, reference)]
+    print("\n== train: process vs cooperative backend ==")
+    print(f"  [{'PASS' if all(identical) else 'FAIL'}] process-backend "
+          f"losses bit-identical to the cooperative backend "
+          f"({sum(identical)}/{len(identical)} steps)")
+    return all(identical)
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "fig1": cmd_fig1,
     "fig3": cmd_fig3,
@@ -549,13 +609,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "list", "lint",
                                                        "trace", "faults",
-                                                       "serve"],
+                                                       "serve", "train"],
                         help="which artefact to regenerate, 'lint' to run "
                              "the repo-specific static analysis, 'trace' "
                              "to emit a Chrome-trace of a small scenario, "
                              "'faults' to run a deterministic fault plan "
-                             "against either substrate, or 'serve' to "
-                             "exercise the inference-serving layer")
+                             "against either substrate, 'serve' to "
+                             "exercise the inference-serving layer, or "
+                             "'train' to run real steps on an execution "
+                             "backend (--backend, --ranks, --steps)")
     parser.add_argument("--fast", action="store_true",
                         help="reduced sizes for a quick look")
     parser.add_argument("--models", nargs="+", default=None,
@@ -582,6 +644,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "FaultPlan.random(seed) instead")
     parser.add_argument("--report", default=None,
                         help="write the 'faults' results as a JSON report")
+    parser.add_argument("--backend", default="cooperative",
+                        choices=["cooperative", "process"],
+                        help="execution backend for 'train': the "
+                             "in-process cooperative scheduler or real "
+                             "worker processes over shared-memory rings")
+    parser.add_argument("--ranks", type=int, default=2,
+                        help="world size for 'train' (g_inter=ranks, "
+                             "g_data=1: one pipeline stage per rank)")
+    parser.add_argument("--steps", type=int, default=None,
+                        help="number of 'train' batches (default 4, "
+                             "2 with --fast)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -589,13 +662,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             doc = (EXPERIMENTS[name].__doc__ or "").strip()
             print(f"  {name:<10} {doc}")
         print("  all        run every experiment")
-        print("  lint       repo-specific AST lint (rules REP001-REP007)")
+        print("  lint       repo-specific AST lint (rules REP001-REP008)")
         print("  trace      Chrome-trace of a small scenario "
               "(--substrate, --out, --faults)")
         print("  faults     deterministic fault injection on either "
               "substrate (--substrate, --plan, --seed, --report)")
         print("  serve      pipeline inference serving on either substrate "
               "(--substrate, --fast, --csv, --report)")
+        print("  train      real training steps on an execution backend "
+              "(--backend, --ranks, --steps, --fast)")
         return 0
 
     if args.experiment == "lint":
@@ -610,6 +685,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.experiment == "serve":
         return 0 if cmd_serve(args) else 1
+
+    if args.experiment == "train":
+        return 0 if cmd_train(args) else 1
 
     targets = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]

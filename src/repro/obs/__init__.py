@@ -17,6 +17,13 @@ and emits the trace plus a terminal summary.
 """
 
 from .export import chrome_trace, csv_rows, write_chrome_trace, write_csv
+from .jsonl import (
+    append_spans_jsonl,
+    chrome_trace_multiprocess,
+    merge_rank_jsonl,
+    read_spans_jsonl,
+    write_chrome_trace_multiprocess,
+)
 from .report import (
     busy_time,
     idle_breakdown,
@@ -49,6 +56,11 @@ __all__ = [
     "csv_rows",
     "write_chrome_trace",
     "write_csv",
+    "append_spans_jsonl",
+    "chrome_trace_multiprocess",
+    "merge_rank_jsonl",
+    "read_spans_jsonl",
+    "write_chrome_trace_multiprocess",
     "busy_time",
     "idle_breakdown",
     "message_volume",

@@ -1,0 +1,127 @@
+"""Per-process JSONL span files and their merge.
+
+The process backend (:mod:`repro.runtime.parallel`) runs rank programs in
+separate OS processes, so spans can no longer be appended to one in-memory
+tracer: each worker streams its spans to ``rank{r}.jsonl`` in a trace
+directory — one JSON object per line, stamped with the worker's real
+``os.getpid()`` — and the parent merges the files afterwards.
+
+:func:`merge_rank_jsonl` reads every ``rank*.jsonl`` in a directory back
+into :class:`~repro.obs.schema.ObsSpan` records plus the rank→pid mapping;
+:func:`chrome_trace_multiprocess` builds the Chrome-trace document with
+**real pids** (falling back to the rank id where no pid was recorded), so
+a Perfetto timeline of a process-backend run shows the actual OS processes
+that did the work.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .export import chrome_trace
+from .schema import ObsSpan
+
+__all__ = ["span_to_dict", "span_from_dict", "append_spans_jsonl",
+           "read_spans_jsonl", "merge_rank_jsonl",
+           "chrome_trace_multiprocess", "write_chrome_trace_multiprocess"]
+
+
+def span_to_dict(span: ObsSpan, pid: Optional[int] = None) -> Dict[str, object]:
+    """Flatten one span to a JSON-ready dict (meta inlined as a dict)."""
+    d: Dict[str, object] = {
+        "rank": span.rank, "stream": span.stream, "name": span.name,
+        "start": span.start, "end": span.end, "category": span.category,
+        "microbatch": span.microbatch, "nbytes": span.nbytes,
+        "meta": dict(span.meta),
+    }
+    if pid is not None:
+        d["pid"] = pid
+    return d
+
+
+def span_from_dict(d: Dict[str, object]) -> ObsSpan:
+    meta = d.get("meta") or {}
+    return ObsSpan(
+        rank=int(d["rank"]), stream=str(d["stream"]), name=str(d["name"]),
+        start=float(d["start"]), end=float(d["end"]),
+        category=str(d.get("category", "other")),
+        microbatch=d.get("microbatch"), nbytes=d.get("nbytes"),
+        meta=tuple(sorted(meta.items())),
+    )
+
+
+def append_spans_jsonl(path: str, spans: Iterable[ObsSpan],
+                       pid: Optional[int] = None) -> int:
+    """Append one line per span to ``path``; returns the count written.
+
+    Workers call this with ``pid=os.getpid()`` after every command, so a
+    crashed worker's already-flushed spans survive it.
+    """
+    n = 0
+    with open(path, "a", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span_to_dict(span, pid=pid)) + "\n")
+            n += 1
+    return n
+
+
+def read_spans_jsonl(path: str) -> Tuple[List[ObsSpan], Dict[int, int]]:
+    """Read one JSONL span file; returns (spans, rank -> pid seen)."""
+    spans: List[ObsSpan] = []
+    pids: Dict[int, int] = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            d = json.loads(line)
+            span = span_from_dict(d)
+            spans.append(span)
+            if "pid" in d:
+                pids[span.rank] = int(d["pid"])
+    return spans, pids
+
+
+def merge_rank_jsonl(trace_dir: str) -> Tuple[List[ObsSpan], Dict[int, int]]:
+    """Merge every ``rank*.jsonl`` under ``trace_dir`` into one span list
+    (sorted by start time) plus the combined rank → pid mapping."""
+    spans: List[ObsSpan] = []
+    pids: Dict[int, int] = {}
+    for path in sorted(glob.glob(os.path.join(trace_dir, "rank*.jsonl"))):
+        file_spans, file_pids = read_spans_jsonl(path)
+        spans.extend(file_spans)
+        pids.update(file_pids)
+    spans.sort(key=lambda s: s.start)
+    return spans, pids
+
+
+def chrome_trace_multiprocess(spans: Iterable[ObsSpan],
+                              pids: Dict[int, int]) -> Dict[str, object]:
+    """Chrome-trace document whose ``pid`` fields are the workers' real OS
+    pids (process names stay ``rank {r}`` so the timeline reads the same).
+    Ranks without a recorded pid (e.g. parent-side spans) keep rank as pid.
+    """
+    doc = chrome_trace(spans)
+    rank_pid = {rank: pid for rank, pid in pids.items()}
+    for ev in doc["traceEvents"]:
+        rank = ev["pid"]
+        if rank in rank_pid:
+            ev["pid"] = rank_pid[rank]
+            if ev.get("ph") == "M" and ev.get("name") == "process_name":
+                ev["args"] = {"name": f"rank {rank} (pid {rank_pid[rank]})"}
+    return doc
+
+
+def write_chrome_trace_multiprocess(path: str, trace_dir: str,
+                                    extra_spans: Iterable[ObsSpan] = ()
+                                    ) -> int:
+    """Merge a trace directory (plus optional parent-side spans) into one
+    Chrome-trace JSON at ``path``; returns the span count."""
+    spans, pids = merge_rank_jsonl(trace_dir)
+    spans = sorted([*spans, *extra_spans], key=lambda s: s.start)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace_multiprocess(spans, pids), fh)
+    return len(spans)

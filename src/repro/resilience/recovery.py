@@ -128,6 +128,8 @@ class ResilientTrainer:
         load_trainer_state(trainer, self._snapshot)
         # 4. Replay the batches trained since the snapshot, fault-free.
         trainer.transport_factory = None
+        if trainer.backend == "process":
+            trainer.process_backend.injector = None
         for x, y in self._replay:
             trainer.train_batch(x, y)
         self.recoveries.append(RecoveryEvent(
@@ -157,7 +159,14 @@ class ResilientTrainer:
         while True:
             injector = FaultInjector(self.plan, step=self.step,
                                      spent=self._spent)
-            self.trainer.transport_factory = self._factory(injector)
+            if self.trainer.backend == "process":
+                # Crash faults become real SIGKILLs inside the worker
+                # processes; the channel-fault kinds raise
+                # NotImplementedError there (they model a lossy NIC the
+                # shared-memory transport does not have).
+                self.trainer.process_backend.injector = injector
+            else:
+                self.trainer.transport_factory = self._factory(injector)
             try:
                 report = self.trainer.train_batch(x, y)
             except RankFailure as failure:
@@ -170,6 +179,8 @@ class ResilientTrainer:
                 continue
             finally:
                 self.trainer.transport_factory = None
+                if self.trainer.backend == "process":
+                    self.trainer.process_backend.injector = None
             self._replay.append((x, y))
             self.step += 1
             return report

@@ -16,14 +16,19 @@ from .checkpointing import (
     save_trainer,
     trainer_state_dict,
 )
-from .collectives import ring_allreduce
+from .collectives import ring_allreduce, ring_allreduce_program
 from .evaluate import evaluate_parallel, evaluate_serial, perplexity
-from .engine import AxoNNTrainer, TrainReport
+from .engine import BACKENDS, AxoNNTrainer, TrainReport
 from .grid import RankGrid
 from .offload import BucketedOffloadAdamW
+from .parallel import (ProcessBackend, ProcessPool, ProcessTransport,
+                       ProgramSpec)
+from .rankprog import inter_layer_step
 from .serial import SerialTrainer, state_dict_as_slots
+from .shm import ShmRing
 from .stage import InferenceStage, PipelineStage, partition_layers
-from .transport import RECV, DeadlockError, Packet, ProtocolError, RankTransport
+from .transport import (RECV, BaseRankTransport, DeadlockError, Packet,
+                        ProtocolError, RankFailure, RankTransport)
 
 __all__ = [
     "load_trainer",
@@ -34,16 +39,26 @@ __all__ = [
     "evaluate_serial",
     "perplexity",
     "ring_allreduce",
+    "ring_allreduce_program",
     "AxoNNTrainer",
     "TrainReport",
+    "BACKENDS",
     "RankGrid",
     "BucketedOffloadAdamW",
+    "ProcessBackend",
+    "ProcessPool",
+    "ProcessTransport",
+    "ProgramSpec",
+    "inter_layer_step",
     "SerialTrainer",
     "state_dict_as_slots",
     "InferenceStage",
     "PipelineStage",
     "partition_layers",
+    "ShmRing",
+    "BaseRankTransport",
     "RankTransport",
+    "RankFailure",
     "Packet",
     "RECV",
     "DeadlockError",

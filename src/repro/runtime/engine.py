@@ -41,7 +41,6 @@ comparable to the serial reference.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Callable, Dict, Generator, List, Optional, Tuple, Union
 
 import numpy as np
@@ -51,13 +50,13 @@ from ..nn import AdamW, GPTConfig, LossScaler
 from ..obs import RuntimeTracer
 from .grid import RankGrid
 from .offload import BucketedOffloadAdamW
+from .rankprog import TAG_BWD, TAG_FWD, inter_layer_step
 from .stage import PipelineStage
-from .transport import RECV, RankTransport
+from .transport import RankTransport
 
 __all__ = ["AxoNNTrainer", "TrainReport"]
 
-TAG_FWD = "forward"
-TAG_BWD = "backward"
+BACKENDS = ("cooperative", "process")
 
 
 class TrainReport:
@@ -97,9 +96,14 @@ class AxoNNTrainer:
                  coarsening_k: int = 4,
                  loss_scaler: Optional[LossScaler] = None,
                  recorder: Optional[TraceRecorder] = None,
-                 tracer: Optional[RuntimeTracer] = None):
+                 tracer: Optional[RuntimeTracer] = None,
+                 backend: str = "cooperative",
+                 backend_options: Optional[Dict[str, object]] = None):
         if microbatch_size < 1:
             raise ValueError("microbatch_size must be >= 1")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, "
+                             f"got {backend!r}")
         if precision not in ("fp32", "mixed"):
             raise ValueError(f"precision must be 'fp32' or 'mixed', "
                              f"got {precision!r}")
@@ -152,6 +156,30 @@ class AxoNNTrainer:
         #: optional factory for the per-batch transport; the resilience
         #: layer installs one that injects faults (see repro.resilience)
         self.transport_factory: Optional[Callable[[], RankTransport]] = None
+        #: which execution backend runs the inter-layer phase:
+        #: ``"cooperative"`` — every rank program swept in this process
+        #: (deterministic, single core); ``"process"`` — one OS process
+        #: per rank over shared-memory rings (:mod:`repro.runtime.parallel`),
+        #: numerically bit-identical, actually parallel on multi-core.
+        self.backend = backend
+        self._backend_options = dict(backend_options or {})
+        self._process_backend = None
+
+    @property
+    def process_backend(self):
+        """The lazily-constructed process pool bridge (process backend)."""
+        if self._process_backend is None:
+            from .parallel import ProcessBackend
+            self._process_backend = ProcessBackend(
+                self, **self._backend_options)
+        return self._process_backend
+
+    def close(self) -> None:
+        """Shut down backend resources (worker processes, shared memory).
+        A no-op for the cooperative backend; safe to call repeatedly."""
+        if self._process_backend is not None:
+            self._process_backend.close()
+            self._process_backend = None
 
     def _build_rank(self, rank: int) -> None:
         """(Re)construct one rank's stage and optimizer from scratch.
@@ -220,90 +248,20 @@ class AxoNNTrainer:
     def _rank_program(self, rank: int, transport: RankTransport,
                       microbatches: List[Tuple[np.ndarray, np.ndarray]],
                       total_microbatches: int) -> Generator:
-        """INTER_LAYER_PARALLEL_STEP for GPU ``g^{i,j}``."""
-        grid = self.grid
-        stage = self.stages[rank]
-        i, _j = grid.coord_of(rank)
-        prev_rank = grid.prev_in_pipeline(rank)
-        next_rank = grid.next_in_pipeline(rank)
-        m = len(microbatches)
-        queue = deque(range(m))  # microbatch ids still to inject
-        divisor = float(total_microbatches)
+        """INTER_LAYER_PARALLEL_STEP for GPU ``g^{i,j}``.
+
+        A thin binding of the backend-agnostic generator in
+        :mod:`repro.runtime.rankprog` to this trainer's stage and the
+        cooperative transport — the process backend binds the *same*
+        generator to its shared-memory endpoints.
+        """
         scale = self.scaler.scale if self.precision == "mixed" else 1.0
-
-        def inputs_of(mb: int) -> np.ndarray:
-            return microbatches[mb][0]
-
-        def targets_of(mb: int) -> np.ndarray:
-            return microbatches[mb][1]
-
-        fwd, bwd = stage.forward, stage.backward
-        tracer = self.tracer
-        if tracer is not None and tracer.enabled:
-            def fwd(mb, *args, **kwargs):
-                with tracer.span(rank, "compute", f"fwd{mb}",
-                                 category="compute", microbatch=mb, stage=i):
-                    return stage.forward(mb, *args, **kwargs)
-
-            def bwd(mb, *args):
-                with tracer.span(rank, "compute", f"bwd{mb}",
-                                 category="compute", microbatch=mb, stage=i):
-                    return stage.backward(mb, *args)
-
-        # Degenerate pipeline: a single stage runs everything locally.
-        if grid.g_inter == 1:
-            for mb in queue:
-                fwd(mb, inputs_of(mb), targets=targets_of(mb),
-                    loss_divisor=divisor, loss_scale=scale)
-                bwd(mb)
-            return
-            yield  # pragma: no cover - makes this function a generator
-
-        # Warm-up (lines 3-9): the first stage injects pipeline_limit
-        # microbatches.
-        if grid.is_first_stage(rank):
-            for _ in range(min(self.pipeline_limit, m)):
-                mb = queue.popleft()
-                out = fwd(mb, inputs_of(mb))
-                transport.send(rank, next_rank, TAG_FWD, mb, out)
-
-        # Expected message count: every stage processes m forward and m
-        # backward passes; each non-boundary arrival is a message.
-        expected = 0
-        if prev_rank is not None:
-            expected += m  # forward activations from upstream
-        if next_rank is not None:
-            expected += m  # output gradients from downstream
-
-        # Steady state (lines 11-31): message-driven dispatch.
-        received = 0
-        while received < expected:
-            pkt = yield RECV
-            received += 1
-            if pkt.src == prev_rank and pkt.tag == TAG_FWD:
-                mb = pkt.microbatch
-                if grid.is_last_stage(rank):
-                    fwd(mb, pkt.data, targets=targets_of(mb),
-                        loss_divisor=divisor, loss_scale=scale)
-                    grad_in = bwd(mb)  # BACKWARD(1), line 16
-                    transport.send(rank, prev_rank, TAG_BWD, mb, grad_in)
-                else:
-                    out = fwd(mb, pkt.data)
-                    transport.send(rank, next_rank, TAG_FWD, mb, out)
-            elif pkt.src == next_rank and pkt.tag == TAG_BWD:
-                mb = pkt.microbatch
-                grad_in = bwd(mb, pkt.data)
-                if grid.is_first_stage(rank):
-                    if queue:  # inject a fresh microbatch (lines 23-26)
-                        nxt = queue.popleft()
-                        out = fwd(nxt, inputs_of(nxt))
-                        transport.send(rank, next_rank, TAG_FWD, nxt, out)
-                else:
-                    transport.send(rank, prev_rank, TAG_BWD, mb, grad_in)
-            else:  # pragma: no cover - defensive
-                raise RuntimeError(
-                    f"rank {rank} received unexpected packet {pkt}"
-                )
+        return inter_layer_step(
+            rank, self.grid, self.stages[rank],
+            lambda dst, tag, mb, data: transport.send(rank, dst, tag, mb,
+                                                      data),
+            microbatches, total_microbatches, self.pipeline_limit,
+            loss_scale=scale, tracer=self.tracer)
 
     # -- Algorithm 1, data-parallel phase --------------------------------------
     def _allreduce_fp32(self) -> None:
@@ -423,32 +381,37 @@ class AxoNNTrainer:
         """One full DATA_PARALLEL_STEP + optimizer step; returns the mean
         batch loss (exactly comparable to a serial full-batch loss)."""
         groups, total_mb = self._split_batch(x, y)
-        if self.transport_factory is not None:
-            transport = self.transport_factory()
-        else:
-            transport = RankTransport(self.grid.world_size,
-                                      recorder=self.recorder,
-                                      tracer=self.tracer)
-
         for stage in self.stages.values():
             stage.microbatch_losses.clear()
         for opt in self.optimizers.values():
             opt.zero_grad()
 
-        programs = {}
-        for rank in range(self.grid.world_size):
-            _i, j = self.grid.coord_of(rank)
-            programs[rank] = self._rank_program(rank, transport, groups[j],
-                                                total_mb)
-        transport.run(programs)
+        if self.backend == "process":
+            messages = self.process_backend.run_batch(groups, total_mb)
+        else:
+            if self.transport_factory is not None:
+                transport = self.transport_factory()
+            else:
+                transport = RankTransport(self.grid.world_size,
+                                          recorder=self.recorder,
+                                          tracer=self.tracer)
+            programs = {}
+            for rank in range(self.grid.world_size):
+                _i, j = self.grid.coord_of(rank)
+                programs[rank] = self._rank_program(rank, transport,
+                                                    groups[j], total_mb)
+            transport.run(programs)
+            messages = transport.messages_sent
 
-        # Sanity: no microbatch left in flight anywhere.
-        for rank, stage in self.stages.items():
-            if stage.inflight_microbatches:
-                raise RuntimeError(
-                    f"rank {rank} finished with "
-                    f"{stage.inflight_microbatches} microbatches in flight"
-                )
+            # Sanity: no microbatch left in flight anywhere.  (The process
+            # backend performs the same check worker-side.)
+            for rank, stage in self.stages.items():
+                if stage.inflight_microbatches:
+                    raise RuntimeError(
+                        f"rank {rank} finished with "
+                        f"{stage.inflight_microbatches} microbatches in "
+                        f"flight"
+                    )
 
         scale = self.scaler.scale
         applied = True
@@ -470,7 +433,7 @@ class AxoNNTrainer:
             for loss in stage.microbatch_losses.values()
         ]
         mean_loss = float(np.mean(losses))
-        return TrainReport(mean_loss, transport.messages_sent, total_mb,
+        return TrainReport(mean_loss, messages, total_mb,
                            applied=applied, loss_scale=scale,
                            allreduce_chunks=chunks)
 

@@ -1,0 +1,1100 @@
+"""Real-parallelism execution backend: one OS process per rank.
+
+The cooperative :class:`~repro.runtime.transport.RankTransport` sweeps
+every rank program inside a single Python process — deterministic and
+perfect for verification, but bound by one core.  This module provides the
+other end of the trade: each rank program runs in its **own OS process**,
+NumPy payloads move over :mod:`multiprocessing.shared_memory` ring buffers
+(:mod:`repro.runtime.shm`), and the paper's "as fast as the hardware
+allows" claim becomes literal on a multi-core machine.
+
+Both backends implement the same contract
+(:class:`~repro.runtime.transport.BaseRankTransport`) and drive the same
+rank-program generators (:mod:`repro.runtime.rankprog`), so the schedule —
+and therefore the numerics — are identical:
+
+* every backward pass on a rank happens in microbatch order under *any*
+  FIFO-respecting delivery (by induction from the first stage's injection
+  order, the bwd channel out of the last stage carries microbatches in
+  increasing order), so gradient accumulation order is
+  concurrency-invariant;
+* the data-parallel phase (chunked fp16 all-reduce draw order) and the
+  optimizer stay in the parent, byte-for-byte the cooperative code path;
+* dropout RNG bit-generator states ship parent → worker before the batch
+  and worker → parent after it.
+
+The cross-backend fuzz test pins losses and weights bit-identical.
+
+Failure semantics are *real*: a crash fault SIGKILLs the worker process;
+the parent detects death via the process sentinel (and wall-clock
+heartbeat staleness as a backstop) and raises
+:class:`~repro.runtime.transport.RankFailure`, which the resilience layer
+answers with its usual rollback-respawn — the dead worker process is
+respawned transparently before the next batch.
+
+Time units: the cooperative transport counts scheduler sweeps ("ticks");
+here one tick is ``tick_s`` wall-clock seconds, so ``yield
+recv_within(n)`` means *n × tick_s* seconds and heartbeat timeouts are
+wall-clock (``detect_timeout_s``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import struct
+import threading
+import time
+import traceback
+import types
+from multiprocessing import shared_memory
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.protocol import ProtocolError, TraceRecorder
+from ..obs import RuntimeTracer, append_spans_jsonl
+from ..obs.schema import ObsSpan
+from .shm import RingAborted, ShmRing, attach_shared_memory
+from .transport import (BaseRankTransport, DeadlockError, Packet, RECV,
+                        RankFailure, TimedRecv)
+
+__all__ = ["ProcessTransport", "ProcessBackend", "ProcessPool",
+           "ProgramSpec", "WorkerContext"]
+
+# fork is the fast path (no module re-import per worker) and exists on
+# every Linux; everything shipped over the control pipes is picklable, so
+# the spawn fallback works too (macOS default since 3.8).
+_MP = multiprocessing.get_context(
+    "fork" if "fork" in multiprocessing.get_all_start_methods()
+    else "spawn")
+
+#: default seconds per transport "tick" (the unit of recv_within)
+DEFAULT_TICK_S = 0.05
+#: wall-clock heartbeat staleness before a live-looking rank is declared
+#: dead (generous: the heartbeat only pauses during compute)
+DEFAULT_DETECT_TIMEOUT_S = 30.0
+#: wall-clock with zero progress and every rank blocked => deadlock
+DEFAULT_HANG_TIMEOUT_S = 60.0
+
+_POLL_SLEEP = 200e-6
+_STATUS_COMPUTING = 0
+_STATUS_WAITING = 1
+_STATUS_WAITING_TIMED = 2
+
+_F64 = struct.Struct("<d")
+_U64 = struct.Struct("<Q")
+
+
+def _payload_ok(data: Any) -> bool:
+    """REP008's runtime twin: payloads crossing a process boundary must be
+    arrays / plain picklable values — never closures or generators."""
+    return not (callable(data) or isinstance(data, types.GeneratorType))
+
+
+class _Aborted(Exception):
+    """Internal: the run was aborted (peer death or parent decision)."""
+
+
+class _StateBlock:
+    """Tiny shared segment for cross-process liveness bookkeeping.
+
+    Layout: ``[abort: u64][heartbeat: n x f64][recvs: n x u64]
+    [status: n x u8]``.  Each field has exactly one writer (abort: parent;
+    the per-rank fields: that rank's worker), so plain aligned stores are
+    the only synchronization needed, exactly as in :class:`ShmRing`.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, n: int, owner: bool):
+        self._shm = shm
+        self.n = n
+        self._owner = owner
+        self.buf = shm.buf
+
+    @classmethod
+    def size(cls, n: int) -> int:
+        return 8 + 8 * n + 8 * n + n
+
+    @classmethod
+    def create(cls, n: int) -> "_StateBlock":
+        shm = shared_memory.SharedMemory(create=True, size=cls.size(n))
+        shm.buf[:cls.size(n)] = b"\x00" * cls.size(n)
+        return cls(shm, n, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, n: int) -> "_StateBlock":
+        return cls(attach_shared_memory(name), n, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    # abort flag (parent-written)
+    @property
+    def abort(self) -> bool:
+        return _U64.unpack_from(self.buf, 0)[0] != 0
+
+    def set_abort(self, value: bool) -> None:
+        _U64.pack_into(self.buf, 0, 1 if value else 0)
+
+    # per-rank fields (worker-written)
+    def beat(self, rank: int) -> None:
+        _F64.pack_into(self.buf, 8 + 8 * rank, time.monotonic())
+
+    def heartbeat(self, rank: int) -> float:
+        return _F64.unpack_from(self.buf, 8 + 8 * rank)[0]
+
+    def bump_recvs(self, rank: int) -> None:
+        off = 8 + 8 * self.n + 8 * rank
+        _U64.pack_into(self.buf, off, _U64.unpack_from(self.buf, off)[0] + 1)
+
+    def recvs(self, rank: int) -> int:
+        return _U64.unpack_from(self.buf, 8 + 8 * self.n + 8 * rank)[0]
+
+    def set_status(self, rank: int, status: int) -> None:
+        self.buf[8 + 16 * self.n + rank] = status
+
+    def status(self, rank: int) -> int:
+        return self.buf[8 + 16 * self.n + rank]
+
+    def close(self) -> None:
+        self.buf = None
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+
+    def unlink(self) -> None:
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except Exception:
+                pass
+
+
+class ProgramSpec:
+    """A picklable rank-program description for :class:`ProcessTransport`.
+
+    ``fn`` must be a module-level callable invoked in the worker as
+    ``fn(rank, send, *args)``; it may return a generator (driven under the
+    RECV protocol) or a plain value (a program with no receives).  The
+    generator's ``return`` value becomes the program's result.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Callable, *args: Any):
+        self.fn = fn
+        self.args = args
+
+
+class WorkerContext:
+    """Worker-side execution context: the rank's endpoints and bookkeeping.
+
+    One instance lives for the worker's whole life; :attr:`cache` persists
+    across commands (the trainer caches its rebuilt
+    :class:`~repro.runtime.stage.PipelineStage` there so stage
+    construction cost is paid once, not per batch).
+    """
+
+    def __init__(self, rank: int, n_ranks: int,
+                 out_rings: Dict[int, ShmRing],
+                 in_rings: Dict[int, ShmRing],
+                 state: _StateBlock, tick_s: float,
+                 tracer: RuntimeTracer,
+                 trace_path: Optional[str]):
+        self.rank = rank
+        self.n_ranks = n_ranks
+        self.out_rings = out_rings
+        self.in_rings = dict(sorted(in_rings.items()))
+        self.state = state
+        self.tick_s = tick_s
+        self.tracer = tracer
+        self.trace_path = trace_path
+        self.cache: Dict[str, Any] = {}
+        #: per-command bookkeeping, reset by the main loop
+        self.events: List[Tuple] = []
+        self.messages_sent = 0
+        #: SIGKILL self when this many receives have completed (crash
+        #: fault translation; None = no crash scheduled)
+        self.kill_after: Optional[int] = None
+        self._receives_done = 0
+
+    # -- sending -----------------------------------------------------------
+    def send(self, dst: int, tag: str, microbatch: int,
+             data: Any = None) -> None:
+        """Non-blocking-ish buffered send: one pickle + memcpy into the
+        ``(rank, dst)`` ring; blocks only when the ring is full (bounded
+        buffering — MPI_Isend with a finite buffer pool)."""
+        ring = self.out_rings.get(dst)
+        if ring is None:
+            raise ProtocolError(
+                f"rank {self.rank} has no channel to rank {dst}")
+        if not _payload_ok(data):
+            raise ProtocolError(
+                f"rank {self.rank} sent a {type(data).__name__} to rank "
+                f"{dst}: payloads crossing process boundaries must be "
+                f"arrays or plain picklable values (REP008)")
+        ts = self.tracer.now() if self.tracer.enabled else 0.0
+        ring.push((tag, microbatch, ts, data), abort=self._abort_check)
+        self.messages_sent += 1
+        self.events.append(("send", self.rank, dst, tag, microbatch))
+
+    def _abort_check(self) -> bool:
+        self.state.beat(self.rank)
+        return self.state.abort
+
+    # -- receiving ---------------------------------------------------------
+    def _maybe_crash(self) -> None:
+        if self.kill_after is not None \
+                and self._receives_done >= self.kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)  # never returns
+
+    def _recv(self, deadline: Optional[float]) -> Packet:
+        """Poll the incoming rings (ascending source order) until a frame
+        arrives; heartbeat every sweep; honor abort and the deadline."""
+        self._maybe_crash()
+        state, rank = self.state, self.rank
+        state.set_status(rank, _STATUS_WAITING_TIMED if deadline is not None
+                         else _STATUS_WAITING)
+        try:
+            spins = 0
+            while True:
+                state.beat(rank)
+                for src, ring in self.in_rings.items():
+                    msg = ring.pop()
+                    if msg is not None:
+                        tag, microbatch, ts, data = msg
+                        state.bump_recvs(rank)
+                        self._receives_done += 1
+                        if self.tracer.enabled:
+                            nbytes = int(getattr(data, "nbytes", 0)) \
+                                if data is not None else None
+                            self.tracer.record(
+                                src, "net", tag, ts, self.tracer.now(),
+                                category="p2p", microbatch=microbatch,
+                                nbytes=nbytes, src=src, dst=rank)
+                        self.events.append(
+                            ("recv", rank, src, tag, microbatch))
+                        return Packet(src, rank, tag, microbatch, data)
+                if state.abort:
+                    raise _Aborted(f"rank {rank} recv aborted")
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"rank {rank} recv timed out after deadline")
+                spins += 1
+                if spins >= 64:
+                    time.sleep(_POLL_SLEEP)
+        finally:
+            state.set_status(rank, _STATUS_COMPUTING)
+
+    def drive(self, gen: Generator) -> Any:
+        """Drive one rank-program generator under the RECV protocol;
+        returns the generator's ``return`` value."""
+        try:
+            try:
+                request = next(gen)
+            except StopIteration as stop:
+                return stop.value
+            while True:
+                if isinstance(request, TimedRecv):
+                    deadline = time.monotonic() \
+                        + request.timeout * self.tick_s
+                elif request == RECV:
+                    deadline = None
+                else:
+                    raise ProtocolError(
+                        f"rank {self.rank} yielded {request!r}; rank "
+                        f"programs may only yield RECV or recv_within(...)")
+                try:
+                    pkt = self._recv(deadline)
+                except TimeoutError as exc:
+                    try:
+                        request = gen.throw(exc)
+                    except StopIteration as stop:
+                        return stop.value
+                    continue
+                try:
+                    request = gen.send(pkt)
+                except StopIteration as stop:
+                    return stop.value
+        finally:
+            gen.close()
+
+
+def _run_program_task(ctx: WorkerContext, spec: ProgramSpec) -> Any:
+    """Generic worker task: build and drive one :class:`ProgramSpec`."""
+    result = spec.fn(ctx.rank, ctx.send, *spec.args)
+    if isinstance(result, types.GeneratorType):
+        return ctx.drive(result)
+    return result
+
+
+def _worker_main(rank: int, n_ranks: int,
+                 out_ring_names: Dict[int, Tuple[str, int]],
+                 in_ring_names: Dict[int, Tuple[str, int]],
+                 state_name: str, conn, tick_s: float,
+                 trace_origin: Optional[float],
+                 trace_dir: Optional[str]) -> None:
+    """Worker process entry: attach shared memory, loop over commands.
+
+    Every command is ``("call", fn, args)`` with a module-level ``fn``
+    invoked as ``fn(ctx, *args)``; the reply is ``(status, payload,
+    events, spans, messages_sent)`` with status ``"ok"`` / ``"aborted"``
+    / ``"error"``.  Spans are additionally streamed to
+    ``{trace_dir}/rank{rank}.jsonl`` with the worker's real pid, so they
+    survive a SIGKILL of this very process.
+    """
+    out_rings = {dst: ShmRing.attach(name, cap)
+                 for dst, (name, cap) in out_ring_names.items()}
+    in_rings = {src: ShmRing.attach(name, cap)
+                for src, (name, cap) in in_ring_names.items()}
+    state = _StateBlock.attach(state_name, n_ranks)
+    tracer = RuntimeTracer(enabled=trace_origin is not None)
+    if trace_origin is not None:
+        # Align to the parent's origin: perf_counter is CLOCK_MONOTONIC on
+        # Linux, shared across processes, so spans line up in one trace.
+        tracer._origin = trace_origin
+    trace_path = (os.path.join(trace_dir, f"rank{rank}.jsonl")
+                  if trace_dir is not None else None)
+    ctx = WorkerContext(rank, n_ranks, out_rings, in_rings, state, tick_s,
+                        tracer, trace_path)
+    state.beat(rank)
+
+    # Beat from a daemon thread so the heartbeat tracks *process* liveness
+    # rather than recv activity: a rank legitimately computing for longer
+    # than detect_timeout_s (a deep stage, a degenerate one-rank pipeline)
+    # must not read as dead.  NumPy kernels release the GIL, so the thread
+    # keeps beating through long compute; a SIGSTOPped or swapped-out
+    # worker stops beating, which is exactly what the detector is for.
+    stop_beating = threading.Event()
+
+    def _beater() -> None:  # pragma: no cover - timing-dependent helper
+        while not stop_beating.wait(tick_s):
+            state.beat(rank)
+
+    threading.Thread(target=_beater, daemon=True,
+                     name=f"rank{rank}-heartbeat").start()
+    try:
+        while True:
+            cmd = conn.recv()
+            if cmd[0] == "stop":
+                break
+            _verb, fn, args = cmd
+            ctx.events = []
+            ctx.messages_sent = 0
+            ctx.kill_after = None
+            ctx._receives_done = 0
+            tracer.clear()
+            state.beat(rank)
+            try:
+                payload = fn(ctx, *args)
+                status = "ok"
+            except (_Aborted, RingAborted):
+                payload, status = None, "aborted"
+            except BaseException:
+                payload, status = traceback.format_exc(), "error"
+            spans = list(tracer.spans)
+            if trace_path is not None and spans:
+                try:
+                    append_spans_jsonl(trace_path, spans, pid=os.getpid())
+                except OSError:
+                    pass  # tracing must never take the worker down
+            conn.send((status, payload, ctx.events, spans,
+                       ctx.messages_sent))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown
+        pass
+    finally:
+        stop_beating.set()
+        for ring in (*out_rings.values(), *in_rings.values()):
+            ring.close()
+        state.close()
+
+
+class _WorkerHandle:
+    __slots__ = ("proc", "conn")
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+
+
+class ProcessPool:
+    """Owns the worker processes, rings and the shared state block.
+
+    ``channels`` is the list of directed ``(src, dst)`` pairs that get a
+    ring; pass None for all-pairs (fine for small worlds — the trainer
+    passes just the pipeline-neighbor channels).
+    """
+
+    def __init__(self, n_ranks: int, *,
+                 channels: Optional[List[Tuple[int, int]]] = None,
+                 ring_capacity: int = 1 << 20,
+                 tick_s: float = DEFAULT_TICK_S,
+                 detect_timeout_s: float = DEFAULT_DETECT_TIMEOUT_S,
+                 hang_timeout_s: float = DEFAULT_HANG_TIMEOUT_S,
+                 trace_origin: Optional[float] = None,
+                 trace_dir: Optional[str] = None):
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.n_ranks = n_ranks
+        if channels is None:
+            channels = [(s, d) for s in range(n_ranks)
+                        for d in range(n_ranks) if s != d]
+        self.channels = list(channels)
+        self.ring_capacity = ring_capacity
+        self.tick_s = tick_s
+        self.detect_timeout_s = detect_timeout_s
+        self.hang_timeout_s = hang_timeout_s
+        self.trace_origin = trace_origin
+        self.trace_dir = trace_dir
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
+        self.rings: Dict[Tuple[int, int], ShmRing] = {
+            ch: ShmRing.create(ring_capacity) for ch in self.channels}
+        self.state = _StateBlock.create(n_ranks)
+        self.workers: Dict[int, _WorkerHandle] = {}
+        self._closed = False
+
+    # -- worker lifecycle --------------------------------------------------
+    def _spawn(self, rank: int) -> None:
+        parent_conn, child_conn = _MP.Pipe()
+        out_names = {d: (self.rings[(s, d)].name, self.ring_capacity)
+                     for (s, d) in self.channels if s == rank}
+        in_names = {s: (self.rings[(s, d)].name, self.ring_capacity)
+                    for (s, d) in self.channels if d == rank}
+        proc = _MP.Process(
+            target=_worker_main,
+            args=(rank, self.n_ranks, out_names, in_names, self.state.name,
+                  child_conn, self.tick_s, self.trace_origin,
+                  self.trace_dir),
+            daemon=True)
+        proc.start()
+        child_conn.close()
+        self.workers[rank] = _WorkerHandle(proc, parent_conn)
+        self.state.beat(rank)
+
+    def start(self) -> None:
+        for rank in range(self.n_ranks):
+            if rank not in self.workers:
+                self._spawn(rank)
+
+    def alive(self, rank: int) -> bool:
+        h = self.workers.get(rank)
+        return h is not None and h.proc.is_alive()
+
+    def kill(self, rank: int) -> None:
+        """SIGKILL one worker (real crash injection)."""
+        h = self.workers.get(rank)
+        if h is not None and h.proc.is_alive():
+            os.kill(h.proc.pid, signal.SIGKILL)
+            h.proc.join(timeout=10.0)
+
+    def respawn_dead(self) -> List[int]:
+        """Respawn every dead worker; returns the ranks respawned."""
+        respawned = []
+        for rank in range(self.n_ranks):
+            h = self.workers.get(rank)
+            if h is None or not h.proc.is_alive():
+                if h is not None:
+                    h.proc.join(timeout=10.0)
+                    h.conn.close()
+                self._spawn(rank)
+                respawned.append(rank)
+        return respawned
+
+    # -- work dispatch -----------------------------------------------------
+    def submit(self, rank: int, fn: Callable, *args: Any) -> None:
+        self.workers[rank].conn.send(("call", fn, args))
+
+    def _drain_replies(self, pending: set, results: Dict[int, Tuple]) -> None:
+        for r in list(pending):
+            conn = self.workers[r].conn
+            try:
+                while conn.poll(0):
+                    results[r] = conn.recv()
+                    pending.discard(r)
+            except (EOFError, OSError):
+                pass  # worker died with the pipe open; sentinel check owns it
+
+    def gather(self, ranks: List[int]) -> Dict[int, Tuple]:
+        """Collect one reply per rank, watching for death and hangs.
+
+        Raises :class:`RankFailure` when a worker process dies or stops
+        heartbeating, :class:`DeadlockError` when every outstanding rank
+        sits blocked on a receive with zero progress for
+        ``hang_timeout_s``.  Either way the surviving workers are aborted,
+        settled and respawned as needed, so the pool is reusable.
+        """
+        pending = set(ranks)
+        results: Dict[int, Tuple] = {}
+        now = time.monotonic()
+        last_progress = now
+        progress_mark = self._progress_snapshot()
+        # Liveness = the heartbeat slot keeps *changing*, not its absolute
+        # value: the parent can catch a torn read of the f64 mid-write (the
+        # two sides are separate processes with no lock), and a garbage
+        # value must not read as "30s stale".  A live worker rewrites the
+        # slot every tick, so "unchanged for detect_timeout_s" is the
+        # tear-proof staleness predicate.
+        hb_seen = {r: (self.state.heartbeat(r), now) for r in pending}
+        while pending:
+            self._drain_replies(pending, results)
+            if not pending:
+                break
+            if any(reply[0] == "error" for reply in results.values()):
+                # A worker raised: its peers may be blocked on messages
+                # that will never come.  Abort them now and let the caller
+                # surface the worker's traceback, not a deadlock timeout.
+                self._settle_failure(pending)
+                break
+            dead = [r for r in pending if not self.workers[r].proc.is_alive()]
+            if dead:
+                # One last drain: the reply may have raced the death check.
+                self._drain_replies(pending, results)
+                dead = [r for r in pending
+                        if not self.workers[r].proc.is_alive()]
+            if dead:
+                self._settle_failure(pending - set(dead))
+                raise RankFailure(
+                    f"rank(s) {sorted(dead)} died (worker process exited); "
+                    f"declared failed via process sentinel",
+                    dead=sorted(dead),
+                    detected_at=int(sum(self.state.recvs(r)
+                                        for r in range(self.n_ranks))),
+                    crashed_at={r: int(self.state.recvs(r)) for r in dead})
+            now = time.monotonic()
+            stale = []
+            for r in pending:
+                hb = self.state.heartbeat(r)
+                seen_hb, seen_at = hb_seen[r]
+                if hb != seen_hb:
+                    hb_seen[r] = (hb, now)
+                elif now - seen_at > self.detect_timeout_s:
+                    stale.append(r)
+            if stale:
+                for r in stale:
+                    self.kill(r)
+                self._settle_failure(pending - set(stale))
+                raise RankFailure(
+                    f"rank(s) {sorted(stale)} stopped heartbeating for "
+                    f"{self.detect_timeout_s}s (wall clock); declared dead",
+                    dead=sorted(stale),
+                    detected_at=int(sum(self.state.recvs(r)
+                                        for r in range(self.n_ranks))),
+                    crashed_at={r: int(self.state.recvs(r)) for r in stale})
+            snapshot = self._progress_snapshot()
+            if snapshot != progress_mark:
+                progress_mark = snapshot
+                last_progress = now
+            elif now - last_progress > self.hang_timeout_s and all(
+                    self.state.status(r) == _STATUS_WAITING
+                    for r in pending):
+                stuck = sorted(pending)
+                self._settle_failure(pending)
+                raise DeadlockError(
+                    f"rank(s) {stuck} blocked on empty channels with zero "
+                    f"progress for {self.hang_timeout_s}s — deadlock",
+                    stuck=stuck,
+                    orphans=self.drain_rings())
+            time.sleep(_POLL_SLEEP)
+        return results
+
+    def _progress_snapshot(self) -> Tuple:
+        return (tuple(self.state.recvs(r) for r in range(self.n_ranks)),
+                tuple(ring.unread() for ring in self.rings.values()))
+
+    def _settle_failure(self, survivors: set, grace_s: float = 10.0) -> None:
+        """Abort outstanding survivors, wait for them to come back to the
+        command loop (or kill the truly stuck), respawn the dead, drain
+        every ring and clear abort — leaving the pool ready for reuse."""
+        self.state.set_abort(True)
+        deadline = time.monotonic() + grace_s
+        waiting = set(survivors)
+        sink: Dict[int, Tuple] = {}
+        while waiting and time.monotonic() < deadline:
+            self._drain_replies(waiting, sink)
+            waiting = {r for r in waiting if self.workers[r].proc.is_alive()}
+            time.sleep(_POLL_SLEEP)
+        for r in waiting:  # stuck mid-compute past the grace period
+            self.kill(r)
+        self.respawn_dead()
+        self.drain_rings()
+        self.state.set_abort(False)
+
+    # -- introspection / cleanup -------------------------------------------
+    def pending(self, rank: int) -> int:
+        """Messages buffered toward ``rank`` across its incoming rings."""
+        return sum(ring.frames() for (s, d), ring in self.rings.items()
+                   if d == rank)
+
+    def drain_rings(self) -> List[Packet]:
+        """Consume every buffered frame (only safe while workers are idle
+        in their command loop); returns them as orphan packets."""
+        orphans: List[Packet] = []
+        for (src, dst), ring in self.rings.items():
+            for tag, microbatch, _ts, data in ring.drain():
+                orphans.append(Packet(src, dst, tag, microbatch, data))
+        return orphans
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for rank, h in self.workers.items():
+            try:
+                if h.proc.is_alive():
+                    h.conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for h in self.workers.values():
+            h.proc.join(timeout=5.0)
+            if h.proc.is_alive():  # pragma: no cover - stuck worker
+                h.proc.terminate()
+                h.proc.join(timeout=5.0)
+            h.conn.close()
+        for ring in self.rings.values():
+            ring.close()
+            ring.unlink()
+        self.state.close()
+        self.state.unlink()
+
+    def __del__(self):  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class ProcessTransport(BaseRankTransport):
+    """The :class:`BaseRankTransport` contract over real OS processes.
+
+    ``run`` takes :class:`ProgramSpec` values (picklable program
+    descriptions) instead of live generators — a generator cannot cross a
+    process boundary — and returns ``{rank: program return value}``.
+    Everything else matches the cooperative transport: non-blocking
+    buffered sends, FIFO per channel, heartbeats, :class:`RankFailure` on
+    real process death, strict end-of-run orphan checks, recorder and
+    tracer integration.
+    """
+
+    def __init__(self, n_ranks: int, *,
+                 recorder: Optional[TraceRecorder] = None,
+                 tracer: Optional[RuntimeTracer] = None,
+                 strict: bool = True,
+                 channels: Optional[List[Tuple[int, int]]] = None,
+                 ring_capacity: int = 1 << 20,
+                 tick_s: float = DEFAULT_TICK_S,
+                 detect_timeout_s: float = DEFAULT_DETECT_TIMEOUT_S,
+                 hang_timeout_s: float = DEFAULT_HANG_TIMEOUT_S,
+                 trace_dir: Optional[str] = None,
+                 pool: Optional[ProcessPool] = None):
+        super().__init__(n_ranks, recorder=recorder, tracer=tracer,
+                         strict=strict)
+        tracing = tracer is not None and tracer.enabled
+        self._owns_pool = pool is None
+        self.pool = pool if pool is not None else ProcessPool(
+            n_ranks, channels=channels, ring_capacity=ring_capacity,
+            tick_s=tick_s, detect_timeout_s=detect_timeout_s,
+            hang_timeout_s=hang_timeout_s,
+            trace_origin=tracer._origin if tracing else None,
+            trace_dir=trace_dir)
+
+    def send(self, src: int, dst: int, tag: str, microbatch: int,
+             data: Any = None) -> None:
+        """Parent-side send: pre-seeds a channel before ``run`` (workers
+        send through their own endpoints while running)."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        if src == dst:
+            raise ValueError(f"rank {src} sending to itself")
+        if not _payload_ok(data):
+            raise ProtocolError(
+                f"payload of type {type(data).__name__} cannot cross "
+                f"ProcessTransport.send (REP008): use arrays or plain "
+                f"picklable values")
+        ring = self.pool.rings.get((src, dst))
+        if ring is None:
+            raise ProtocolError(f"no channel {src} -> {dst}")
+        self._next_send_seq()
+        ring.push((tag, microbatch, 0.0, data))
+        self.messages_sent += 1
+        if self.recorder is not None:
+            self.recorder.record_send(src, dst, tag, microbatch)
+
+    def pending(self, rank: int) -> int:
+        self._check_rank(rank)
+        return self.pool.pending(rank)
+
+    def run(self, programs: Dict[int, ProgramSpec]) -> Dict[int, Any]:
+        for rank in programs:
+            self._check_rank(rank)
+        self.pool.start()
+        for rank, spec in programs.items():
+            if not isinstance(spec, ProgramSpec):
+                raise ProtocolError(
+                    f"rank {rank}: ProcessTransport.run takes ProgramSpec "
+                    f"values, not {type(spec).__name__} (generators cannot "
+                    f"cross process boundaries)")
+            self.pool.submit(rank, _run_program_task, spec)
+        try:
+            replies = self.pool.gather(sorted(programs))
+        except RankFailure as failure:
+            self.dead.update(failure.dead)
+            raise
+        return self._consume_replies(replies)
+
+    def _consume_replies(self, replies: Dict[int, Tuple]) -> Dict[int, Any]:
+        results: Dict[int, Any] = {}
+        errors: List[str] = []
+        for rank in sorted(replies):
+            status, payload, events, spans, sent = replies[rank]
+            self.messages_sent += sent
+            self._merge_events(events)
+            self._merge_spans(spans)
+            if status == "error":
+                errors.append(f"rank {rank}:\n{payload}")
+            elif status == "ok":
+                results[rank] = payload
+                self.finished.add(rank)
+        if errors:
+            raise RuntimeError(
+                "worker process(es) raised:\n" + "\n".join(errors))
+        orphans = self.pool.drain_rings()
+        if orphans:
+            self.lost_packets.extend(orphans)
+            if self.strict:
+                raise self._orphan_error(orphans)
+        return results
+
+    def _merge_events(self, events: List[Tuple]) -> None:
+        if self.recorder is None:
+            return
+        # Per-rank event order is each worker's local order, which is the
+        # per-channel FIFO order — exactly what verify_trace checks; the
+        # interleaving across ranks is irrelevant to it.
+        for ev in events:
+            if ev[0] == "send":
+                _kind, src, dst, tag, microbatch = ev
+                self.recorder.record_send(src, dst, tag, microbatch)
+            elif ev[0] == "recv":
+                _kind, rank, src, tag, microbatch = ev
+                self.recorder.record_recv(rank, src, tag, microbatch)
+            elif ev[0] == "collective":
+                _kind, rank, op, key = ev
+                self.recorder.record_collective(rank, op, key)
+
+    def _merge_spans(self, spans: List[ObsSpan]) -> None:
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.spans.extend(spans)
+
+    def close(self) -> None:
+        if self._owns_pool:
+            self.pool.close()
+
+
+def _train_step_task(ctx: WorkerContext, payload: Dict[str, Any]
+                     ) -> Dict[str, Any]:
+    """Worker task for one inter-layer phase of one training batch.
+
+    Rebuilds (once, cached) this rank's :class:`PipelineStage`, loads the
+    parent's current parameters from the rank's parameter block, restores
+    dropout RNG state, drives :func:`inter_layer_step` over the rings,
+    then writes the accumulated gradients back and returns losses + RNG
+    state — everything the parent needs to run the (unchanged)
+    data-parallel phase and optimizer.
+    """
+    from .checkpointing import _dropout_modules
+    from .rankprog import inter_layer_step
+    from .stage import PipelineStage
+
+    rank = ctx.rank
+    grid = payload["grid"]
+    cfg = payload["cfg"]
+    stage_key = (repr(cfg), grid.g_inter, payload["checkpoint_activations"])
+    stage: Optional[PipelineStage] = ctx.cache.get("stage")
+    if stage is None or ctx.cache.get("stage_key") != stage_key:
+        i, _j = grid.coord_of(rank)
+        stage = PipelineStage(
+            cfg, i, grid.g_inter,
+            checkpoint_activations=payload["checkpoint_activations"])
+        ctx.cache["stage"] = stage
+        ctx.cache["stage_key"] = stage_key
+        old = ctx.cache.pop("param_shm", None)
+        if old is not None:
+            old.close()
+    shm = ctx.cache.get("param_shm")
+    if shm is None or shm.name != payload["param_shm"]:
+        if shm is not None:
+            shm.close()
+        shm = attach_shared_memory(payload["param_shm"])
+        ctx.cache["param_shm"] = shm
+    params = stage.parameters()
+    numel = sum(p.size for p in params)
+    flat = np.ndarray((2 * numel,), dtype=np.float32, buffer=shm.buf)
+    offset = 0
+    for p in params:
+        p.data[...] = flat[offset:offset + p.size].reshape(p.data.shape)
+        p.grad = None
+        offset += p.size
+    drops = _dropout_modules(stage)
+    for m, st in zip(drops, payload["rng_states"]):
+        m.rng.bit_generator.state = st
+    stage.microbatch_losses.clear()
+    stage._inflight.clear()
+    ctx.kill_after = payload.get("kill_after")
+    ctx._maybe_crash()  # a crash scheduled before the first receive
+
+    gen = inter_layer_step(
+        rank, grid, stage, ctx.send, payload["microbatches"],
+        payload["total_microbatches"], payload["pipeline_limit"],
+        loss_scale=payload["loss_scale"],
+        tracer=ctx.tracer if ctx.tracer.enabled else None)
+    if isinstance(gen, types.GeneratorType):
+        ctx.drive(gen)
+
+    grad_mask = []
+    offset = numel
+    for p in params:
+        if p.grad is None:
+            grad_mask.append(False)
+            flat[offset:offset + p.size] = 0.0
+        else:
+            grad_mask.append(True)
+            flat[offset:offset + p.size] = p.grad.reshape(-1)
+        offset += p.size
+    return {
+        "losses": dict(stage.microbatch_losses),
+        "rng_states": [m.rng.bit_generator.state for m in drops],
+        "grad_mask": grad_mask,
+        "inflight": stage.inflight_microbatches,
+    }
+
+
+class ProcessBackend:
+    """The trainer's bridge to the process pool.
+
+    Owns one persistent :class:`ProcessPool` (pipeline-neighbor channels
+    only), one parameter/gradient shared block per rank, and the
+    translation of crash faults into real SIGKILLs.  The division of
+    labor that keeps numerics bit-identical to the cooperative backend:
+    the **inter-layer phase** (Algorithm 2) runs in the workers; the
+    **data-parallel phase and optimizer** (Algorithm 1's reduction, the
+    chunked fp16 all-reduce draw order, the loss-scale update) stay in
+    the parent, running the exact same code either way.
+    """
+
+    def __init__(self, trainer, *,
+                 ring_capacity: Optional[int] = None,
+                 tick_s: float = DEFAULT_TICK_S,
+                 detect_timeout_s: float = DEFAULT_DETECT_TIMEOUT_S,
+                 hang_timeout_s: float = DEFAULT_HANG_TIMEOUT_S,
+                 trace_dir: Optional[str] = None):
+        self.trainer = trainer
+        grid = trainer.grid
+        channels = []
+        for rank in range(grid.world_size):
+            nxt = grid.next_in_pipeline(rank)
+            if nxt is not None:
+                channels.append((rank, nxt))
+                channels.append((nxt, rank))
+        if ring_capacity is None:
+            # Size for several in-flight boundary activations: the largest
+            # payload is a (microbatch, seq, hidden) fp32 tensor.
+            frame = (4 * trainer.microbatch_size * trainer.cfg.seq_len
+                     * trainer.cfg.hidden + 4096)
+            ring_capacity = max(1 << 16, 4 * frame)
+        tracing = trainer.tracer is not None and trainer.tracer.enabled
+        self.pool = ProcessPool(
+            grid.world_size, channels=channels or None,
+            ring_capacity=ring_capacity, tick_s=tick_s,
+            detect_timeout_s=detect_timeout_s,
+            hang_timeout_s=hang_timeout_s,
+            trace_origin=trainer.tracer._origin if tracing else None,
+            trace_dir=trace_dir)
+        #: set by the resilience layer to inject (crash) faults
+        self.injector = None
+        self._param_shms: Dict[int, shared_memory.SharedMemory] = {}
+        self._closed = False
+
+    # -- parameter blocks --------------------------------------------------
+    def _param_block(self, rank: int) -> shared_memory.SharedMemory:
+        """The rank's param/grad block: ``[params fp32 | grads fp32]``."""
+        numel = sum(p.size for p in self.trainer.stages[rank].parameters())
+        nbytes = 2 * 4 * numel
+        shm = self._param_shms.get(rank)
+        if shm is None or shm.size < nbytes:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+            shm = shared_memory.SharedMemory(create=True, size=nbytes)
+            self._param_shms[rank] = shm
+        return shm
+
+    # -- fault translation -------------------------------------------------
+    def _crash_schedule(self) -> Dict[int, int]:
+        """Consume this step's unspent crash faults: rank -> kill-after-N-
+        receives.  Channel faults need the cooperative scheduler's virtual
+        clock and are rejected here."""
+        if self.injector is None:
+            return {}
+        if self.injector.plan.channel_faults():
+            raise NotImplementedError(
+                "the process backend injects real crashes (SIGKILL) only; "
+                "drop/delay/degrade/straggler faults need the cooperative "
+                "backend's virtual clock")
+        schedule: Dict[int, int] = {}
+        for f in self.injector.plan.crashes(self.injector.step):
+            key = ("crash", f.rank, f.step, f.tick)
+            if key in self.injector.spent:
+                continue
+            self.injector.spent.add(key)
+            self.injector.injected.append(
+                (f.tick, f"crash rank {f.rank} (SIGKILL)"))
+            schedule[f.rank] = f.tick
+        return schedule
+
+    # -- the batch ---------------------------------------------------------
+    def run_batch(self, groups, total_mb: int) -> int:
+        """Run the inter-layer phase of one batch across the workers.
+
+        Returns the number of point-to-point messages exchanged.  Raises
+        :class:`RankFailure` on real worker death (injected or genuine);
+        the pool is settled and respawned before the exception leaves, so
+        the resilience layer's rollback-replay needs no backend-specific
+        code.
+        """
+        trainer = self.trainer
+        grid = trainer.grid
+        self.pool.start()
+        crash_after = self._crash_schedule()
+        scale = trainer.scaler.scale if trainer.precision == "mixed" else 1.0
+
+        from .checkpointing import _dropout_modules
+        for rank in range(grid.world_size):
+            stage = trainer.stages[rank]
+            params = stage.parameters()
+            numel = sum(p.size for p in params)
+            shm = self._param_block(rank)
+            flat = np.ndarray((2 * numel,), dtype=np.float32,
+                              buffer=shm.buf)
+            offset = 0
+            for p in params:
+                flat[offset:offset + p.size] = p.data.reshape(-1)
+                offset += p.size
+            _i, j = grid.coord_of(rank)
+            payload = {
+                "cfg": trainer.cfg,
+                "grid": grid,
+                "checkpoint_activations": trainer.checkpoint_activations,
+                "param_shm": shm.name,
+                "microbatches": groups[j],
+                "total_microbatches": total_mb,
+                "pipeline_limit": trainer.pipeline_limit,
+                "loss_scale": scale,
+                "rng_states": [m.rng.bit_generator.state
+                               for m in _dropout_modules(stage)],
+                "kill_after": crash_after.get(rank),
+            }
+            self.pool.submit(rank, _train_step_task, payload)
+
+        replies = self.pool.gather(list(range(grid.world_size)))
+
+        # Crash faults that never fired in-flight (scheduled past the
+        # rank's last receive) kill their worker at the end-of-batch
+        # barrier — same semantics as the cooperative backend.
+        barrier_dead = sorted(r for r in crash_after if r in replies
+                              and replies[r][0] == "ok")
+        if barrier_dead:
+            for r in barrier_dead:
+                self.pool.kill(r)
+            self.pool._settle_failure(set())
+            raise RankFailure(
+                f"rank(s) {barrier_dead} died during the batch (SIGKILL at "
+                f"the end-of-batch barrier)",
+                dead=barrier_dead,
+                detected_at=int(sum(self.pool.state.recvs(r)
+                                    for r in range(grid.world_size))),
+                crashed_at={r: int(self.pool.state.recvs(r))
+                            for r in barrier_dead})
+
+        messages = self._apply_replies(replies)
+        orphans = self.pool.drain_rings()
+        if orphans:
+            raise BaseRankTransport._orphan_error(orphans)
+        return messages
+
+    def _apply_replies(self, replies: Dict[int, Tuple]) -> int:
+        from .checkpointing import _dropout_modules
+        trainer = self.trainer
+        messages = 0
+        errors: List[str] = []
+        for rank in sorted(replies):
+            status, payload, events, spans, sent = replies[rank]
+            messages += sent
+            if trainer.recorder is not None:
+                for ev in events:
+                    if ev[0] == "send":
+                        trainer.recorder.record_send(*ev[1:])
+                    elif ev[0] == "recv":
+                        trainer.recorder.record_recv(*ev[1:])
+            if trainer.tracer is not None and trainer.tracer.enabled:
+                trainer.tracer.spans.extend(spans)
+            if status == "error":
+                errors.append(f"rank {rank}:\n{payload}")
+                continue
+            if status != "ok":  # pragma: no cover - defensive
+                errors.append(f"rank {rank}: unexpected status {status!r}")
+                continue
+            if payload["inflight"]:
+                errors.append(
+                    f"rank {rank} finished with {payload['inflight']} "
+                    f"microbatches in flight")
+                continue
+            stage = trainer.stages[rank]
+            shm = self._param_shms[rank]
+            params = stage.parameters()
+            numel = sum(p.size for p in params)
+            flat = np.ndarray((2 * numel,), dtype=np.float32,
+                              buffer=shm.buf)
+            offset = numel
+            for p, has_grad in zip(params, payload["grad_mask"]):
+                if has_grad:
+                    grad = flat[offset:offset + p.size] \
+                        .reshape(p.data.shape).copy()
+                    if p.grad is None:
+                        p.grad = grad
+                    else:
+                        np.copyto(p.grad, grad)
+                else:
+                    p.grad = None
+                offset += p.size
+            stage.microbatch_losses.clear()
+            stage.microbatch_losses.update(payload["losses"])
+            for m, st in zip(_dropout_modules(stage),
+                             payload["rng_states"]):
+                m.rng.bit_generator.state = st
+        if errors:
+            raise RuntimeError(
+                "worker process(es) raised:\n" + "\n".join(errors))
+        return messages
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.pool.close()
+        for shm in self._param_shms.values():
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:
+                pass
+        self._param_shms.clear()
+
+    def __del__(self):  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -51,6 +51,7 @@ log every send and delivery for post-hoc verification with
 
 from __future__ import annotations
 
+import abc
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
@@ -64,8 +65,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (resilience
     # imports runtime); the injector/retry objects are duck-typed here
     from ..resilience.faults import FaultInjector, RetryPolicy
 
-__all__ = ["Packet", "RankTransport", "DeadlockError", "ProtocolError",
-           "RankFailure", "RECV", "TimedRecv", "recv_within"]
+__all__ = ["BaseRankTransport", "Packet", "RankTransport", "DeadlockError",
+           "ProtocolError", "RankFailure", "RECV", "TimedRecv", "recv_within"]
 
 #: sentinel yielded by a rank program to request the next inbox message
 RECV = "recv"
@@ -144,16 +145,111 @@ class RankFailure(RuntimeError):
 
 @dataclass(frozen=True)
 class Packet:
-    """One delivered message."""
+    """One delivered message.
+
+    ``seq`` is a transport-assigned monotonic send sequence number (-1
+    when the packet was constructed outside a transport, e.g. in tests).
+    It keys per-packet bookkeeping such as send timestamps — keying by
+    ``id(pkt)`` would collide when the allocator reuses addresses and
+    leak when packets are dropped.
+    """
 
     src: int
     dst: int
     tag: str
     microbatch: int
     data: Any = field(compare=False, default=None)
+    seq: int = field(compare=False, repr=False, default=-1)
 
 
-class RankTransport:
+class BaseRankTransport(abc.ABC):
+    """The transport contract every execution backend implements.
+
+    A transport owns ``n_ranks`` message endpoints and drives *rank
+    programs* — generators that ``yield RECV`` (or a
+    :func:`recv_within` request) and are resumed with the next
+    :class:`Packet`.  The contract, shared by the cooperative in-process
+    scheduler (:class:`RankTransport`) and the multiprocessing backend
+    (:class:`~repro.runtime.parallel.ProcessTransport`):
+
+    * :meth:`send` is non-blocking and buffered (MPI_Isend semantics),
+      FIFO per ``(src, dst)`` channel;
+    * ``yield RECV`` blocks the program on its next message; ``yield
+      recv_within(n)`` raises :class:`TimeoutError` *inside* the program
+      after ``n`` transport ticks without one;
+    * every live rank heartbeats once per scheduler sweep (cooperative)
+      or receive-poll (process); a rank that stops beating — or whose OS
+      process dies — raises :class:`RankFailure` naming the dead ranks;
+    * with ``strict=True`` (default) a run that completes with
+      undelivered packets raises :class:`ProtocolError` (orphan sends);
+    * any yield other than :data:`RECV` / :class:`TimedRecv` raises
+      :class:`ProtocolError`;
+    * pass ``recorder=`` to log every send/delivery for the protocol
+      verifier; pass ``tracer=`` to emit p2p ObsSpans.
+
+    Implementations fill in :meth:`send`, :meth:`run` and
+    :meth:`pending`; the base class carries the shared bookkeeping
+    surface (message/sequence counters, dead/finished sets, rank-range
+    checks and the orphan report).
+    """
+
+    def __init__(self, n_ranks: int, *,
+                 recorder: Optional[TraceRecorder] = None,
+                 tracer: Optional[RuntimeTracer] = None,
+                 strict: bool = True):
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.n_ranks = n_ranks
+        self.recorder = recorder
+        self.tracer = tracer
+        self.strict = strict
+        self.messages_sent = 0
+        #: ranks that died (injected crash or real process death)
+        self.dead: Set[int] = set()
+        #: ranks whose program returned normally
+        self.finished: Set[int] = set()
+        #: sends that could never be delivered
+        self.lost_packets: List[Packet] = []
+        self._send_seq = 0
+
+    def _next_send_seq(self) -> int:
+        seq = self._send_seq
+        self._send_seq += 1
+        return seq
+
+    @abc.abstractmethod
+    def send(self, src: int, dst: int, tag: str, microbatch: int,
+             data: Any = None) -> None:
+        """Non-blocking buffered send (MPI_Isend semantics)."""
+
+    @abc.abstractmethod
+    def run(self, programs) -> Any:
+        """Drive rank programs to completion (see class docstring)."""
+
+    @abc.abstractmethod
+    def pending(self, rank: int) -> int:
+        """Messages currently buffered for ``rank``."""
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} outside [0, {self.n_ranks})")
+
+    @staticmethod
+    def _orphan_error(orphans: List[Packet]) -> ProtocolError:
+        listing = "\n  ".join(
+            f"{p.src} -> {p.dst} tag={p.tag!r} microbatch={p.microbatch}"
+            for p in orphans[:20])
+        more = f"\n  ... and {len(orphans) - 20} more" if len(orphans) > 20 \
+            else ""
+        return ProtocolError(
+            f"run finished with {len(orphans)} undelivered packet(s) left "
+            f"in inboxes (orphan sends — a receive is missing):\n  "
+            f"{listing}{more}\n"
+            f"Pass strict=False to the transport to allow this."
+        )
+
+
+class RankTransport(BaseRankTransport):
     """Per-rank FIFO inboxes + the cooperative scheduler.
 
     ``recorder`` (optional) receives every send and every delivery for
@@ -172,30 +268,16 @@ class RankTransport:
                  injector: Optional["FaultInjector"] = None,
                  retry: Optional["RetryPolicy"] = None,
                  detect_timeout: int = DEFAULT_DETECT_TIMEOUT):
-        if n_ranks < 1:
-            raise ValueError("need at least one rank")
         if detect_timeout < 1:
             raise ValueError("detect_timeout must be >= 1 tick")
-        self.n_ranks = n_ranks
+        super().__init__(n_ranks, recorder=recorder, tracer=tracer,
+                         strict=strict)
         self.inboxes: List[Deque[Packet]] = [deque() for _ in range(n_ranks)]
-        self.messages_sent = 0
-        self.recorder = recorder
-        #: optional observability tracer; every delivered packet becomes a
-        #: "p2p" span from send time to consumption time on the sender's
-        #: ``net`` track; injected faults become "fault" spans
-        self.tracer = tracer
-        self.strict = strict
         self.injector = injector
         self.retry = retry
         self.detect_timeout = detect_timeout
         #: scheduler-sweep counter — the fault layer's clock
         self.tick = 0
-        #: ranks killed by an injected crash
-        self.dead: Set[int] = set()
-        #: ranks whose generator returned normally
-        self.finished: Set[int] = set()
-        #: dropped sends that exhausted (or had no) retry budget
-        self.lost_packets: List[Packet] = []
         # heartbeat bookkeeping: last sweep each rank was seen alive
         self._last_beat: Dict[int, int] = {}
         # deferred deliveries: heap of (due_tick, seq, Packet)
@@ -207,6 +289,9 @@ class RankTransport:
         # deadlock diagnosis (a blocked rank most plausibly waits on whoever
         # has been feeding it).
         self._peers_in: List[Set[int]] = [set() for _ in range(n_ranks)]
+        # send-time of each in-flight packet, keyed by its monotonic send
+        # sequence number (purged on delivery AND on every loss path, so a
+        # lossy traced run cannot grow this dict unboundedly)
         self._send_times: Dict[int, float] = {}
 
     # -- sending ----------------------------------------------------------
@@ -222,12 +307,13 @@ class RankTransport:
         self._check_rank(dst)
         if src == dst:
             raise ValueError(f"rank {src} sending to itself")
-        pkt = Packet(src, dst, tag, microbatch, data)
+        pkt = Packet(src, dst, tag, microbatch, data,
+                     seq=self._next_send_seq())
         self.messages_sent += 1
         if self.recorder is not None:
             self.recorder.record_send(src, dst, tag, microbatch)
         if self.tracer is not None and self.tracer.enabled:
-            self._send_times[id(pkt)] = self.tracer.now()
+            self._send_times[pkt.seq] = self.tracer.now()
         self._attempt_send(pkt, attempt=0)
 
     def _attempt_send(self, pkt: Packet, attempt: int) -> None:
@@ -236,7 +322,7 @@ class RankTransport:
             # The network cannot address a dead NIC; the message vanishes.
             self._fault_span(pkt.src, f"send-to-dead:{pkt.tag}",
                              dst=pkt.dst)
-            self.lost_packets.append(pkt)
+            self._lose(pkt)
             return
         verdict: object = None
         if self.injector is not None:
@@ -251,7 +337,7 @@ class RankTransport:
                                (due, self._next_seq(), pkt, attempt + 1))
             else:
                 self._fault_span(pkt.src, f"lost:{pkt.tag}", dst=pkt.dst)
-                self.lost_packets.append(pkt)
+                self._lose(pkt)
             return
         if isinstance(verdict, int) and verdict > 0:
             heapq.heappush(self._delayed,
@@ -262,6 +348,11 @@ class RankTransport:
     def _enqueue(self, pkt: Packet) -> None:
         self.inboxes[pkt.dst].append(pkt)
         self._peers_in[pkt.dst].add(pkt.src)
+
+    def _lose(self, pkt: Packet) -> None:
+        """A packet that will never be delivered: drop its trace entry."""
+        self.lost_packets.append(pkt)
+        self._send_times.pop(pkt.seq, None)
 
     def _next_seq(self) -> int:
         self._defer_seq += 1
@@ -278,7 +369,7 @@ class RankTransport:
     def _trace_delivery(self, packet: Packet) -> None:
         """Record the send-to-consumption interval as a p2p span."""
         tracer = self.tracer
-        start = self._send_times.pop(id(packet), None)
+        start = self._send_times.pop(packet.seq, None)
         if tracer is None or not tracer.enabled or start is None:
             return
         data = packet.data
@@ -290,10 +381,6 @@ class RankTransport:
     def pending(self, rank: int) -> int:
         self._check_rank(rank)
         return len(self.inboxes[rank])
-
-    def _check_rank(self, rank: int) -> None:
-        if not 0 <= rank < self.n_ranks:
-            raise ValueError(f"rank {rank} outside [0, {self.n_ranks})")
 
     def _orphans(self) -> List[Packet]:
         return [pkt for inbox in self.inboxes for pkt in inbox]
@@ -317,6 +404,8 @@ class RankTransport:
             except Exception:
                 pass  # a dying rank must not take the scheduler with it
         self.dead.add(rank)
+        for pkt in self.inboxes[rank]:
+            self._lose(pkt)
         self.inboxes[rank].clear()
         self._fault_span(rank, f"crash-rank{rank}")
 
@@ -338,7 +427,7 @@ class RankTransport:
         while self._delayed and self._delayed[0][0] <= self.tick:
             _due, _seq, pkt = heapq.heappop(self._delayed)
             if pkt.dst in self.dead:
-                self.lost_packets.append(pkt)
+                self._lose(pkt)
             else:
                 self._enqueue(pkt)
 
@@ -509,16 +598,5 @@ class RankTransport:
 
     def _raise_on_orphans(self) -> None:
         orphans = self._orphans()
-        if not orphans:
-            return
-        listing = "\n  ".join(
-            f"{p.src} -> {p.dst} tag={p.tag!r} microbatch={p.microbatch}"
-            for p in orphans[:20])
-        more = f"\n  ... and {len(orphans) - 20} more" if len(orphans) > 20 \
-            else ""
-        raise ProtocolError(
-            f"run finished with {len(orphans)} undelivered packet(s) left "
-            f"in inboxes (orphan sends — a receive is missing):\n  "
-            f"{listing}{more}\n"
-            f"Pass strict=False to RankTransport to allow this."
-        )
+        if orphans:
+            raise self._orphan_error(orphans)

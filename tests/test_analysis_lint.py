@@ -1,4 +1,4 @@
-"""Unit tests for the repo-specific AST lint rules (REP001-REP007)."""
+"""Unit tests for the repo-specific AST lint rules (REP001-REP008)."""
 
 import textwrap
 
@@ -349,6 +349,76 @@ class TestREP007:
         assert self._codes_at(src, self.SERVE) == []
 
 
+class TestREP008:
+    def test_lambda_payload_flagged(self):
+        src = """
+        def program(send):
+            send(1, "forward", 0, lambda x: x + 1)
+        """
+        assert _codes(src) == ["REP008"]
+
+    def test_generator_expression_payload_flagged(self):
+        src = """
+        def program(send):
+            send(1, "forward", 0, (x for x in range(3)))
+        """
+        assert _codes(src) == ["REP008"]
+
+    def test_method_send_with_lambda_flagged(self):
+        src = """
+        def step(transport):
+            transport.send(0, 1, "forward", 0, lambda: None)
+        """
+        assert _codes(src) == ["REP008"]
+
+    def test_local_function_payload_flagged(self):
+        src = """
+        def program(send):
+            def hook(x):
+                return x
+            send(1, "forward", 0, hook)
+        """
+        assert _codes(src) == ["REP008"]
+
+    def test_assigned_lambda_payload_flagged(self):
+        src = """
+        def program(send):
+            hook = lambda x: x
+            send(1, "forward", 0, hook)
+        """
+        assert _codes(src) == ["REP008"]
+
+    def test_ndarray_and_scalar_payloads_clean(self):
+        src = """
+        def program(send, out):
+            send(1, "forward", 0, out)
+            send(1, "forward", 1, 3.5)
+            send(1, "forward", 2, {"loss": 0.1})
+        """
+        assert _codes(src) == []
+
+    def test_module_level_callable_by_name_clean(self):
+        # Module-level functions pickle by reference (ProgramSpec relies
+        # on this); only *locally defined* ones are flagged.
+        src = """
+        def dispatch(conn, fn, args):
+            conn.send(("call", fn, args))
+        """
+        assert _codes(src) == []
+
+    def test_generator_send_protocol_clean(self):
+        src = """
+        def drive(gen, pkt):
+            return gen.send(pkt)
+        """
+        assert _codes(src) == []
+
+    def test_suppression_comment(self):
+        src = ('def f(send):\n'
+               '    send(1, "t", 0, lambda: 1)  # lint-ok: REP008 demo\n')
+        assert lint_source(src) == []
+
+
 class TestMachinery:
     def test_suppression_comment(self):
         src = "rng = np.random.default_rng()  # lint-ok: REP003 reason\n"
@@ -373,4 +443,4 @@ class TestMachinery:
 
     def test_rule_catalogue_complete(self):
         assert set(RULES) == {"REP001", "REP002", "REP003", "REP004",
-                              "REP005", "REP006", "REP007"}
+                              "REP005", "REP006", "REP007", "REP008"}

@@ -76,7 +76,8 @@ class TestCLI:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "serve" in out
-        assert "REP007" in out
+        assert "REP008" in out
+        assert "train" in out
 
     def test_serve_functional_fast(self, capsys):
         assert main(["serve", "--fast", "--substrate", "runtime"]) == 0

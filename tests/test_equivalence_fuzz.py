@@ -13,12 +13,19 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis import (TraceRecorder, check_match_order,
+                            check_unmatched_sends)
 from repro.baselines import FlushingPipelineTrainer
 from repro.nn import GPTConfig
 from repro.runtime import AxoNNTrainer, SerialTrainer
 
 CFG = GPTConfig(vocab_size=13, seq_len=6, n_layer=3, n_head=2, hidden=8,
                 dropout=0.0, init_seed=77)
+
+# Dropout on, so the cross-backend check also covers the RNG-state
+# round-trip through the worker processes.
+CFG_DROP = GPTConfig(vocab_size=13, seq_len=6, n_layer=3, n_head=2,
+                     hidden=8, dropout=0.1, init_seed=77)
 
 # valid (g_inter, g_data, microbatch, batch) combinations for a 5-slot model
 GRIDS = [
@@ -67,3 +74,50 @@ def test_two_decompositions_agree_over_multiple_batches(seed):
         la = a.train_batch(x, y).loss
         lb = b.train_batch(x, y).loss
         assert la == pytest.approx(lb, rel=3e-4, abs=3e-5)
+
+
+# valid (g_inter, g_data, microbatch, batch) shapes for the cross-backend
+# fuzz; kept small — every example spawns g_inter * g_data real processes.
+PROCESS_GRIDS = [
+    (1, 2, 2, 4), (2, 1, 2, 4), (2, 2, 1, 4), (3, 1, 1, 4),
+]
+
+
+@given(grid=st.sampled_from(PROCESS_GRIDS), seed=st.integers(0, 1000))
+@settings(max_examples=6, deadline=None)
+def test_process_backend_bit_identical_to_cooperative(grid, seed):
+    """The process backend is not allowed numerical latitude: losses,
+    post-step weights and the recorded message trace must all match the
+    cooperative backend exactly — same microbatch draw order, same
+    dropout masks (RNG states ship both ways), same reduction order."""
+    g_inter, g_data, mbs, batch = grid
+    rng = np.random.default_rng(seed)
+    batches = [(rng.integers(0, CFG_DROP.vocab_size, (batch, CFG_DROP.seq_len)),
+                rng.integers(0, CFG_DROP.vocab_size, (batch, CFG_DROP.seq_len)))
+               for _ in range(2)]
+
+    def run(backend):
+        recorder = TraceRecorder()
+        trainer = AxoNNTrainer(CFG_DROP, g_inter=g_inter, g_data=g_data,
+                               microbatch_size=mbs, lr=1e-3,
+                               recorder=recorder, backend=backend)
+        try:
+            losses = [trainer.train_batch(x, y).loss for x, y in batches]
+            return losses, trainer.gather_state(), recorder
+        finally:
+            trainer.close()
+
+    coop_losses, coop_state, coop_rec = run("cooperative")
+    proc_losses, proc_state, proc_rec = run("process")
+
+    assert proc_losses == coop_losses  # exact, not approx
+    assert set(proc_state) == set(coop_state)
+    for key in coop_state:
+        assert np.array_equal(proc_state[key], coop_state[key]), key
+    # Both recorded message traces must be verifier-clean on the p2p
+    # checks (per-channel FIFO, every send consumed).  Collective order
+    # across data-parallel *groups* legitimately differs, so that check
+    # is not asserted here.
+    for rec in (coop_rec, proc_rec):
+        assert check_unmatched_sends(rec) == []
+        assert check_match_order(rec) == []

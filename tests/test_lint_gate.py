@@ -85,14 +85,16 @@ def test_missing_bench_baseline_is_not_a_failure(tmp_path):
     fact and exits 0 (a fresh checkout must not fail CI)."""
     proc = subprocess.run(
         [sys.executable, str(REPO / "benchmarks" / "check_regression.py"),
-         "--baseline", str(tmp_path / "missing.json"),
-         "--serving-baseline", str(tmp_path / "missing5.json")],
+         "--bench-root", str(tmp_path),
+         "--serving-baseline", str(tmp_path / "missing5.json"),
+         "--scaling-baseline", str(tmp_path / "missing6.json")],
         capture_output=True, text=True,
         env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr
-    assert "no baseline found" in proc.stdout
+    assert "no trainer baseline found" in proc.stdout
     assert "no serving baseline found" in proc.stdout
+    assert "no scaling baseline found" in proc.stdout
 
 
 def test_sanitizer_smoke_full_training_step():

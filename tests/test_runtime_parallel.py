@@ -1,0 +1,392 @@
+"""Tests for the real-parallelism execution backend: shared-memory rings,
+the :class:`ProcessTransport` contract, worker failure semantics, the
+per-rank JSONL span pipeline, and the cooperative transport's send-time
+bookkeeping fixed alongside it.
+
+Rank programs handed to :class:`ProgramSpec` must be module-level (they
+pickle by reference across the process boundary), so every program used
+here lives at the top of this module.
+"""
+
+import json
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.nn import GPTConfig
+from repro.obs import (RuntimeTracer, merge_rank_jsonl, read_spans_jsonl,
+                       write_chrome_trace_multiprocess)
+from repro.resilience import Fault, FaultPlan, ResilientTrainer, RetryPolicy
+from repro.runtime import (RECV, AxoNNTrainer, ProcessTransport, ProgramSpec,
+                           RankFailure, RankTransport, ShmRing,
+                           ring_allreduce)
+from repro.runtime.parallel import _payload_ok
+from repro.runtime.shm import RingFull
+from repro.runtime.transport import ProtocolError
+
+
+# -- module-level rank programs (ship to workers as ProgramSpecs) -------------
+
+def pingpong(rank, send, payload):
+    """Rank 0 sends ``payload`` to rank 1 and echoes back what returns."""
+    if rank == 0:
+        send(1, "ping", 0, payload)
+        pkt = yield RECV
+        return pkt.data
+    pkt = yield RECV
+    send(0, "pong", 0, pkt.data * 2)
+    return None
+
+
+def compute_only(rank, send, value):
+    """No communication at all: a plain function, not a generator."""
+    return value + rank
+
+
+def orphan_sender(rank, send):
+    """Rank 0 sends two messages; rank 1 consumes only one."""
+    if rank == 0:
+        send(1, "data", 0, np.arange(3))
+        send(1, "data", 1, np.arange(3))
+        return None
+        yield  # pragma: no cover - generator marker
+    pkt = yield RECV
+    return pkt.microbatch
+
+
+def closure_sender(rank, send):
+    """Tries to push a lambda through the ring (worker-side REP008)."""
+    if rank == 0:
+        send(1, "bad", 0, lambda: 1)  # lint-ok: REP008 deliberate violation
+        return None
+        yield  # pragma: no cover - generator marker
+    pkt = yield RECV
+    return pkt.data
+
+
+def suicide(rank, send):
+    """Rank 1 SIGKILLs itself mid-protocol; rank 0 blocks on the reply."""
+    if rank == 0:
+        send(1, "ping", 0, 1.0)
+        pkt = yield RECV
+        return pkt.data
+    pkt = yield RECV
+    os.kill(os.getpid(), signal.SIGKILL)  # never returns
+
+
+# -- ShmRing ------------------------------------------------------------------
+
+class TestShmRing:
+    def test_roundtrip_and_counters(self):
+        ring = ShmRing.create(4096)
+        try:
+            assert ring.pop() is None
+            assert ring.frames() == 0
+            ring.push(("tag", 0, 0.0, np.arange(4)))
+            ring.push(("tag", 1, 0.0, None))
+            assert ring.frames() == 2
+            assert ring.unread() > 0
+            tag, mb, _ts, data = ring.pop()
+            assert (tag, mb) == ("tag", 0)
+            np.testing.assert_array_equal(data, np.arange(4))
+            assert ring.frames() == 1
+            assert ring.pop()[1] == 1
+            assert ring.frames() == 0
+            assert ring.pop() is None
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_wraparound_preserves_every_frame(self):
+        ring = ShmRing.create(1024)
+        payload = np.arange(13, dtype=np.float64)
+        try:
+            # Many pushes of a frame ~1/5 the capacity force the write
+            # position to wrap the payload region repeatedly.
+            for i in range(50):
+                ring.push((i, payload * i))
+                got_i, got = ring.pop()
+                assert got_i == i
+                np.testing.assert_array_equal(got, payload * i)
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_attach_sees_creator_frames(self):
+        ring = ShmRing.create(2048)
+        try:
+            ring.push("hello")
+            other = ShmRing.attach(ring.name, 2048)
+            try:
+                assert other.frames() == 1
+                assert other.pop() == "hello"
+                assert ring.frames() == 0
+            finally:
+                other.close()
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_oversized_frame_rejected(self):
+        ring = ShmRing.create(1024)
+        try:
+            with pytest.raises(RingFull):
+                ring.push(np.zeros(4096, dtype=np.float64))
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_drain(self):
+        ring = ShmRing.create(2048)
+        try:
+            for i in range(5):
+                ring.push(i)
+            assert ring.drain() == [0, 1, 2, 3, 4]
+            assert ring.frames() == 0
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_minimum_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            ShmRing.create(8)
+
+
+# -- ProcessTransport ---------------------------------------------------------
+
+class TestProcessTransport:
+    def test_generic_programs_roundtrip(self):
+        transport = ProcessTransport(2)
+        try:
+            data = np.arange(5, dtype=np.float32)
+            results = transport.run({0: ProgramSpec(pingpong, data),
+                                     1: ProgramSpec(pingpong, None)})
+            np.testing.assert_array_equal(results[0], data * 2)
+            assert results[1] is None
+            assert transport.finished == {0, 1}
+            assert transport.messages_sent == 2
+        finally:
+            transport.close()
+
+    def test_plain_function_programs(self):
+        transport = ProcessTransport(3)
+        try:
+            results = transport.run(
+                {r: ProgramSpec(compute_only, 10) for r in range(3)})
+            assert results == {0: 10, 1: 11, 2: 12}
+        finally:
+            transport.close()
+
+    def test_pool_reusable_across_runs(self):
+        transport = ProcessTransport(2)
+        try:
+            for i in range(3):
+                results = transport.run(
+                    {r: ProgramSpec(compute_only, i) for r in range(2)})
+                assert results == {0: i, 1: i + 1}
+        finally:
+            transport.close()
+
+    def test_strict_orphans_raise(self):
+        transport = ProcessTransport(2)
+        try:
+            with pytest.raises(ProtocolError, match="orphan"):
+                transport.run({0: ProgramSpec(orphan_sender),
+                               1: ProgramSpec(orphan_sender)})
+            assert len(transport.lost_packets) == 1
+        finally:
+            transport.close()
+
+    def test_non_programspec_rejected(self):
+        transport = ProcessTransport(2)
+        try:
+            with pytest.raises(ProtocolError, match="ProgramSpec"):
+                transport.run({0: pingpong(0, lambda *a: None, None),
+                               1: ProgramSpec(pingpong, None)})
+        finally:
+            transport.close()
+
+    def test_parent_send_rejects_closures(self):
+        transport = ProcessTransport(2)
+        try:
+            with pytest.raises(ProtocolError, match="REP008"):
+                transport.send(0, 1, "bad", 0, lambda: 1)  # lint-ok: REP008
+        finally:
+            transport.close()
+
+    def test_worker_send_rejects_closures(self):
+        transport = ProcessTransport(2)
+        try:
+            with pytest.raises(RuntimeError, match="REP008"):
+                transport.run({0: ProgramSpec(closure_sender),
+                               1: ProgramSpec(compute_only, 0)})
+        finally:
+            transport.close()
+
+    def test_sigkilled_worker_becomes_rank_failure(self):
+        transport = ProcessTransport(2)
+        try:
+            with pytest.raises(RankFailure) as exc:
+                transport.run({0: ProgramSpec(suicide),
+                               1: ProgramSpec(suicide)})
+            assert exc.value.dead == [1]
+            assert transport.dead == {1}
+        finally:
+            transport.close()
+
+    def test_payload_predicate(self):
+        assert _payload_ok(np.arange(3))
+        assert _payload_ok(3.5)
+        assert _payload_ok(None)
+        assert _payload_ok({"losses": [1.0]})
+        assert not _payload_ok(lambda: 1)
+        assert not _payload_ok((x for x in range(3)))
+
+
+def test_ring_allreduce_process_backend_matches_cooperative():
+    arrays = {r: np.random.default_rng(r).normal(size=23).astype(np.float32)
+              for r in range(3)}
+    coop = ring_allreduce({r: v.copy() for r, v in arrays.items()})
+    proc = ring_allreduce({r: v.copy() for r, v in arrays.items()},
+                          backend="process")
+    for r in arrays:
+        np.testing.assert_array_equal(proc[r], coop[r])
+
+
+# -- per-rank JSONL spans and the merged multiprocess Chrome trace ------------
+
+def test_worker_spans_merge_into_chrome_trace(tmp_path):
+    tracer = RuntimeTracer()
+    trace_dir = str(tmp_path / "ranks")
+    os.makedirs(trace_dir)
+    transport = ProcessTransport(2, tracer=tracer, trace_dir=trace_dir)
+    try:
+        transport.run({0: ProgramSpec(pingpong, np.arange(3)),
+                       1: ProgramSpec(pingpong, None)})
+    finally:
+        transport.close()
+
+    spans, pids = merge_rank_jsonl(trace_dir)
+    assert spans, "workers wrote no spans"
+    assert pids and all(pid != os.getpid() for pid in pids.values())
+    # Spans come back aligned to the parent's clock origin and sorted.
+    assert all(a.start <= b.start for a, b in zip(spans, spans[1:]))
+
+    out = tmp_path / "trace.json"
+    write_chrome_trace_multiprocess(str(out), trace_dir,
+                                    extra_spans=tracer.spans)
+    doc = json.loads(out.read_text())
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    real_pids = {e.get("pid") for e in events if e.get("ph") == "X"}
+    assert any(pid in set(pids.values()) for pid in real_pids)
+
+
+def test_span_jsonl_roundtrip(tmp_path):
+    tracer = RuntimeTracer()
+    tracer.record(0, "net", "forward", 0.0, 1.5, category="p2p",
+                  microbatch=3)
+    path = str(tmp_path / "rank0.jsonl")
+    from repro.obs import append_spans_jsonl
+    append_spans_jsonl(path, tracer.spans, pid=1234)
+    spans, pids = read_spans_jsonl(path)
+    assert pids == {0: 1234}
+    assert spans[0].name == "forward"
+    assert spans[0].microbatch == 3
+
+
+# -- real SIGKILL mid-step, detected and recovered bit-identically ------------
+
+def test_sigkill_recovery_is_bit_identical():
+    cfg = GPTConfig(vocab_size=17, seq_len=6, n_layer=2, n_head=2, hidden=8,
+                    dropout=0.1, init_seed=5)
+    rng = np.random.default_rng(4)
+    batches = [(rng.integers(0, 17, (4, 6)), rng.integers(0, 17, (4, 6)))
+               for _ in range(3)]
+
+    reference = AxoNNTrainer(cfg, g_inter=2, g_data=1, microbatch_size=2)
+    ref_losses = [reference.train_batch(x, y).loss for x, y in batches]
+
+    plan = FaultPlan.of(Fault(kind="crash", rank=1, step=1, tick=1))
+    trainer = AxoNNTrainer(cfg, g_inter=2, g_data=1, microbatch_size=2,
+                           backend="process")
+    resilient = ResilientTrainer(trainer, plan)
+    try:
+        losses = [resilient.train_batch(x, y).loss for x, y in batches]
+    finally:
+        trainer.close()
+
+    assert resilient.total_recoveries == 1
+    assert resilient.recoveries[0].dead == (1,)
+    assert losses == ref_losses  # exact equality, not approx
+
+
+def test_channel_faults_rejected_on_process_backend():
+    cfg = GPTConfig(vocab_size=17, seq_len=6, n_layer=2, n_head=2, hidden=8,
+                    dropout=0.0, init_seed=5)
+    plan = FaultPlan.of(Fault(kind="drop", src=0, dst=1, count=1))
+    trainer = AxoNNTrainer(cfg, g_inter=2, g_data=1, microbatch_size=2,
+                           backend="process")
+    resilient = ResilientTrainer(trainer, plan)
+    rng = np.random.default_rng(4)
+    x, y = rng.integers(0, 17, (4, 6)), rng.integers(0, 17, (4, 6))
+    try:
+        with pytest.raises(NotImplementedError, match="crash"):
+            resilient.train_batch(x, y)
+    finally:
+        trainer.close()
+
+
+# -- cooperative transport: send-time bookkeeping cannot leak -----------------
+
+class TestSendTimesBookkeeping:
+    @staticmethod
+    def _producer(transport):
+        for mb in range(4):
+            transport.send(0, 1, "data", mb, float(mb))
+        return None
+        yield  # pragma: no cover - generator marker
+
+    @staticmethod
+    def _consumer(n):
+        got = []
+        for _ in range(n):
+            pkt = yield RECV
+            got.append(pkt.data)
+        return got
+
+    def test_delivered_sends_are_purged(self):
+        tracer = RuntimeTracer()
+        transport = RankTransport(2, tracer=tracer)
+        transport.run({0: self._producer(transport),
+                       1: self._consumer(4)})
+        assert transport._send_times == {}
+
+    def test_lost_sends_are_purged_not_leaked(self):
+        from repro.resilience.faults import FaultInjector
+        tracer = RuntimeTracer()
+        plan = FaultPlan.of(Fault(kind="drop", src=0, dst=1, tag="data",
+                                  count=4))
+        injector = FaultInjector(plan, step=None)
+        transport = RankTransport(
+            2, tracer=tracer, injector=injector,
+            retry=RetryPolicy(max_retries=0), strict=False)
+        transport.run({0: self._producer(transport),
+                       1: self._consumer_with_timeout()})
+        assert len(transport.lost_packets) == 4
+        # The fix under test: losses must purge their _send_times entries
+        # (they used to rot there forever, keyed by (src, dst, tag, mb)).
+        assert transport._send_times == {}
+
+    @staticmethod
+    def _consumer_with_timeout():
+        from repro.runtime.transport import recv_within
+        got = []
+        for _ in range(4):
+            try:
+                pkt = yield recv_within(50)
+                got.append(pkt.data)
+            except TimeoutError:
+                break
+        return got
