@@ -1,6 +1,6 @@
 """Static analysis and runtime-verification layer.
 
-Three pillars protect the contracts the rest of the codebase relies on:
+Five pillars protect the contracts the rest of the codebase relies on:
 
 * :mod:`repro.analysis.protocol` — a MUST/MPI-Checker-style communication
   verifier.  Both substrates (the functional :class:`~repro.runtime.RankTransport`
@@ -20,12 +20,28 @@ Three pillars protect the contracts the rest of the codebase relies on:
   graph-leak detector.  Zero overhead when disabled — the hot paths test a
   single ``enabled`` attribute, exactly like :mod:`repro.perf.counters`.
 
-* :mod:`repro.analysis.lint` — repo-specific AST lint rules (REP001-REP004)
+* :mod:`repro.analysis.lint` — repo-specific AST lint rules (REP001-REP009)
   runnable as ``python -m repro.analysis lint <paths>`` or via the opt-in
   ``pytest -m lint`` gate.
 
+* :mod:`repro.analysis.model` — a *pre-run* communication model checker.
+  Every built-in rank-program variant (AxoNN message-driven, 1F1B, GPipe,
+  the serve engine) is symbolically executed against a capture transport
+  to extract its communication skeleton, then every interleaving of the
+  resulting channel automaton is explored (DFS over consumed-count states
+  — the Mazurkiewicz-trace quotient is the partial-order reduction) to
+  prove deadlock-freedom, complete send/recv matching, and per-column
+  collective-order consistency before any run happens.
+
+* :mod:`repro.analysis.races` — a FastTrack-style happens-before race
+  detector for the process backend's shared-memory rings, fed by the
+  ``ring-push``/``ring-pop`` sync events the instrumented
+  :class:`~repro.runtime.shm.ShmRing` records into per-rank trace JSONL.
+
 This package imports only the standard library and NumPy so the production
-modules can depend on it without cycles.
+modules can depend on it without cycles.  (:mod:`repro.analysis.model`
+additionally imports the runtime/baselines/serve modules it verifies —
+import it lazily from contexts that must stay cycle-free.)
 """
 
 from .lint import LintIssue, RULES, lint_paths, lint_source
@@ -39,6 +55,17 @@ from .protocol import (
     check_match_order,
     check_unmatched_sends,
     verify_trace,
+)
+from .races import (
+    Race,
+    RaceError,
+    RingEvent,
+    assert_race_free,
+    check_races,
+    drop_release,
+    load_ring_events,
+    ring_events_from_spans,
+    synthetic_ring_events,
 )
 from .sanitizer import (
     AnomalyError,
@@ -66,6 +93,15 @@ __all__ = [
     "check_match_order",
     "check_unmatched_sends",
     "verify_trace",
+    "Race",
+    "RaceError",
+    "RingEvent",
+    "assert_race_free",
+    "check_races",
+    "drop_release",
+    "load_ring_events",
+    "ring_events_from_spans",
+    "synthetic_ring_events",
     "AnomalyError",
     "AutogradSanitizer",
     "GraphError",

@@ -2,10 +2,14 @@
 
 Subcommands:
 
-* ``lint [paths...]`` — run the repo-specific AST lint (REP001-REP004)
+* ``lint [paths...]`` — run the repo-specific AST lint (REP001-REP009)
   over the given files/directories (default: the installed ``repro``
-  package).  Exit code 1 if any issue is found.
+  package).  Exit code 1 if any issue is found.  ``--json`` / ``--sarif``
+  switch the report format for CI tooling.
 * ``rules`` — print the rule catalogue.
+
+The pre-run model checker and race detector live behind
+``python -m repro verify`` (see :mod:`repro.cli`).
 """
 
 from __future__ import annotations

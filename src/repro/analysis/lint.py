@@ -35,6 +35,13 @@ breakage the test suite may not catch:
   ``request()`` call directly is always flagged: the grant is unnamed, so
   no ``finally`` can release it.
 
+* **REP006** — a rank program that performs a *timed* receive
+  (``yield recv_within(...)``) must do so inside a ``try`` that handles
+  ``TimeoutError`` or ``RankFailure``.  A timed receive exists precisely
+  because the channel can be severed by a fault plan; letting the timeout
+  escape tears down the whole batch with an unhandled exception instead of
+  triggering the program's degraded path.
+
 * **REP007** — serving RNG provenance: inside :mod:`repro.serve` (any path
   with a ``serve`` component), every ``np.random.default_rng(...)`` call
   must be built from something recognizably a seed — an integer literal or
@@ -42,13 +49,6 @@ breakage the test suite may not catch:
   arrival times and request sampling streams feed the serving equivalence
   and latency claims; an RNG seeded from ambient state (time, os.urandom,
   another generator) silently de-determinizes them.
-
-* **REP006** — a rank program that performs a *timed* receive
-  (``yield recv_within(...)``) must do so inside a ``try`` that handles
-  ``TimeoutError`` or ``RankFailure``.  A timed receive exists precisely
-  because the channel can be severed by a fault plan; letting the timeout
-  escape tears down the whole batch with an unhandled exception instead of
-  triggering the program's degraded path.
 
 * **REP008** — transport payloads must be data, not code: an argument to
   a ``send(...)``/``.send(...)`` call may not be a lambda, a generator
@@ -58,6 +58,14 @@ breakage the test suite may not catch:
   generators do not pickle, so the same rank program would work on one
   backend and explode on the other.  This is the static twin of the
   runtime ``_payload_ok`` check in :mod:`repro.runtime.parallel`.
+
+* **REP009** — no blocking calls between a ``send(...)`` and the matching
+  ``yield RECV``: a rank program that calls ``time.sleep``, ``input``, or
+  blocking subprocess / ``os.wait*`` / ``select`` APIs while its own send
+  is still in flight stalls the cooperative scheduler's sweep — every
+  rank shares one thread, so a program that blocks outside a yield holds
+  up delivery for the whole world.  Blocking work belongs before the send
+  or after the receive resumes the program.
 
 Suppression: append ``# lint-ok: REP003 <reason>`` to the offending line
 (bare ``# lint-ok`` suppresses every rule on that line).
@@ -92,6 +100,8 @@ RULES: Dict[str, str] = {
     "REP008": "send(...) payloads must be picklable data (ndarrays, "
               "scalars, containers) — never lambdas, generator "
               "expressions, or locally defined functions",
+    "REP009": "rank programs must not call time.sleep / blocking I/O "
+              "between a send(...) and the matching yield RECV",
 }
 
 SUPPRESS_MARK = "lint-ok"
@@ -599,6 +609,66 @@ def _check_rep008(fn: ast.AST, issues: List[LintIssue], path: str) -> None:
                     f"module-level callables and plain data survive"))
 
 
+# -- REP009 ------------------------------------------------------------------
+
+#: dotted call chains that block the calling thread
+_BLOCKING_CALLS = {
+    ("time", "sleep"), ("sleep",), ("input",),
+    ("subprocess", "run"), ("subprocess", "call"),
+    ("subprocess", "check_call"), ("subprocess", "check_output"),
+    ("subprocess", "Popen"),
+    ("os", "wait"), ("os", "waitpid"), ("select", "select"),
+}
+
+
+def _is_blocking_call(node: ast.Call) -> bool:
+    chain = tuple(_dotted(node.func))
+    if chain in _BLOCKING_CALLS:
+        return True
+    # `import time as t; t.sleep(...)` still sleeps.
+    return len(chain) >= 2 and chain[-1] == "sleep"
+
+
+def _check_rep009(fn: ast.AST, issues: List[LintIssue], path: str) -> None:
+    """A rank program must reach its next yield promptly after sending.
+
+    The cooperative sweep runs every rank on one thread; between a
+    ``send(...)`` and the program's next suspension point nothing else in
+    the world executes, so a blocking call there freezes delivery for all
+    ranks.  Detection is a linear source-position scan: a send arms the
+    in-flight state, any yield disarms it, a blocking call while armed is
+    flagged.  (Position order approximates control flow; rank programs
+    are straight-line enough that this is exact in practice.)
+    """
+    is_rank, _yields = _is_rank_program(fn)
+    if not is_rank:
+        return
+    marks: List[Tuple[int, int, str, ast.Call]] = []
+    for node in _own_nodes(fn):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            marks.append((node.lineno, node.col_offset, "yield", node))
+        elif isinstance(node, ast.Call):
+            if _is_send_call(node):
+                marks.append((node.lineno, node.col_offset, "send", node))
+            elif _is_blocking_call(node):
+                marks.append((node.lineno, node.col_offset, "block", node))
+    marks.sort(key=lambda m: (m[0], m[1]))
+    pending = False
+    for _line, _col, kind, node in marks:
+        if kind == "send":
+            pending = True
+        elif kind == "yield":
+            pending = False
+        elif pending:
+            name = ".".join(_dotted(node.func)) or "<call>"
+            issues.append(LintIssue(
+                path, node.lineno, node.col_offset, "REP009",
+                f"blocking call {name}(...) between a send(...) and the "
+                f"matching `yield RECV`; every rank shares one thread, so "
+                f"blocking here stalls delivery for the whole world — do "
+                f"the blocking work before the send or after the receive"))
+
+
 # -- driver ------------------------------------------------------------------
 
 def lint_source(source: str, path: str = "<string>") -> List[LintIssue]:
@@ -616,6 +686,7 @@ def lint_source(source: str, path: str = "<string>") -> List[LintIssue]:
             _check_rep005(node, issues, path)
             _check_rep006(node, issues, path)
             _check_rep008(node, issues, path)
+            _check_rep009(node, issues, path)
     _check_rep003(tree, issues, path)
     _check_rep004(tree, issues, path)
     _check_rep007(tree, issues, path)
@@ -653,7 +724,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro.analysis lint",
-        description="Repo-specific AST lint (rules REP001-REP005).")
+        description="Repo-specific AST lint (rules REP001-REP009).")
     parser.add_argument("paths", nargs="*", default=None,
                         help="files or directories (default: the installed "
                              "repro package)")
@@ -662,6 +733,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="emit findings as a JSON document (for CI and "
                              "tooling) instead of plain lines")
+    parser.add_argument("--sarif", action="store_true",
+                        help="emit findings as a SARIF 2.1.0 document "
+                             "(GitHub code-scanning upload format)")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -672,6 +746,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     paths = args.paths or [str(Path(__file__).resolve().parents[1])]
     issues = lint_paths(paths)
     n_files = sum(1 for _ in _iter_python_files(paths))
+    if args.sarif:
+        import json as _json
+        print(_json.dumps({
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {"driver": {
+                    "name": "repro-lint",
+                    "rules": [{"id": code,
+                               "shortDescription": {"text": RULES[code]}}
+                              for code in sorted(RULES)],
+                }},
+                "results": [{
+                    "ruleId": i.code,
+                    "level": "error",
+                    "message": {"text": i.message},
+                    "locations": [{"physicalLocation": {
+                        "artifactLocation": {"uri": i.path},
+                        "region": {"startLine": max(i.line, 1),
+                                   "startColumn": i.col + 1},
+                    }}],
+                } for i in issues],
+            }],
+        }, indent=2))
+        return 1 if issues else 0
     if args.json:
         import json as _json
         print(_json.dumps({

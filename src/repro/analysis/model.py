@@ -1,0 +1,961 @@
+"""Pre-run communication model checker (skeleton extraction + exploration).
+
+:mod:`repro.analysis.protocol` verifies traces of runs that *already
+happened*; this module certifies a schedule/config *before* spending a run
+on it.  Three pieces:
+
+* **Comm-skeleton extraction** (:func:`extract_skeleton`) — symbolically
+  execute each rank program against a capture transport that records
+  ``send`` / ``yield RECV`` / ``recv_within`` calls with abstract payloads.
+  Crucially the models drive the *real* generators — Algorithm 2's
+  :func:`~repro.runtime.rankprog.inter_layer_step`, the flushing
+  baselines' ``_rank_program`` and the serving engine's scheduler / mid /
+  tail programs — with symbolic stages, so the skeleton cannot drift from
+  the runtime (the cross-validation test pins op-for-op agreement with
+  :class:`~repro.analysis.protocol.TraceRecorder` traces of actual runs).
+
+* **Model checking** (:func:`check_model`) — exhaustively explore the
+  interleavings of the skeleton ensemble.  The state is the vector of
+  per-channel consumed counts (a channel is a directed ``(src, dst,
+  plane)`` FIFO), which is exactly the Mazurkiewicz-trace quotient: all
+  interleavings that merely commute independent deliveries hash to the
+  same state, a partial-order reduction that keeps every small config
+  (``g_inter x g_data <= 8``, ``microbatches <= 4``) in the low thousands
+  of states.  Rank behaviour is memoized per (rank, consumed-counts) and
+  reconstructed by witness replay on a fresh program; a global append-only
+  per-channel send log cross-checks every replay (two interleavings that
+  reach the same counts must produce identical channel prefixes —
+  divergence means the program is not confluent and the quotient would be
+  unsound, so it raises :class:`ModelError` instead of mis-verifying).
+  The checker proves deadlock-freedom and complete matching, checks
+  per-column collective-order consistency, and on failure emits a
+  wait-for-graph counterexample with the full interleaving op trace
+  (:class:`DeadlockWitness`).
+
+* **Built-in models** — :func:`axonn_model`, :func:`flushing_model`
+  (1F1B / GPipe), :func:`serve_model`, and the seeded
+  :func:`deadlock_mutant_model` (a last stage that defers each backward
+  send until the *next* forward arrives, so the final gradient is never
+  sent — every interleaving deadlocks, and the checker must say exactly
+  where).
+
+``python -m repro verify`` sweeps :func:`builtin_models` with these
+checks; ``pytest -m lint`` pins the acceptance bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, Generator, List, Optional, Sequence,
+                    Tuple)
+
+import numpy as np
+
+from ..baselines.functional_pipeline import FlushingPipelineTrainer
+from ..runtime.grid import RankGrid
+from ..runtime.rankprog import TAG_BWD, TAG_FWD, inter_layer_step
+from ..runtime.transport import RECV, Packet, TimedRecv
+from ..serve.engine import PipelineServer, Request
+from .protocol import TraceRecorder, check_collective_order, describe_deadlock
+
+__all__ = [
+    "CheckResult",
+    "CommModel",
+    "DeadlockWitness",
+    "ModelError",
+    "Skeleton",
+    "SkeletonOp",
+    "axonn_model",
+    "builtin_models",
+    "check_model",
+    "compare_with_trace",
+    "deadlock_mutant_model",
+    "extract_skeleton",
+    "flushing_model",
+    "serve_model",
+]
+
+#: the single plane of ordinary ``yield RECV`` traffic; the flushing
+#: baselines add "F" / "B" planes (their two physical transports).
+P2P = "p2p"
+
+Channel = Tuple[int, int, str]  # (src, dst, plane)
+
+
+class ModelError(RuntimeError):
+    """The model could not be checked: a rank program yielded something
+    that is not a receive request, sent to an invalid destination,
+    diverged between interleavings (non-confluent behaviour, which would
+    make the counts-quotient unsound), or the state space exceeded
+    ``max_states``."""
+
+
+@dataclass(frozen=True)
+class SkeletonOp:
+    """One typed channel operation of a rank's communication skeleton."""
+
+    kind: str                      # "send" | "recv" | "timeout" | "collective"
+    rank: int
+    peer: Optional[int] = None
+    tag: str = ""
+    microbatch: Any = None
+    key: Any = None
+    plane: str = P2P
+
+    def __str__(self) -> str:
+        if self.kind == "send":
+            return (f"send {self.rank} -> {self.peer} tag={self.tag!r} "
+                    f"microbatch={self.microbatch}")
+        if self.kind == "recv":
+            return (f"recv {self.rank} <- {self.peer} tag={self.tag!r} "
+                    f"microbatch={self.microbatch}")
+        if self.kind == "timeout":
+            return f"timeout at rank {self.rank}"
+        return (f"collective rank={self.rank} op={self.tag!r} "
+                f"key={self.key!r}")
+
+
+@dataclass(frozen=True)
+class _Msg:
+    src: int
+    dst: int
+    tag: str
+    microbatch: Any
+    plane: str
+    data: Any = None
+
+
+class _Capture:
+    """The symbolic transport: every model's programs send through one of
+    these.  Signature-compatible with ``RankTransport.send`` so the real
+    generators run unmodified; sends accumulate in ``sent`` for the
+    executor to drain after each generator resume."""
+
+    def __init__(self, n_ranks: int):
+        self.n_ranks = n_ranks
+        self.sent: List[_Msg] = []
+
+    def send(self, src: int, dst: int, tag: str, microbatch: Any,
+             data: Any = None, *, plane: str = P2P) -> None:
+        if not (0 <= src < self.n_ranks and 0 <= dst < self.n_ranks):
+            raise ModelError(f"send outside rank space: {src} -> {dst}")
+        if src == dst:
+            raise ModelError(f"rank {src} sent to itself (tag={tag!r})")
+        self.sent.append(_Msg(src, dst, tag, microbatch, plane, data))
+
+    def plane_view(self, plane: str) -> "_PlaneView":
+        return _PlaneView(self, plane)
+
+    def drain(self) -> List[_Msg]:
+        out, self.sent = self.sent, []
+        return out
+
+
+class _PlaneView:
+    """Facade binding a plane name — stands in for one of the flushing
+    trainer's two physical transports (``fwd_net`` / ``bwd_net``)."""
+
+    def __init__(self, capture: _Capture, plane: str):
+        self._capture = capture
+        self._plane = plane
+
+    def send(self, src: int, dst: int, tag: str, microbatch: Any,
+             data: Any = None) -> None:
+        self._capture.send(src, dst, tag, microbatch, data,
+                           plane=self._plane)
+
+
+class _SymbolicStage:
+    """Duck-typed :class:`~repro.runtime.stage.PipelineStage` that computes
+    nothing: payloads are abstract (``None``), only the communication
+    structure matters."""
+
+    def forward(self, mb: Any, data: Any, targets: Any = None,
+                loss_divisor: Any = None, loss_scale: Any = None) -> None:
+        return None
+
+    def backward(self, mb: Any, grad: Any = None) -> None:
+        return None
+
+
+class _SymbolicServeStage:
+    """Duck-typed :class:`~repro.runtime.stage.InferenceStage`: the tail
+    program samples from the returned logits, so hand it a fixed tiny
+    distribution (greedy requests make the choice deterministic)."""
+
+    def start_request(self, rid: int) -> None:
+        return None
+
+    def finish_request(self, rid: int) -> None:
+        return None
+
+    def forward(self, rid: int, x: Any) -> np.ndarray:
+        return np.zeros((1, 1, 2))
+
+
+@dataclass
+class CommModel:
+    """A parameterized ensemble of rank programs plus its collective plan.
+
+    ``make_programs(capture)`` must build *fresh* generators each call
+    (the checker replays prefixes on new instances); ``collectives`` maps
+    rank -> ordered ``(op, key)`` list (what the engine's data-parallel
+    phase records after the transport run); ``groups`` are the rank groups
+    that must agree on collective order (the grid columns)."""
+
+    name: str
+    n_ranks: int
+    make_programs: Callable[[_Capture], Dict[int, Generator]]
+    collectives: Dict[int, List[Tuple[str, Any]]] = field(default_factory=dict)
+    groups: List[List[int]] = field(default_factory=list)
+    config: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        args = ",".join(f"{k}={v}" for k, v in self.config.items())
+        return f"{self.name}[{args}]"
+
+
+# ---------------------------------------------------------------------------
+# Built-in models
+# ---------------------------------------------------------------------------
+
+def _close_all(programs: Dict[int, Generator]) -> None:
+    for gen in programs.values():
+        gen.close()
+
+
+def axonn_model(g_inter: int, g_data: int, microbatches: int,
+                pipeline_limit: Optional[int] = None,
+                param_slots: Any = 1) -> CommModel:
+    """AxoNN's message-driven Algorithm 2 — the *real*
+    :func:`~repro.runtime.rankprog.inter_layer_step` generator over
+    symbolic stages.  ``microbatches`` is the per-rank (per data-parallel
+    shard) count, matching ``AxoNNTrainer``; ``param_slots`` (int or
+    per-stage sequence) sizes the recorded all-reduce plan for
+    cross-validation against a real trace."""
+    grid = RankGrid(g_inter, g_data)
+    m = microbatches
+    if m < 1:
+        raise ValueError("microbatches must be >= 1")
+    limit = g_inter if pipeline_limit is None else pipeline_limit
+    slots = ([param_slots] * g_inter if isinstance(param_slots, int)
+             else list(param_slots))
+
+    def make(capture: _Capture) -> Dict[int, Generator]:
+        programs: Dict[int, Generator] = {}
+        for rank in range(grid.world_size):
+            send = (lambda dst, tag, mb, data, _r=rank:
+                    capture.send(_r, dst, tag, mb, data))
+            programs[rank] = inter_layer_step(
+                rank, grid, _SymbolicStage(), send, [(None, None)] * m,
+                m * g_data, limit)
+        return programs
+
+    collectives: Dict[int, List[Tuple[str, Any]]] = {}
+    groups: List[List[int]] = []
+    if g_data > 1:
+        for i in range(g_inter):
+            column = grid.data_parallel_ranks(i)
+            groups.append(column)
+            plan = [("allreduce_fp32", (i, slot)) for slot in range(slots[i])]
+            for r in column:
+                collectives[r] = list(plan)
+    return CommModel("axonn", grid.world_size, make, collectives, groups,
+                     {"g_inter": g_inter, "g_data": g_data, "m": m,
+                      "limit": limit})
+
+
+def flushing_model(schedule: str, g_inter: int, g_data: int,
+                   microbatches: int, param_slots: Any = 1) -> CommModel:
+    """1F1B / GPipe — the *real*
+    :meth:`~repro.baselines.functional_pipeline.FlushingPipelineTrainer.
+    _rank_program` generators, driven on the two tag planes ("F"/"B")
+    the trainer's ``_pump`` uses."""
+    if schedule not in ("1f1b", "gpipe"):
+        raise ValueError(f"unknown schedule {schedule!r}")
+    grid = RankGrid(g_inter, g_data)
+    m = microbatches
+    if m < 1:
+        raise ValueError("microbatches must be >= 1")
+    slots = ([param_slots] * g_inter if isinstance(param_slots, int)
+             else list(param_slots))
+
+    def make(capture: _Capture) -> Dict[int, Generator]:
+        shell = object.__new__(FlushingPipelineTrainer)
+        shell.grid = grid
+        shell.schedule = schedule
+        shell.stages = {r: _SymbolicStage()
+                        for r in range(grid.world_size)}
+        fwd_net = capture.plane_view("F")
+        bwd_net = capture.plane_view("B")
+        return {
+            rank: FlushingPipelineTrainer._rank_program(
+                shell, rank, fwd_net, bwd_net, [(None, None)] * m,
+                m * g_data)
+            for rank in range(grid.world_size)
+        }
+
+    collectives: Dict[int, List[Tuple[str, Any]]] = {}
+    groups: List[List[int]] = []
+    if g_data > 1:
+        for i in range(g_inter):
+            column = grid.data_parallel_ranks(i)
+            groups.append(column)
+            plan = [("allreduce_fp32", (i, slot)) for slot in range(slots[i])]
+            for r in column:
+                collectives[r] = list(plan)
+    return CommModel(schedule, grid.world_size, make, collectives, groups,
+                     {"g_inter": g_inter, "g_data": g_data, "m": m})
+
+
+def serve_model(g_inter: int, n_requests: int, max_new_tokens: int = 2,
+                max_batch: int = 2, pipeline_limit: Optional[int] = None,
+                max_active: Optional[int] = None) -> CommModel:
+    """The serving engine's continuous-batching pipeline — the *real*
+    scheduler / mid / tail programs over a shell
+    :class:`~repro.serve.engine.PipelineServer` with symbolic stages and
+    greedy requests."""
+    if g_inter < 2:
+        raise ValueError("serve model needs g_inter >= 2 (a depth-one "
+                         "pipeline never communicates)")
+    if n_requests < 1 or max_new_tokens < 1:
+        raise ValueError("need at least one request and one token")
+
+    def make(capture: _Capture) -> Dict[int, Generator]:
+        shell = object.__new__(PipelineServer)
+        shell.cfg = None
+        shell.g_inter = g_inter
+        shell.max_batch = max_batch
+        shell.pipeline_limit = max(
+            1, pipeline_limit if pipeline_limit is not None else g_inter)
+        shell.max_active = (max_active if max_active is not None
+                            else max_batch * shell.pipeline_limit)
+        shell.tracer = None
+        shell.recorder = None
+        shell.stages = [_SymbolicServeStage() for _ in range(g_inter)]
+        reqs = {
+            rid: Request(rid, np.zeros(1, dtype=np.int64), max_new_tokens,
+                         greedy=True, seed=rid)
+            for rid in range(n_requests)
+        }
+        order = [reqs[rid] for rid in range(n_requests)]
+        results: Dict[int, List[int]] = {rid: [] for rid in range(n_requests)}
+        programs: Dict[int, Generator] = {
+            0: PipelineServer._scheduler_program(shell, capture, reqs,
+                                                 order, results)}
+        for rank in range(1, g_inter - 1):
+            programs[rank] = PipelineServer._mid_program(shell, rank,
+                                                         capture, reqs)
+        programs[g_inter - 1] = PipelineServer._tail_program(shell, capture,
+                                                             reqs)
+        return programs
+
+    return CommModel("serve", g_inter, make, config={
+        "g_inter": g_inter, "requests": n_requests,
+        "tokens": max_new_tokens, "max_batch": max_batch})
+
+
+def _deferred_backward_tail(capture: _Capture, grid: RankGrid, rank: int,
+                            m: int) -> Generator:
+    """The seeded bug: the last stage holds each gradient until the *next*
+    forward arrives — so the final microbatch's backward is never sent and
+    the first stage starves (every interleaving deadlocks)."""
+    prev_rank = grid.prev_in_pipeline(rank)
+    pending = None
+    for _ in range(m):
+        pkt = yield RECV
+        if pending is not None:
+            capture.send(rank, prev_rank, TAG_BWD, pending, None)
+        pending = pkt.microbatch
+    # bug: the backward for `pending` is never sent.
+
+
+def deadlock_mutant_model(g_inter: int = 2, microbatches: int = 2,
+                          pipeline_limit: Optional[int] = None) -> CommModel:
+    """AxoNN with the deferred-backward tail mutant spliced in — the
+    checker must produce a wait-for-graph counterexample for this."""
+    if g_inter < 2:
+        raise ValueError("the mutant needs a real pipeline (g_inter >= 2)")
+    grid = RankGrid(g_inter, 1)
+    m = microbatches
+    limit = g_inter if pipeline_limit is None else pipeline_limit
+    last = grid.world_size - 1
+
+    def make(capture: _Capture) -> Dict[int, Generator]:
+        programs: Dict[int, Generator] = {}
+        for rank in range(last):
+            send = (lambda dst, tag, mb, data, _r=rank:
+                    capture.send(_r, dst, tag, mb, data))
+            programs[rank] = inter_layer_step(
+                rank, grid, _SymbolicStage(), send, [(None, None)] * m,
+                m, limit)
+        programs[last] = _deferred_backward_tail(capture, grid, last, m)
+        return programs
+
+    return CommModel("axonn-deadlock-mutant", grid.world_size, make,
+                     config={"g_inter": g_inter, "g_data": 1, "m": m})
+
+
+def builtin_models(max_world: int = 8, max_microbatches: int = 4,
+                   include_serve: bool = True) -> List[CommModel]:
+    """Every built-in variant at every small config: AxoNN / 1F1B / GPipe
+    over all ``g_inter x g_data <= max_world``, ``m <= max_microbatches``,
+    plus small serving pipelines."""
+    models: List[CommModel] = []
+    for g_inter in range(1, max_world + 1):
+        for g_data in range(1, max_world // g_inter + 1):
+            for m in range(1, max_microbatches + 1):
+                models.append(axonn_model(g_inter, g_data, m))
+                models.append(flushing_model("1f1b", g_inter, g_data, m))
+                models.append(flushing_model("gpipe", g_inter, g_data, m))
+    if include_serve:
+        for g_inter in range(2, max_world + 1):
+            models.append(serve_model(g_inter, n_requests=3,
+                                      max_new_tokens=2, max_batch=2))
+    return models
+
+
+# ---------------------------------------------------------------------------
+# Skeleton extraction
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Skeleton:
+    """Per-rank typed channel-op sequences plus the channel graph."""
+
+    model: str
+    ops: Dict[int, List[SkeletonOp]]
+    channels: List[Channel]
+
+    def components(self) -> List[List[int]]:
+        """Connected components of the channel graph (isolated ranks are
+        singletons) — columns of the grid never interact, so the checker
+        explores each component separately instead of their product."""
+        parent = {r: r for r in self.ops}
+
+        def find(r: int) -> int:
+            while parent[r] != r:
+                parent[r] = parent[parent[r]]
+                r = parent[r]
+            return r
+
+        for src, dst, _plane in self.channels:
+            parent[find(src)] = find(dst)
+        groups: Dict[int, List[int]] = {}
+        for r in self.ops:
+            groups.setdefault(find(r), []).append(r)
+        return sorted(sorted(g) for g in groups.values())
+
+
+def _wait_kind(request: Any, rank: int) -> Tuple[str, ...]:
+    if request == RECV:
+        return ("any",)
+    if isinstance(request, TimedRecv):
+        return ("timed",)
+    if isinstance(request, str):
+        return ("plane", request)
+    raise ModelError(f"rank {rank} yielded {request!r}; rank programs may "
+                     f"only yield RECV / recv_within(n) / a tag plane")
+
+
+def extract_skeleton(model: CommModel) -> Skeleton:
+    """Run the ensemble once under the cooperative scheduler's own policy
+    (sorted-rank sweeps, run-until-blocked with immediate redelivery) and
+    record every channel op.  Faithful to ``RankTransport._sweep`` /
+    ``FlushingPipelineTrainer._pump``, so per-rank op order matches what a
+    :class:`~repro.analysis.protocol.TraceRecorder` sees on a real run."""
+    capture = _Capture(model.n_ranks)
+    programs = model.make_programs(capture)
+    ops: Dict[int, List[SkeletonOp]] = {r: [] for r in programs}
+    inboxes: Dict[Tuple[int, str], List[_Msg]] = {}
+    channels: Dict[Channel, None] = {}
+    waiting: Dict[int, Tuple[str, ...]] = {}
+    live = dict(programs)
+
+    def drain() -> None:
+        for msg in capture.drain():
+            ops[msg.src].append(SkeletonOp(
+                "send", msg.src, msg.dst, msg.tag, msg.microbatch,
+                plane=msg.plane))
+            channels.setdefault((msg.src, msg.dst, msg.plane))
+            inboxes.setdefault((msg.dst, msg.plane), []).append(msg)
+
+    def pop_for(rank: int, wait: Tuple[str, ...]) -> Optional[_Msg]:
+        plane = wait[1] if wait[0] == "plane" else P2P
+        box = inboxes.get((rank, plane))
+        return box.pop(0) if box else None
+
+    def resume(rank: int, gen: Generator, *, start: bool = False,
+               packet: Optional[Packet] = None,
+               timeout: bool = False) -> bool:
+        """One generator step; returns False when the program finished."""
+        try:
+            if start:
+                request = next(gen)
+            elif timeout:
+                request = gen.throw(TimeoutError(
+                    f"model timeout at rank {rank}"))
+            else:
+                request = gen.send(packet)
+        except StopIteration:
+            drain()
+            return False
+        drain()
+        waiting[rank] = _wait_kind(request, rank)
+        return True
+
+    try:
+        while live:
+            progressed = False
+            for rank in sorted(live):
+                gen = live.get(rank)
+                if gen is None:
+                    continue
+                while True:
+                    if rank not in waiting:
+                        alive = resume(rank, gen, start=True)
+                    else:
+                        msg = pop_for(rank, waiting[rank])
+                        if msg is None:
+                            break
+                        ops[rank].append(SkeletonOp(
+                            "recv", rank, msg.src, msg.tag, msg.microbatch,
+                            plane=msg.plane))
+                        alive = resume(rank, gen, packet=Packet(
+                            src=msg.src, dst=msg.dst, tag=msg.tag,
+                            microbatch=msg.microbatch, data=msg.data))
+                    progressed = True
+                    if not alive:
+                        del live[rank]
+                        waiting.pop(rank, None)
+                        break
+            if live and not progressed:
+                # A starved timed receive fires before we call deadlock.
+                timed = sorted(r for r in live
+                               if waiting.get(r, ())[:1] == ("timed",))
+                if timed:
+                    rank = timed[0]
+                    ops[rank].append(SkeletonOp("timeout", rank))
+                    if not resume(rank, live[rank], timeout=True):
+                        del live[rank]
+                        waiting.pop(rank, None)
+                    continue
+                stuck = sorted(live)
+                wait_for = {
+                    r: sorted({src for (src, dst, _p) in channels
+                               if dst == r}) for r in stuck}
+                orphans = [m for box in inboxes.values() for m in box]
+                sent = sum(len(o) for o in ops.values())
+                raise ModelError(
+                    "skeleton extraction deadlocked:\n"
+                    + describe_deadlock(stuck, wait_for, orphans, sent))
+    finally:
+        _close_all(programs)
+
+    for rank, plan in model.collectives.items():
+        for op, key in plan:
+            ops[rank].append(SkeletonOp("collective", rank, tag=op, key=key))
+    return Skeleton(model.describe(), ops, sorted(channels))
+
+
+def compare_with_trace(skeleton: Skeleton,
+                       trace: TraceRecorder) -> List[str]:
+    """Op-for-op cross-validation of a skeleton against a recorded trace
+    of an actual run; returns human-readable mismatches (empty == the
+    static model matches the runtime)."""
+    def from_skeleton(rank: int) -> List[Tuple]:
+        return [(o.kind, o.peer, o.tag, o.microbatch, o.key)
+                for o in skeleton.ops.get(rank, [])
+                if o.kind != "timeout"]
+
+    def from_trace(rank: int) -> List[Tuple]:
+        return [(e.kind, e.peer, e.tag, e.microbatch, e.key)
+                for e in trace.events_of(rank)]
+
+    ranks = sorted(set(skeleton.ops) | {e.rank for e in trace.events})
+    problems: List[str] = []
+    for rank in ranks:
+        want, got = from_skeleton(rank), from_trace(rank)
+        if want == got:
+            continue
+        n = min(len(want), len(got))
+        idx = next((i for i in range(n) if want[i] != got[i]), n)
+        a = want[idx] if idx < len(want) else "<nothing>"
+        b = got[idx] if idx < len(got) else "<nothing>"
+        problems.append(
+            f"rank {rank} diverges at op #{idx}: model {a!r} vs trace "
+            f"{b!r} (model has {len(want)} ops, trace {len(got)})")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Model checking
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DeadlockWitness:
+    """A concrete deadlocking interleaving: the wait-for graph plus the
+    full op trace that reaches it."""
+
+    message: str
+    stuck: List[int]
+    wait_for: Dict[int, List[int]]
+    trace: List[SkeletonOp]
+
+
+@dataclass
+class CheckResult:
+    """Verdict of :func:`check_model` for one model/config."""
+
+    model: str
+    config: Dict[str, Any]
+    deadlock_free: bool
+    matching_complete: bool
+    collectives_consistent: bool
+    states: int
+    terminals: int
+    violations: List[str]
+    counterexample: Optional[DeadlockWitness] = None
+
+    @property
+    def ok(self) -> bool:
+        return (self.deadlock_free and self.matching_complete
+                and self.collectives_consistent)
+
+    def __str__(self) -> str:
+        verdict = "OK" if self.ok else "FAIL"
+        return (f"{verdict} {self.model}: states={self.states} "
+                f"terminals={self.terminals} "
+                f"deadlock_free={self.deadlock_free} "
+                f"matching_complete={self.matching_complete} "
+                f"collectives_consistent={self.collectives_consistent}")
+
+
+@dataclass
+class _Behavior:
+    """What a rank does after consuming a given multiset of channel
+    prefixes: its next wait (or finished), its cumulative per-channel send
+    counts, and the witness (delivery/timeout sequence) that reproduces
+    this state on a fresh generator."""
+
+    wait: Tuple[str, ...]
+    finished: bool
+    out_counts: Dict[Channel, int]
+    witness: Tuple[Tuple, ...]
+
+
+class _Explorer:
+    """DFS over the counts-quotient state graph of one component."""
+
+    def __init__(self, model: CommModel, ranks: Sequence[int],
+                 max_states: int):
+        self.model = model
+        self.ranks = sorted(ranks)
+        self.max_states = max_states
+        self.log: Dict[Channel, List[Tuple[str, Any, Any]]] = {}
+        self.in_channels: Dict[int, List[Channel]] = {r: [] for r in self.ranks}
+        # (rank, local key) -> _Behavior; the local key is the rank's own
+        # consumed counts + its timeout count, which fully determines its
+        # generator state because behaviour is confluent (guarded below).
+        self.cache: Dict[Tuple[int, Tuple], _Behavior] = {}
+        self.states = 0
+        self.terminals = 0
+        self.leftover_violations: Dict[str, None] = {}
+        self.counterexample: Optional[DeadlockWitness] = None
+
+    # -- witness replay ----------------------------------------------------
+    def _log_sends(self, capture: _Capture,
+                   out_counts: Dict[Channel, int]) -> None:
+        for msg in capture.drain():
+            ch = (msg.src, msg.dst, msg.plane)
+            k = out_counts.get(ch, 0)
+            seq = self.log.setdefault(ch, [])
+            if k < len(seq):
+                if (seq[k][0], seq[k][1]) != (msg.tag, msg.microbatch):
+                    raise ModelError(
+                        f"{self.model.describe()}: non-confluent send on "
+                        f"channel {ch} at position {k}: one interleaving "
+                        f"sent (tag={seq[k][0]!r}, microbatch={seq[k][1]}),"
+                        f" another (tag={msg.tag!r}, "
+                        f"microbatch={msg.microbatch}); the counts-quotient"
+                        f" is unsound for this model")
+            else:
+                seq.append((msg.tag, msg.microbatch, msg.data))
+                if ch[1] in self.in_channels and \
+                        ch not in self.in_channels[ch[1]]:
+                    self.in_channels[ch[1]].append(ch)
+            out_counts[ch] = k + 1
+
+    def _replay(self, rank: int, witness: Tuple[Tuple, ...]) -> _Behavior:
+        capture = _Capture(self.model.n_ranks)
+        programs = self.model.make_programs(capture)
+        gen = programs[rank]
+        out_counts: Dict[Channel, int] = {}
+        wait: Tuple[str, ...] = ()
+        finished = False
+        try:
+            try:
+                request = next(gen)
+            except StopIteration:
+                finished = True
+            self._log_sends(capture, out_counts)
+            if not finished:
+                wait = _wait_kind(request, rank)
+            for event in witness:
+                try:
+                    if event[0] == "deliver":
+                        ch, idx = event[1], event[2]
+                        tag, mb, data = self.log[ch][idx]
+                        request = gen.send(Packet(
+                            src=ch[0], dst=ch[1], tag=tag, microbatch=mb,
+                            data=data))
+                    else:
+                        request = gen.throw(TimeoutError(
+                            f"model timeout at rank {rank}"))
+                except StopIteration:
+                    finished = True
+                self._log_sends(capture, out_counts)
+                if finished:
+                    break
+                wait = _wait_kind(request, rank)
+        finally:
+            _close_all(programs)
+        return _Behavior(wait, finished, out_counts, witness)
+
+    def _behavior(self, rank: int, key: Tuple,
+                  witness: Tuple[Tuple, ...]) -> _Behavior:
+        beh = self.cache.get((rank, key))
+        if beh is None:
+            beh = self._replay(rank, witness)
+            self.cache[(rank, key)] = beh
+        return beh
+
+    # -- state plumbing ----------------------------------------------------
+    @staticmethod
+    def _local_key(rank: int, consumed: Dict[Channel, int],
+                   timeouts: Dict[int, int]) -> Tuple:
+        mine = tuple(sorted((c, n) for c, n in consumed.items()
+                            if c[1] == rank and n))
+        return (mine, timeouts.get(rank, 0))
+
+    @staticmethod
+    def _state_key(consumed: Dict[Channel, int],
+                   timeouts: Dict[int, int]) -> Tuple:
+        return (tuple(sorted((c, n) for c, n in consumed.items() if n)),
+                tuple(sorted((r, n) for r, n in timeouts.items() if n)))
+
+    def _enabled(self, consumed: Dict[Channel, int],
+                 timeouts: Dict[int, int],
+                 behaviors: Dict[int, _Behavior]) -> List[Tuple]:
+        actions: List[Tuple] = []
+        for rank in self.ranks:
+            beh = behaviors[rank]
+            if beh.finished:
+                continue
+            wait = beh.wait
+            for ch in self.in_channels[rank]:
+                if wait[0] == "plane" and ch[2] != wait[1]:
+                    continue
+                if wait[0] in ("any", "timed") and ch[2] != P2P:
+                    continue
+                produced = behaviors[ch[0]].out_counts.get(ch, 0) \
+                    if ch[0] in behaviors else 0
+                if consumed.get(ch, 0) < produced:
+                    actions.append(("deliver", ch, rank))
+            if wait[0] == "timed":
+                actions.append(("timeout", None, rank))
+        return actions
+
+    # -- the search --------------------------------------------------------
+    def run(self) -> None:
+        consumed0: Dict[Channel, int] = {}
+        timeouts0: Dict[int, int] = {}
+        behaviors0 = {
+            r: self._behavior(r, self._local_key(r, consumed0, timeouts0),
+                              ())
+            for r in self.ranks}
+        root = self._state_key(consumed0, timeouts0)
+        seen = {root}
+        # Each frame carries its own dicts; parents reconstruct the
+        # counterexample path.
+        stack = [(consumed0, timeouts0, behaviors0)]
+        parents: Dict[Tuple, Tuple[Optional[Tuple], Optional[Tuple]]] = {
+            root: (None, None)}
+        while stack:
+            consumed, timeouts, behaviors = stack.pop()
+            skey = self._state_key(consumed, timeouts)
+            self.states += 1
+            if self.states > self.max_states:
+                raise ModelError(
+                    f"{self.model.describe()}: state space exceeded "
+                    f"{self.max_states} states")
+            actions = self._enabled(consumed, timeouts, behaviors)
+            if not actions:
+                if all(b.finished for b in behaviors.values()):
+                    self.terminals += 1
+                    self._check_terminal(consumed, behaviors)
+                else:
+                    self._build_counterexample(skey, parents, behaviors)
+                    return
+                continue
+            for action in actions:
+                nc = dict(consumed)
+                nt = dict(timeouts)
+                rank = action[2]
+                old_beh = behaviors[rank]
+                if action[0] == "deliver":
+                    ch = action[1]
+                    idx = nc.get(ch, 0)
+                    nc[ch] = idx + 1
+                    event = ("deliver", ch, idx)
+                else:
+                    nt[rank] = nt.get(rank, 0) + 1
+                    event = ("timeout",)
+                nkey = self._state_key(nc, nt)
+                if nkey in seen:
+                    continue
+                seen.add(nkey)
+                nb = dict(behaviors)
+                nb[rank] = self._behavior(
+                    rank, self._local_key(rank, nc, nt),
+                    old_beh.witness + (event,))
+                parents[nkey] = (skey, action + (event,))
+                stack.append((nc, nt, nb))
+
+    def _check_terminal(self, consumed: Dict[Channel, int],
+                        behaviors: Dict[int, _Behavior]) -> None:
+        for rank in self.ranks:
+            for ch, produced in behaviors[rank].out_counts.items():
+                left = produced - consumed.get(ch, 0)
+                if left > 0:
+                    self.leftover_violations.setdefault(
+                        f"channel {ch[0]} -> {ch[1]} (plane {ch[2]!r}): "
+                        f"{left} sent message(s) never received in a "
+                        f"terminal interleaving")
+
+    def _build_counterexample(
+            self, skey: Tuple,
+            parents: Dict[Tuple, Tuple[Optional[Tuple], Optional[Tuple]]],
+            behaviors: Dict[int, _Behavior]) -> None:
+        path: List[Tuple] = []
+        key: Optional[Tuple] = skey
+        while key is not None:
+            prev, action = parents[key]
+            if action is not None:
+                path.append(action)
+            key = prev
+        path.reverse()
+        trace, orphans, sent = self._replay_path(path)
+        stuck = sorted(r for r in self.ranks if not behaviors[r].finished)
+        wait_for = {
+            r: sorted({ch[0] for ch in self.in_channels[r]})
+            for r in stuck}
+        message = describe_deadlock(stuck, wait_for, orphans, sent)
+        self.counterexample = DeadlockWitness(message, stuck, wait_for,
+                                              trace)
+
+    def _replay_path(self, path: Sequence[Tuple]
+                     ) -> Tuple[List[SkeletonOp], List[_Msg], int]:
+        """Re-run the deadlocking interleaving on one full fresh ensemble
+        to produce an honest op trace and the undelivered packets."""
+        capture = _Capture(self.model.n_ranks)
+        programs = self.model.make_programs(capture)
+        trace: List[SkeletonOp] = []
+        consumed: Dict[Channel, int] = {}
+        sent = 0
+
+        def drain() -> None:
+            nonlocal sent
+            for msg in capture.drain():
+                trace.append(SkeletonOp("send", msg.src, msg.dst, msg.tag,
+                                        msg.microbatch, plane=msg.plane))
+                sent += 1
+
+        try:
+            for rank in self.ranks:
+                try:
+                    next(programs[rank])
+                except StopIteration:
+                    pass
+                drain()
+            for action in path:
+                rank = action[2]
+                gen = programs[rank]
+                try:
+                    if action[0] == "deliver":
+                        ch = action[1]
+                        idx = consumed.get(ch, 0)
+                        consumed[ch] = idx + 1
+                        tag, mb, data = self.log[ch][idx]
+                        trace.append(SkeletonOp("recv", rank, ch[0], tag,
+                                                mb, plane=ch[2]))
+                        gen.send(Packet(src=ch[0], dst=ch[1], tag=tag,
+                                        microbatch=mb, data=data))
+                    else:
+                        trace.append(SkeletonOp("timeout", rank))
+                        gen.throw(TimeoutError(
+                            f"model timeout at rank {rank}"))
+                except StopIteration:
+                    pass
+                drain()
+        finally:
+            _close_all(programs)
+        orphans = [
+            _Msg(ch[0], ch[1], tag, mb, ch[2])
+            for ch, seq in sorted(self.log.items())
+            for (tag, mb, _data) in seq[consumed.get(ch, 0):]
+        ]
+        return trace, orphans, sent
+
+
+def check_model(model: CommModel, max_states: int = 200_000) -> CheckResult:
+    """Exhaustively explore the interleavings of ``model`` and prove (or
+    refute, with a counterexample) deadlock-freedom, complete matching,
+    and per-column collective-order consistency."""
+    # Skeleton extraction gives the channel graph; the checker then
+    # explores each connected component separately (disjoint components
+    # share no channel, so deadlocks and matching compose).  When the
+    # deterministic extraction itself deadlocks, fall back to exploring
+    # the whole system — the DFS will surface the counterexample.
+    components: List[List[int]]
+    try:
+        components = extract_skeleton(model).components()
+    except ModelError:
+        components = [list(range(model.n_ranks))]
+
+    states = terminals = 0
+    violations: List[str] = []
+    counterexample: Optional[DeadlockWitness] = None
+    deadlock_free = True
+    for component in components:
+        explorer = _Explorer(model, component, max_states - states)
+        explorer.run()
+        states += explorer.states
+        terminals += explorer.terminals
+        violations.extend(explorer.leftover_violations)
+        if explorer.counterexample is not None:
+            deadlock_free = False
+            if counterexample is None:
+                counterexample = explorer.counterexample
+            violations.append(
+                f"deadlock: ranks {explorer.counterexample.stuck} blocked")
+            break
+    matching_complete = deadlock_free and not any(
+        "never received" in v for v in violations)
+
+    collective_violations: List[str] = []
+    if model.collectives:
+        trace = TraceRecorder()
+        for rank in sorted(model.collectives):
+            for op, key in model.collectives[rank]:
+                trace.record_collective(rank, op, key=key)
+        collective_violations = [
+            str(v) for v in check_collective_order(trace, model.groups)]
+        violations.extend(collective_violations)
+
+    return CheckResult(
+        model=model.describe(), config=dict(model.config),
+        deadlock_free=deadlock_free, matching_complete=matching_complete,
+        collectives_consistent=not collective_violations,
+        states=states, terminals=terminals, violations=violations,
+        counterexample=counterexample)

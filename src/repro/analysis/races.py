@@ -1,0 +1,308 @@
+"""Shared-memory race detector for the process backend's SPSC rings.
+
+PR 6's :class:`~repro.runtime.shm.ShmRing` is the repo's first true
+shared-memory concurrency: one producer and one consumer process share a
+``multiprocessing.shared_memory`` segment, synchronized only by the
+monotone ``tail``/``head`` counters (release = publishing your counter,
+acquire = reading the peer's).  This module checks that discipline
+*dynamically*, the way TSan/FastTrack would:
+
+* Every completed ``push``/``pop`` is observed via ``ShmRing.observer``
+  (installed by the worker main loop when tracing is on) and lands in the
+  per-rank ObsSpan JSONL as a ``ring-push``/``ring-pop`` event on the
+  ``sync`` stream, carrying ``(ring, pos, size, seen)`` — the absolute
+  byte range touched and the peer-counter value the operation's
+  synchronizing load observed.
+
+* :func:`check_races` rebuilds the happens-before relation: per-rank
+  program order, plus acquire/release edges — a pop acquires the release
+  of every push whose published range its ``tail_seen`` covers, a push
+  acquires the release of every pop whose freed range its ``head_seen``
+  covers.  Vector clocks propagate along these edges; each access keeps a
+  FastTrack-style *epoch* ``(rank, clock)`` so the order test between two
+  accesses is O(1).
+
+* Two accesses **race** when their byte ranges alias in the ring's
+  physical ``capacity`` window, they come from different ranks, and
+  neither epoch happens-before the other's clock — exactly a torn
+  write/read on ring state.
+
+A correct SPSC run is provably clean: pops partition ``[0, head)``
+contiguously, so any pop overlapping a push's frame saw a ``tail`` past
+it (acquired its release), and any push overwriting popped bytes spun
+until ``head`` covered them (acquired the pops' releases).  Dropping a
+release edge (:func:`drop_release` — the seeded torn-write mutant) breaks
+the chain for the final frame and the detector must flag it; both
+directions are pinned by tests and ``python -m repro verify``.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from bisect import bisect_right
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..obs.jsonl import read_spans_jsonl
+from ..obs.schema import ObsSpan
+
+__all__ = [
+    "Race",
+    "RaceError",
+    "RingEvent",
+    "assert_race_free",
+    "check_races",
+    "drop_release",
+    "load_ring_events",
+    "ring_events_from_spans",
+    "synthetic_ring_events",
+]
+
+
+class RaceError(RuntimeError):
+    """Raised by :func:`assert_race_free` when races are found, or when a
+    ring-event log is internally inconsistent."""
+
+
+@dataclass(frozen=True)
+class RingEvent:
+    """One completed ring access.
+
+    ``pos``/``size`` use the ring's *absolute* byte positions (monotone,
+    wrapped modulo ``capacity`` only at the physical layer); ``seen`` is
+    the peer counter observed by the operation's acquiring load.
+    ``released`` marks whether the operation published its own counter —
+    always true for real runs; the torn-write mutant clears it.
+    """
+
+    rank: int
+    op: str          # "push" | "pop"
+    ring: str        # channel label, e.g. "0->1"
+    pos: int
+    size: int
+    capacity: int
+    seen: int
+    released: bool = True
+
+
+@dataclass(frozen=True)
+class Race:
+    """An unsynchronized pair of accesses to aliasing ring bytes."""
+
+    ring: str
+    first: RingEvent
+    second: RingEvent
+
+    def __str__(self) -> str:
+        a, b = self.first, self.second
+        return (f"race on ring {self.ring!r}: rank {a.rank} {a.op} "
+                f"[{a.pos}, {a.pos + a.size}) and rank {b.rank} {b.op} "
+                f"[{b.pos}, {b.pos + b.size}) alias in the "
+                f"{a.capacity}-byte window with no happens-before order")
+
+
+def ring_events_from_spans(spans: Sequence[ObsSpan]) -> List[RingEvent]:
+    """Extract ring accesses from a span list.
+
+    ``spans`` must be in per-rank program order (which per-rank JSONL
+    files and a single in-process tracer both guarantee); order *between*
+    ranks is irrelevant — happens-before is rebuilt from the sync edges.
+    """
+    events: List[RingEvent] = []
+    for span in spans:
+        if not span.name.startswith("ring-"):
+            continue
+        meta = span.with_meta()
+        events.append(RingEvent(
+            rank=span.rank, op=span.name[len("ring-"):],
+            ring=str(meta["ring"]), pos=int(meta["pos"]),
+            size=int(meta["size"]), capacity=int(meta["capacity"]),
+            seen=int(meta["seen"])))
+    return events
+
+
+def load_ring_events(trace_dir: str) -> List[RingEvent]:
+    """Read every worker's ``rank*.jsonl`` under ``trace_dir`` and extract
+    its ring accesses, preserving each file's (program) order."""
+    events: List[RingEvent] = []
+    for path in sorted(glob.glob(os.path.join(trace_dir, "rank*.jsonl"))):
+        spans, _pids = read_spans_jsonl(path)
+        events.extend(ring_events_from_spans(spans))
+    return events
+
+
+def drop_release(events: Sequence[RingEvent], ring: Optional[str] = None,
+                 index: int = -1) -> List[RingEvent]:
+    """The seeded torn-write mutant: erase one push's release edge.
+
+    By default the *last* push on the ring — an earlier push's missing
+    release is masked by the next same-ring release (the writer's program
+    order folds it in transitively), so only the final frame exposes the
+    bug, which is exactly what makes it a good detector test.
+    """
+    pushes = [i for i, e in enumerate(events)
+              if e.op == "push" and (ring is None or e.ring == ring)]
+    if not pushes:
+        raise ValueError("no push events to mutate")
+    victim = pushes[index]
+    out = list(events)
+    out[victim] = replace(out[victim], released=False)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Happens-before construction
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Access:
+    """A processed event with its epoch and (if released) release clock."""
+
+    event: RingEvent
+    clock: int = 0
+    vc: Dict[int, int] = field(default_factory=dict)
+
+
+def _aliases(a: RingEvent, b: RingEvent) -> bool:
+    """Do the two accesses touch a common physical byte of the ring?"""
+    cap = a.capacity
+    da = (b.pos - a.pos) % cap
+    db = (a.pos - b.pos) % cap
+    return da < a.size or db < b.size
+
+
+def _linearize(events: Sequence[RingEvent]) -> List[_Access]:
+    """Vector-clock pass: process each rank's events in program order,
+    joining the release clocks of every access the event's ``seen``
+    counter proves completed.  Dependencies are monotone prefixes (both
+    counters only grow), so a simple worklist over per-rank cursors
+    terminates unless the log is inconsistent."""
+    per_rank: Dict[int, List[_Access]] = {}
+    # All (pos + size) bounds per (ring, op), sorted: how many peer
+    # accesses a given ``seen`` value covers is one bisect away.  Ring
+    # positions are monotone per side, so covered sets are prefixes.
+    bounds: Dict[Tuple[str, str], List[int]] = {}
+    for ev in events:
+        per_rank.setdefault(ev.rank, []).append(_Access(ev))
+        bounds.setdefault((ev.ring, ev.op), []).append(ev.pos + ev.size)
+    for seq in bounds.values():
+        seq.sort()
+    done: Dict[Tuple[str, str], List[_Access]] = {}
+    clocks: Dict[int, Dict[int, int]] = {r: {} for r in per_rank}
+    cursors: Dict[int, int] = {r: 0 for r in per_rank}
+    out: List[_Access] = []
+
+    progressed = True
+    while progressed:
+        progressed = False
+        for rank in sorted(per_rank):
+            lane = per_rank[rank]
+            while cursors[rank] < len(lane):
+                acc = lane[cursors[rank]]
+                ev = acc.event
+                peer_op = "pop" if ev.op == "push" else "push"
+                key = (ev.ring, peer_op)
+                peers = done.get(key, [])
+                # Every *observed* peer access the seen-counter covers
+                # must be processed first, so its release clock exists.
+                need = bisect_right(bounds.get(key, []), ev.seen)
+                if len(peers) < need:
+                    break  # the peer side hasn't caught up yet
+                vc = clocks[rank]
+                for peer in peers[:need]:
+                    if not peer.event.released:
+                        continue
+                    for r, c in peer.vc.items():
+                        if vc.get(r, 0) < c:
+                            vc[r] = c
+                vc[rank] = vc.get(rank, 0) + 1
+                acc.clock = vc[rank]
+                acc.vc = dict(vc)
+                done.setdefault((ev.ring, ev.op), []).append(acc)
+                out.append(acc)
+                cursors[rank] += 1
+                progressed = True
+    if any(cursors[r] < len(per_rank[r]) for r in per_rank):
+        stuck = {r: len(per_rank[r]) - cursors[r] for r in per_rank
+                 if cursors[r] < len(per_rank[r])}
+        raise RaceError(
+            f"inconsistent ring-event log: events still blocked on "
+            f"unobserved peers: {stuck}")
+    return out
+
+
+def check_races(events: Sequence[RingEvent]) -> List[Race]:
+    """All unsynchronized aliasing access pairs in ``events``."""
+    accesses = _linearize(events)
+    by_ring: Dict[str, List[_Access]] = {}
+    for acc in accesses:
+        by_ring.setdefault(acc.event.ring, []).append(acc)
+    races: List[Race] = []
+    for ring, accs in sorted(by_ring.items()):
+        pushes = [a for a in accs if a.event.op == "push"]
+        pops = [a for a in accs if a.event.op == "pop"]
+        for p in pushes:
+            for q in pops:
+                if p.event.rank == q.event.rank:
+                    continue
+                if not _aliases(p.event, q.event):
+                    continue
+                # FastTrack epoch test, both directions.
+                p_before_q = q.vc.get(p.event.rank, 0) >= p.clock
+                q_before_p = p.vc.get(q.event.rank, 0) >= q.clock
+                if not (p_before_q or q_before_p):
+                    races.append(Race(ring, p.event, q.event))
+    return races
+
+
+def assert_race_free(events: Sequence[RingEvent]) -> None:
+    """Raise :class:`RaceError` listing every race, if any."""
+    races = check_races(events)
+    if races:
+        listing = "\n  ".join(str(r) for r in races)
+        raise RaceError(
+            f"shared-memory race detector found {len(races)} race(s):\n"
+            f"  {listing}")
+
+
+# ---------------------------------------------------------------------------
+# Synthetic traffic (self-checks without forking processes)
+# ---------------------------------------------------------------------------
+
+def synthetic_ring_events(n_frames: int = 8, frame: int = 96,
+                          capacity: int = 256, writer: int = 0,
+                          reader: int = 1,
+                          ring: str = "0->1") -> List[RingEvent]:
+    """Deterministic well-synchronized SPSC traffic with wraparound.
+
+    Mimics exactly what the instrumented :class:`~repro.runtime.shm.
+    ShmRing` records for a writer that fills the ring and a reader that
+    drains it: ``seen`` values are the true counter observations, so the
+    result is race-free — and :func:`drop_release` on it must not be.
+    Used by the ``verify`` CLI's self-check and the unit tests (this
+    container may have a single core; no forks needed).
+    """
+    if frame > capacity:
+        raise ValueError("frame must fit the ring")
+    events: List[Tuple[int, RingEvent]] = []  # (order stamp, event)
+    tail = head = 0
+    stamp = 0
+    pushed = popped = 0
+    while popped < n_frames:
+        while pushed < n_frames and capacity - (tail - head) >= frame:
+            events.append((stamp, RingEvent(writer, "push", ring, tail,
+                                            frame, capacity, head)))
+            tail += frame
+            pushed += 1
+            stamp += 1
+        while tail - head >= frame:
+            events.append((stamp, RingEvent(reader, "pop", ring, head,
+                                            frame, capacity, tail)))
+            head += frame
+            popped += 1
+            stamp += 1
+    # Per-rank program order is what the detector consumes.
+    writer_events = [e for _s, e in events if e.rank == writer]
+    reader_events = [e for _s, e in events if e.rank == reader]
+    return writer_events + reader_events

@@ -42,7 +42,7 @@ class FlushingPipelineTrainer:
                  microbatch_size: int, lr: float = 1e-3,
                  betas: Tuple[float, float] = (0.9, 0.999),
                  weight_decay: float = 0.01, schedule: str = "1f1b",
-                 checkpoint_activations: bool = False):
+                 checkpoint_activations: bool = False, recorder=None):
         if schedule not in ("1f1b", "gpipe"):
             raise ValueError(f"unknown schedule {schedule!r}")
         if microbatch_size < 1:
@@ -51,6 +51,10 @@ class FlushingPipelineTrainer:
         self.grid = RankGrid(g_inter, g_data)
         self.microbatch_size = microbatch_size
         self.schedule = schedule
+        #: optional repro.analysis.protocol.TraceRecorder — same contract
+        #: as AxoNNTrainer(recorder=): p2p events via the transports, the
+        #: tag-plane receives via _pump, collectives per column below.
+        self.recorder = recorder
         self.stages: Dict[int, PipelineStage] = {}
         self.optimizers: Dict[int, AdamW] = {}
         for rank in range(self.grid.world_size):
@@ -131,8 +135,8 @@ class FlushingPipelineTrainer:
         world = self.grid.world_size
         # Two tag planes so the static schedule receives exactly what it
         # expects; a shared fan-in program per rank merges them.
-        fwd_net = RankTransport(world)
-        bwd_net = RankTransport(world)
+        fwd_net = RankTransport(world, recorder=self.recorder)
+        bwd_net = RankTransport(world, recorder=self.recorder)
 
         for stage in self.stages.values():
             stage.microbatch_losses.clear()
@@ -155,6 +159,14 @@ class FlushingPipelineTrainer:
             for i in range(self.grid.g_inter):
                 column = self.grid.data_parallel_ranks(i)
                 param_lists = [self.stages[r].parameters() for r in column]
+                if self.recorder is not None:
+                    # One collective per parameter slot, recorded per rank
+                    # — the same plan AxoNNTrainer records, so the
+                    # protocol verifier's column check applies unchanged.
+                    for slot in range(len(param_lists[0])):
+                        for r in column:
+                            self.recorder.record_collective(
+                                r, "allreduce_fp32", key=(i, slot))
                 for params in zip(*param_lists):
                     grads = [p.grad for p in params if p.grad is not None]
                     if not grads:
@@ -192,7 +204,11 @@ class FlushingPipelineTrainer:
         def try_pop(rank, tag):
             net = fwd_net if tag == "F" else bwd_net
             if net.inboxes[rank]:
-                return net.inboxes[rank].popleft()
+                pkt = net.inboxes[rank].popleft()
+                if net.recorder is not None:
+                    net.recorder.record_recv(rank, pkt.src, pkt.tag,
+                                             pkt.microbatch)
+                return pkt
             return None
 
         while live:

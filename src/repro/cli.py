@@ -20,6 +20,8 @@ Usage::
     python -m repro serve --substrate sim --csv sweep.csv
     python -m repro train --backend process --ranks 4
     python -m repro train --backend cooperative --ranks 2 --steps 5
+    python -m repro verify               # model-check all comm skeletons
+    python -m repro verify --fast        # smaller config sweep (CI)
 
 Each command prints the figure's rows as an aligned table plus the paper-
 claim checklist, mirroring what the benchmark harness asserts.  ``trace``
@@ -36,7 +38,13 @@ roofline and replays a replica-crash failover.  ``train`` runs a few real
 training steps on either execution backend — the in-process cooperative
 scheduler or the multiprocessing + shared-memory ``process`` backend —
 with one pipeline stage per rank, and cross-checks the process backend's
-losses against the cooperative ones bit-for-bit.
+losses against the cooperative ones bit-for-bit.  ``verify`` runs the
+pre-run static verification layer: it extracts the communication skeleton
+of every built-in rank-program variant (AxoNN, 1F1B, GPipe, serving),
+model-checks all interleavings for deadlock-freedom / complete matching /
+collective-order consistency, proves the seeded deadlock mutant is caught
+with a wait-for-graph counterexample, and self-checks the shared-memory
+race detector on synthetic ring traffic plus its torn-write mutant.
 """
 
 from __future__ import annotations
@@ -585,6 +593,66 @@ def cmd_train(args) -> bool:
     return all(identical)
 
 
+def cmd_verify(args) -> bool:
+    """Pre-run static verification: model-check every built-in rank
+    program's communication skeleton (deadlock-freedom, complete
+    matching, collective order) and self-check the shared-memory race
+    detector, including both seeded mutants."""
+    from .analysis.model import (builtin_models, check_model,
+                                 deadlock_mutant_model)
+    from .analysis.races import (check_races, drop_release,
+                                 synthetic_ring_events)
+
+    max_world = 4 if args.fast else 8
+    max_mb = 2 if args.fast else 4
+    models = builtin_models(max_world=max_world, max_microbatches=max_mb)
+    ok = True
+    total_states = 0
+    print(f"\n== model checker: {len(models)} built-in configurations "
+          f"(g_inter*g_data <= {max_world}, microbatches <= {max_mb}) ==")
+    for model in models:
+        result = check_model(model)
+        total_states += result.states
+        status = "ok" if result.ok else "FAIL"
+        print(f"  [{status}] {model.describe():<40} "
+              f"states={result.states}")
+        if not result.ok:
+            ok = False
+            for violation in result.violations:
+                print(f"      {violation}")
+    print(f"  {total_states} interleaving states explored in total")
+
+    print("\n== seeded deadlock mutant (the checker must catch it) ==")
+    mutant = check_model(deadlock_mutant_model())
+    if mutant.ok or mutant.counterexample is None:
+        print("  [FAIL] the deadlocking mutant was NOT caught")
+        ok = False
+    else:
+        cx = mutant.counterexample
+        print(f"  [ok] caught after {mutant.states} states; "
+              f"counterexample ({len(cx.trace)} ops):")
+        for op in cx.trace:
+            print(f"      {op}")
+        for line in cx.message.splitlines():
+            print(f"      {line}")
+
+    print("\n== race detector self-check ==")
+    events = synthetic_ring_events()
+    clean = check_races(events)
+    mutated = check_races(drop_release(events))
+    print(f"  [{'ok' if not clean else 'FAIL'}] well-synchronized SPSC "
+          f"traffic: {len(clean)} race(s)")
+    print(f"  [{'ok' if mutated else 'FAIL'}] torn-write mutant (final "
+          f"release dropped): {len(mutated)} race(s)")
+    for race in mutated:
+        print(f"      {race}")
+    if clean or not mutated:
+        ok = False
+
+    print(f"\nverify: {'PASS' if ok else 'FAIL'}")
+    return ok
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "fig1": cmd_fig1,
     "fig3": cmd_fig3,
@@ -609,15 +677,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "list", "lint",
                                                        "trace", "faults",
-                                                       "serve", "train"],
+                                                       "serve", "train",
+                                                       "verify"],
                         help="which artefact to regenerate, 'lint' to run "
                              "the repo-specific static analysis, 'trace' "
                              "to emit a Chrome-trace of a small scenario, "
                              "'faults' to run a deterministic fault plan "
                              "against either substrate, 'serve' to "
-                             "exercise the inference-serving layer, or "
+                             "exercise the inference-serving layer, "
                              "'train' to run real steps on an execution "
-                             "backend (--backend, --ranks, --steps)")
+                             "backend (--backend, --ranks, --steps), or "
+                             "'verify' to model-check every built-in "
+                             "communication skeleton pre-run")
     parser.add_argument("--fast", action="store_true",
                         help="reduced sizes for a quick look")
     parser.add_argument("--models", nargs="+", default=None,
@@ -662,7 +733,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             doc = (EXPERIMENTS[name].__doc__ or "").strip()
             print(f"  {name:<10} {doc}")
         print("  all        run every experiment")
-        print("  lint       repo-specific AST lint (rules REP001-REP008)")
+        print("  lint       repo-specific AST lint (rules REP001-REP009)")
         print("  trace      Chrome-trace of a small scenario "
               "(--substrate, --out, --faults)")
         print("  faults     deterministic fault injection on either "
@@ -671,6 +742,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               "(--substrate, --fast, --csv, --report)")
         print("  train      real training steps on an execution backend "
               "(--backend, --ranks, --steps, --fast)")
+        print("  verify     pre-run communication model checker + race-"
+              "detector self-check (--fast)")
         return 0
 
     if args.experiment == "lint":
@@ -688,6 +761,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.experiment == "train":
         return 0 if cmd_train(args) else 1
+
+    if args.experiment == "verify":
+        return 0 if cmd_verify(args) else 1
 
     targets = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]

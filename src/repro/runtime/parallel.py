@@ -356,6 +356,24 @@ def _worker_main(rank: int, n_ranks: int,
         # Align to the parent's origin: perf_counter is CLOCK_MONOTONIC on
         # Linux, shared across processes, so spans line up in one trace.
         tracer._origin = trace_origin
+        # Ring instrumentation for the race detector: every completed
+        # push/pop lands in this worker's span stream (and thus its JSONL
+        # file, in program order) as a zero-width ``sync`` marker carrying
+        # the byte range and the peer counter the operation synchronized
+        # on.  repro.analysis.races rebuilds happens-before from these.
+        def _ring_observer(ring_label, capacity):
+            def observe(op, pos, size, seen):
+                now = tracer.now()
+                tracer.record(rank, "sync", f"ring-{op}", now, now,
+                              category="other", ring=ring_label,
+                              pos=int(pos), size=int(size),
+                              capacity=capacity, seen=int(seen))
+            return observe
+
+        for dst, ring in out_rings.items():
+            ring.observer = _ring_observer(f"{rank}->{dst}", ring.capacity)
+        for src, ring in in_rings.items():
+            ring.observer = _ring_observer(f"{src}->{rank}", ring.capacity)
     trace_path = (os.path.join(trace_dir, f"rank{rank}.jsonl")
                   if trace_dir is not None else None)
     ctx = WorkerContext(rank, n_ranks, out_rings, in_rings, state, tick_s,

@@ -100,6 +100,14 @@ class ShmRing:
         self.capacity = capacity
         self._owner = owner
         self._buf = shm.buf
+        #: optional callable ``(op, pos, size, seen)`` invoked after every
+        #: completed push/pop — ``op`` is ``"push"``/``"pop"``, ``pos`` the
+        #: absolute byte position of the frame, ``size`` its extent, and
+        #: ``seen`` the peer counter observed by the synchronizing load
+        #: (head for a push, tail for a pop).  The race detector
+        #: (:mod:`repro.analysis.races`) builds its acquire/release edges
+        #: from exactly these four values; ``None`` costs nothing.
+        self.observer: Optional[Callable[[str, int, int, int], None]] = None
 
     # -- lifecycle ---------------------------------------------------------
     @classmethod
@@ -194,6 +202,10 @@ class ShmRing:
                 raise RingAborted("ring push aborted")
             spins += 1
             time.sleep(0 if spins < _SPIN else _POLL_SLEEP)
+        # The head value that proved there is room: the acquiring load
+        # that orders this write after the consumer's reads of the bytes
+        # being overwritten.
+        head_seen = self._head
         tail = self._tail
         self._write_at(tail, _LEN.pack(len(frame)))
         self._write_at(tail + _LEN.size, frame)
@@ -201,13 +213,18 @@ class ShmRing:
         self._tail = tail + need
         _LEN.pack_into(self._buf, 16,
                        _LEN.unpack_from(self._buf, 16)[0] + 1)
+        if self.observer is not None:
+            self.observer("push", tail, need, head_seen)
         return need
 
     # -- consumer ----------------------------------------------------------
     def pop(self) -> Optional[Any]:
         """Consume and return the next message, or ``None`` when empty."""
         head = self._head
-        if self._tail - head < _LEN.size:
+        # The tail value this pop synchronized on: everything the producer
+        # published up to it happens-before our reads below.
+        tail_seen = self._tail
+        if tail_seen - head < _LEN.size:
             return None
         size = _LEN.unpack(self._read_at(head, _LEN.size))[0]
         # The producer publishes tail only after the full frame is in
@@ -217,6 +234,8 @@ class ShmRing:
         self._head = head + _LEN.size + size
         _LEN.pack_into(self._buf, 24,
                        _LEN.unpack_from(self._buf, 24)[0] + 1)
+        if self.observer is not None:
+            self.observer("pop", head, _LEN.size + size, tail_seen)
         return message
 
     def drain(self) -> list:

@@ -443,4 +443,5 @@ class TestMachinery:
 
     def test_rule_catalogue_complete(self):
         assert set(RULES) == {"REP001", "REP002", "REP003", "REP004",
-                              "REP005", "REP006", "REP007", "REP008"}
+                              "REP005", "REP006", "REP007", "REP008",
+                              "REP009"}

@@ -1,0 +1,177 @@
+"""Tests for the pre-run communication model checker: skeleton
+extraction, exhaustive interleaving exploration, the seeded deadlock
+mutant's counterexample, and op-for-op cross-validation of every static
+skeleton against a TraceRecorder trace of the corresponding real run."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import TraceRecorder, assert_clean
+from repro.analysis.model import (
+    ModelError,
+    axonn_model,
+    builtin_models,
+    check_model,
+    compare_with_trace,
+    deadlock_mutant_model,
+    extract_skeleton,
+    flushing_model,
+    serve_model,
+)
+from repro.baselines import FlushingPipelineTrainer
+from repro.nn import GPTConfig, LMBatches, SyntheticCorpus
+from repro.runtime import AxoNNTrainer
+from repro.serve.engine import PipelineServer, Request
+
+
+class TestSkeletons:
+    def test_axonn_skeleton_has_pipeline_traffic(self):
+        sk = extract_skeleton(axonn_model(2, 1, 2))
+        # 2 forwards down + 2 backwards up, recorded on both endpoints.
+        kinds0 = [op.kind for op in sk.ops[0]]
+        assert kinds0.count("send") == 2 and kinds0.count("recv") == 2
+        assert sk.channels == [(0, 1, "p2p"), (1, 0, "p2p")]
+
+    def test_degenerate_single_rank_never_communicates(self):
+        sk = extract_skeleton(axonn_model(1, 1, 3))
+        assert sk.ops[0] == [] and sk.channels == []
+
+    def test_data_parallel_columns_are_separate_components(self):
+        sk = extract_skeleton(axonn_model(2, 2, 2))
+        # rank_of(i, j) = j*g_inter + i: pipelines {0,1} and {2,3} never
+        # exchange p2p messages, so the checker explores them separately.
+        assert sk.components() == [[0, 1], [2, 3]]
+
+    def test_flushing_skeleton_uses_tag_planes(self):
+        sk = extract_skeleton(flushing_model("1f1b", 2, 1, 2))
+        planes = {op.plane for ops in sk.ops.values() for op in ops
+                  if op.kind in ("send", "recv")}
+        assert planes == {"F", "B"}
+
+    def test_describe_names_the_config(self):
+        assert axonn_model(2, 1, 2).describe() == \
+            "axonn[g_inter=2,g_data=1,m=2,limit=2]"
+
+
+class TestCheckerSweep:
+    def test_all_builtin_configs_verify(self):
+        """The acceptance sweep: AxoNN / 1F1B / GPipe at every config
+        with g_inter*g_data <= 8 and microbatches <= 4 (plus small
+        serving pipelines) are deadlock-free with complete matching and
+        consistent collective order, over EVERY interleaving."""
+        models = builtin_models(max_world=8, max_microbatches=4)
+        assert len(models) >= 200  # 20 grids x 4 m x 3 variants + serve
+        for model in models:
+            result = check_model(model)
+            assert result.ok, (
+                f"{model.describe()} failed: {result.violations}")
+            assert result.deadlock_free
+            assert result.matching_complete
+            assert result.collectives_consistent
+            assert result.states >= 1
+            assert result.counterexample is None
+
+    def test_interleavings_actually_explored(self):
+        # Two independent warm-up sends from rank 0 plus downstream
+        # progress give strictly more reachable states than a single
+        # linear execution would.
+        result = check_model(axonn_model(8, 1, 4))
+        assert result.states > 100
+
+    def test_component_decomposition_bounds_the_state_space(self):
+        # With column decomposition the 2x4 grid costs ~4x the 2x1
+        # pipeline, not its 4th power.
+        one = check_model(axonn_model(2, 1, 4)).states
+        four = check_model(axonn_model(2, 4, 4)).states
+        assert four <= 4 * one + 4
+
+
+class TestDeadlockMutant:
+    def test_mutant_is_caught_with_counterexample(self):
+        result = check_model(deadlock_mutant_model())
+        assert not result.ok
+        assert not result.deadlock_free
+        cx = result.counterexample
+        assert cx is not None
+        # Rank 0 starves waiting for the backward the mutant never sends.
+        assert cx.stuck == [0]
+        assert cx.wait_for == {0: [1]}
+        assert "wait-for graph" in cx.message
+        assert "rank 0 waits on rank 1" in cx.message
+
+    def test_counterexample_trace_is_a_concrete_interleaving(self):
+        cx = check_model(deadlock_mutant_model()).counterexample
+        assert cx.trace, "the witness must include the op trace"
+        kinds = [op.kind for op in cx.trace]
+        assert set(kinds) <= {"send", "recv"}
+        # The trace ends one backward short: 2 forwards down, both
+        # received, one backward up, received — then rank 0 starves.
+        sends = [(op.rank, op.peer, op.tag) for op in cx.trace
+                 if op.kind == "send"]
+        assert sends.count((1, 0, "backward")) == 1
+        assert all(str(op) for op in cx.trace)  # renders for humans
+
+    def test_extractor_reports_the_deadlock_too(self):
+        # Every interleaving of the mutant deadlocks, including the
+        # extractor's sweep order; it must diagnose, not hang.
+        with pytest.raises(ModelError, match="wait-for graph"):
+            extract_skeleton(deadlock_mutant_model())
+
+
+class TestCrossValidation:
+    """The static skeletons must agree op-for-op with TraceRecorder
+    traces of actual runs — the extractor drives the production
+    generators, so any divergence means the model lies."""
+
+    def _cfg(self, n_layer=2):
+        return GPTConfig(vocab_size=32, seq_len=8, n_layer=n_layer,
+                         n_head=2, hidden=16)
+
+    def _batch(self, cfg, batch_size=8):
+        corpus = SyntheticCorpus(cfg.vocab_size, 2_000, seed=0)
+        return LMBatches(corpus, batch_size=batch_size,
+                         seq_len=cfg.seq_len).batch(0)
+
+    @staticmethod
+    def _param_slots(trainer):
+        grid = trainer.grid
+        return [len(trainer.stages[grid.rank_of(i, 0)].parameters())
+                for i in range(grid.g_inter)]
+
+    def test_axonn_skeleton_matches_runtime_trace(self):
+        rec = TraceRecorder()
+        cfg = self._cfg()
+        trainer = AxoNNTrainer(cfg, g_inter=2, g_data=2,
+                               microbatch_size=2, recorder=rec)
+        trainer.train_batch(*self._batch(cfg))
+        model = axonn_model(2, 2, microbatches=2,
+                            param_slots=self._param_slots(trainer))
+        assert compare_with_trace(extract_skeleton(model), rec) == []
+
+    @pytest.mark.parametrize("schedule", ["1f1b", "gpipe"])
+    def test_flushing_skeleton_matches_runtime_trace(self, schedule):
+        rec = TraceRecorder()
+        cfg = self._cfg()
+        trainer = FlushingPipelineTrainer(cfg, g_inter=2, g_data=2,
+                                          microbatch_size=2,
+                                          schedule=schedule, recorder=rec)
+        trainer.train_batch(*self._batch(cfg))
+        columns = [trainer.grid.data_parallel_ranks(i)
+                   for i in range(trainer.grid.g_inter)]
+        assert_clean(rec, groups=columns)  # new recorder wiring is sound
+        model = flushing_model(schedule, 2, 2, microbatches=2,
+                               param_slots=self._param_slots(trainer))
+        assert compare_with_trace(extract_skeleton(model), rec) == []
+
+    def test_serve_skeleton_matches_runtime_trace(self):
+        rec = TraceRecorder()
+        cfg = self._cfg(n_layer=3)
+        server = PipelineServer(cfg, g_inter=3, max_batch=2, recorder=rec)
+        requests = [Request(rid, np.zeros(1, dtype=np.int64),
+                            max_new_tokens=2, greedy=True, seed=rid)
+                    for rid in range(3)]
+        outputs = server.serve(requests)
+        assert set(outputs) == {0, 1, 2}
+        model = serve_model(3, n_requests=3, max_new_tokens=2,
+                            max_batch=2)
+        assert compare_with_trace(extract_skeleton(model), rec) == []

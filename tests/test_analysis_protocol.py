@@ -178,6 +178,47 @@ class TestTrainerRecording:
             recorded.train_batch(x, y).loss
 
 
+class TestProcessBackendRecording:
+    """The protocol verifier over real-parallelism traces: worker
+    processes replay their comm events into the parent's TraceRecorder,
+    and the result must satisfy the same static checks as the
+    cooperative backend's — indeed the identical per-rank sequences."""
+
+    def _cfg(self):
+        return GPTConfig(vocab_size=17, seq_len=6, n_layer=2, n_head=2,
+                         hidden=8, dropout=0.0, init_seed=5)
+
+    def _batch(self):
+        rng = np.random.default_rng(4)
+        return (rng.integers(0, 17, (4, 6)), rng.integers(0, 17, (4, 6)))
+
+    def _record(self, backend):
+        rec = TraceRecorder()
+        trainer = AxoNNTrainer(self._cfg(), g_inter=2, g_data=1,
+                               microbatch_size=2, backend=backend,
+                               recorder=rec)
+        x, y = self._batch()
+        try:
+            trainer.train_batch(x, y)
+        finally:
+            trainer.close()
+        return rec
+
+    def test_process_backend_trace_verifies_clean(self):
+        rec = self._record("process")
+        assert len(rec.sends()) > 0 and len(rec.recvs()) > 0
+        assert verify_trace(rec) == []
+        assert_clean(rec)
+
+    def test_process_trace_matches_cooperative_trace(self):
+        proc, coop = self._record("process"), self._record("cooperative")
+        for rank in (0, 1):
+            assert [(e.kind, e.peer, e.tag, e.microbatch)
+                    for e in proc.events_of(rank)] == \
+                   [(e.kind, e.peer, e.tag, e.microbatch)
+                    for e in coop.events_of(rank)]
+
+
 class TestMessengerRecording:
     def _setup(self, recorder=None):
         m = Machine(spec=summit(2))

@@ -76,8 +76,18 @@ class TestCLI:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "serve" in out
-        assert "REP008" in out
+        assert "REP009" in out
         assert "train" in out
+        assert "verify" in out
+
+    def test_verify_fast(self, capsys):
+        assert main(["verify", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "verify: PASS" in out
+        assert "[FAIL]" not in out
+        # The seeded mutant's counterexample is printed in full.
+        assert "wait-for graph" in out
+        assert "rank 0 waits on rank 1" in out
 
     def test_serve_functional_fast(self, capsys):
         assert main(["serve", "--fast", "--substrate", "runtime"]) == 0
