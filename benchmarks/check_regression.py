@@ -12,7 +12,9 @@ The winning baseline file is printed per variant.  When
 deterministic DES tail latency, and when ``BENCH_PR6.json`` is present
 it re-measures one process-backend step (:mod:`bench_scaling`) and —
 only on machines with >= 4 cores — asserts the >= 2x scaling bar at 4
-ranks.  Exits nonzero when any metric regressed by more than the
+ranks.  The scaling section is skipped (with a message) when this
+machine's core count differs from the one the baseline was recorded
+on, since process-backend times are not comparable across core counts.  Exits nonzero when any metric regressed by more than the
 threshold (default 20%), so CI can fail the build::
 
     PYTHONPATH=src python benchmarks/check_regression.py
@@ -164,10 +166,16 @@ def check_scaling(baseline_path: Path, threshold: float) -> bool:
     """Gate the process-backend numbers against ``BENCH_PR6.json``.
 
     Re-measures one 2-rank process-backend step and compares it with the
-    committed time.  The ISSUE's >= 2x-at-4-ranks bar is asserted only
-    when both the recording machine and this one have >= 4 cores — on
-    fewer cores the workers time-slice one CPU and the bar is physically
-    unattainable, so it is reported as not measurable instead of faked.
+    committed time.  Process-backend step time is a function of how many
+    workers actually run in parallel, so the whole section is comparable
+    only when this machine has the same core count the baseline was
+    recorded on — otherwise it is skipped with a message rather than
+    gating against an apples-to-oranges bar (a 1-core baseline looks
+    like a huge "speedup" on any multi-core box, and vice versa).  The
+    ISSUE's >= 2x-at-4-ranks bar is additionally asserted only when both
+    machines have >= 4 cores — on fewer cores the workers time-slice one
+    CPU and the bar is physically unattainable, so it is reported as not
+    measurable instead of faked.
     """
     if not baseline_path.exists():
         print(f"no scaling baseline found at {baseline_path}; nothing to "
@@ -175,6 +183,17 @@ def check_scaling(baseline_path: Path, threshold: float) -> bool:
               f"benchmarks/bench_scaling.py` to record one.")
         return False
     baseline = json.loads(baseline_path.read_text())
+
+    n_cores = bench_scaling.cores()
+    recorded_cores = int(baseline.get("cores", 1))
+    if n_cores != recorded_cores:
+        print(f"{'scaling':>13}: skipped — baseline "
+              f"{baseline_path.name} was recorded on {recorded_cores} "
+              f"core(s), this machine has {n_cores}; process-backend "
+              f"times are not comparable across core counts.  Re-record "
+              f"with `PYTHONPATH=src python benchmarks/bench_scaling.py` "
+              f"to gate on this machine.")
+        return False
 
     failed = False
     fresh = bench_scaling.bench_backend("process", 2)
@@ -187,8 +206,6 @@ def check_scaling(baseline_path: Path, threshold: float) -> bool:
     print(f"{'process x2':>13}: {fresh['min_s']:.4f}s vs baseline "
           f"{base_min:.4f}s ({ratio:.2f}x)  {status}")
 
-    n_cores = bench_scaling.cores()
-    recorded_cores = int(baseline.get("cores", 1))
     if n_cores >= 4 and recorded_cores >= 4:
         speedup = baseline["speedup_vs_1rank"]["process"]["4"]
         ok = speedup >= 2.0

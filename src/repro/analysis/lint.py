@@ -67,6 +67,21 @@ breakage the test suite may not catch:
   up delivery for the whole world.  Blocking work belongs before the send
   or after the receive resumes the program.
 
+* **REP010** — tensor-parallel collectives must name their group and keep
+  the op/direction pairing canonical.  The protocol verifier proves
+  "every member of a TP group records the identical collective sequence"
+  *per group key*: a ``tp_*`` record whose key omits the group collapses
+  distinct groups into one stream and the order check silently compares
+  the wrong ranks.  Three shapes are checked: a raw sink call recording a
+  ``tp_*`` op must mention the group in its arguments; a
+  ``record_collective`` wrapper definition (the TPComm signature, with a
+  ``direction`` parameter) must forward a group-naming key to the sink;
+  and a wrapper-style call ``record_collective("tp_allgather", "bwd",
+  ...)`` that pairs an op with the wrong direction is flagged — lead and
+  followers derive their identical per-member record order from that
+  pairing (weight all-gather is forward, gradient reduce-scatter is
+  backward).
+
 Suppression: append ``# lint-ok: REP003 <reason>`` to the offending line
 (bare ``# lint-ok`` suppresses every rule on that line).
 
@@ -102,6 +117,10 @@ RULES: Dict[str, str] = {
               "expressions, or locally defined functions",
     "REP009": "rank programs must not call time.sleep / blocking I/O "
               "between a send(...) and the matching yield RECV",
+    "REP010": "tp_* collective records must carry a group-naming key and "
+              "pair ops with their protocol direction (tp_allgather/fwd, "
+              "tp_reduce_scatter/bwd) so every group member records the "
+              "same order",
 }
 
 SUPPRESS_MARK = "lint-ok"
@@ -669,6 +688,106 @@ def _check_rep009(fn: ast.AST, issues: List[LintIssue], path: str) -> None:
                 f"the blocking work before the send or after the receive"))
 
 
+# -- REP010 ------------------------------------------------------------------
+
+#: the TP protocol's canonical op -> direction pairing; the lead emits and
+#: every follower records in this order, which is what makes the per-member
+#: collective-order check a tautology-free invariant
+_TP_DIRECTIONS = {"tp_allgather": "fwd", "tp_reduce_scatter": "bwd"}
+
+_RECORD_SINKS = (["record"], ["_record"])
+
+
+def _mentions_group(node: ast.AST) -> bool:
+    """Does the expression recognizably carry a TP group key?  True for any
+    name/attribute containing "group" (``comm.group_key``, ``tp_group``)."""
+    for n in ast.walk(node):
+        if isinstance(n, ast.Name) and "group" in n.id.lower():
+            return True
+        if isinstance(n, ast.Attribute) and "group" in n.attr.lower():
+            return True
+    return False
+
+
+def _tp_op_literal(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str) \
+            and node.value.startswith("tp_"):
+        return node.value
+    return None
+
+
+def _check_rep010(fn: ast.AST, issues: List[LintIssue], path: str) -> None:
+    """A TP ``record_collective`` wrapper must forward a group-named key.
+
+    The TPComm wrapper signature carries a ``direction`` parameter; the raw
+    trace-recorder sink (``rank, op, key``) does not, so sinks are exempt.
+    """
+    if getattr(fn, "name", "") != "record_collective":
+        return
+    params = {a.arg for a in getattr(fn.args, "args", [])}
+    if "direction" not in params:
+        return
+    for node in _own_nodes(fn):
+        if not (isinstance(node, ast.Call)
+                and _dotted(node.func)[-1:] in _RECORD_SINKS):
+            continue
+        exprs = list(node.args) + [kw.value for kw in node.keywords]
+        if not any(_mentions_group(e) for e in exprs):
+            issues.append(LintIssue(
+                path, node.lineno, node.col_offset, "REP010",
+                "record_collective forwards to the record sink without a "
+                "group-naming key; every TP group member must record under "
+                "the same group key or the per-member order check compares "
+                "the wrong ranks"))
+
+
+def _check_rep010_tree(tree: ast.AST, issues: List[LintIssue],
+                       path: str) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _dotted(node.func)
+        if chain[-1:] not in (["record"], ["record_collective"]):
+            continue
+        args = list(node.args)
+        kwvals = [kw.value for kw in node.keywords]
+        first_op = _tp_op_literal(args[0]) if args else None
+        if first_op is not None:
+            # Wrapper-style call: record_collective(op, direction, ...).
+            # The group key lives in the wrapper definition (checked by
+            # _check_rep010); here the op/direction pairing must match the
+            # protocol, because member record order is derived from it.
+            want = _TP_DIRECTIONS.get(first_op)
+            have = None
+            if len(args) > 1 and isinstance(args[1], ast.Constant) \
+                    and isinstance(args[1].value, str):
+                have = args[1].value
+            for kw in node.keywords:
+                if kw.arg == "direction" and \
+                        isinstance(kw.value, ast.Constant) and \
+                        isinstance(kw.value.value, str):
+                    have = kw.value.value
+            if want is not None and have is not None and have != want:
+                issues.append(LintIssue(
+                    path, node.lineno, node.col_offset, "REP010",
+                    f"collective {first_op!r} recorded with direction "
+                    f"{have!r}; the protocol pairs it with {want!r} — a "
+                    f"mislabeled record makes the group members' collective "
+                    f"orders diverge"))
+            continue
+        # Sink-style call recording a tp_* op (the literal is not the
+        # first positional, i.e. record(rank, "tp_...", ...) or a key= /
+        # op= keyword): the group must appear somewhere in the call.
+        if any(_tp_op_literal(e) for e in args[1:] + kwvals):
+            if not any(_mentions_group(e) for e in args + kwvals):
+                issues.append(LintIssue(
+                    path, node.lineno, node.col_offset, "REP010",
+                    "a tp_* collective is recorded without a group-naming "
+                    "key; the per-member order check is only well-defined "
+                    "per TP group — put the group key (e.g. "
+                    "comm.group_key) in the record's key"))
+
+
 # -- driver ------------------------------------------------------------------
 
 def lint_source(source: str, path: str = "<string>") -> List[LintIssue]:
@@ -687,10 +806,12 @@ def lint_source(source: str, path: str = "<string>") -> List[LintIssue]:
             _check_rep006(node, issues, path)
             _check_rep008(node, issues, path)
             _check_rep009(node, issues, path)
+            _check_rep010(node, issues, path)
     _check_rep003(tree, issues, path)
     _check_rep004(tree, issues, path)
     _check_rep007(tree, issues, path)
     _check_rep008_tree(tree, issues, path)
+    _check_rep010_tree(tree, issues, path)
     suppressed = _suppressions(source)
     out = []
     for issue in issues:
@@ -724,7 +845,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro.analysis lint",
-        description="Repo-specific AST lint (rules REP001-REP009).")
+        description="Repo-specific AST lint (rules REP001-REP010).")
     parser.add_argument("paths", nargs="*", default=None,
                         help="files or directories (default: the installed "
                              "repro package)")

@@ -46,14 +46,15 @@ checks; ``pytest -m lint`` pins the acceptance bar.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import (Any, Callable, Dict, Generator, List, Optional, Sequence,
-                    Tuple)
+from typing import (Any, Callable, Dict, FrozenSet, Generator, List, Optional,
+                    Sequence, Tuple)
 
 import numpy as np
 
 from ..baselines.functional_pipeline import FlushingPipelineTrainer
 from ..runtime.grid import RankGrid
 from ..runtime.rankprog import TAG_BWD, TAG_FWD, inter_layer_step
+from ..runtime.tp import TPComm, tp_follower_step
 from ..runtime.transport import RECV, Packet, TimedRecv
 from ..serve.engine import PipelineServer, Request
 from .protocol import TraceRecorder, check_collective_order, describe_deadlock
@@ -78,6 +79,21 @@ __all__ = [
 #: the single plane of ordinary ``yield RECV`` traffic; the flushing
 #: baselines add "F" / "B" planes (their two physical transports).
 P2P = "p2p"
+
+#: pseudo-plane for in-stream collective records (tensor-parallel groups);
+#: these never enter an inbox or a channel — they are ordering marks.
+COLLECTIVE_PLANE = "__collective__"
+
+#: model-side plane routing for tensor-parallel traffic.  The runtime
+#: multiplexes weight, gradient and ack messages over one FIFO per rank
+#: pair; their interleaving there depends on the schedule, which would
+#: make per-channel content interleaving-dependent and the checker's
+#: counts-quotient unsound.  Per-direction planes restore confluence —
+#: each plane's send sequence is schedule-independent — at the cost of
+#: exploring a *superset* of the real FIFO's delivery orders, which is
+#: sound for deadlock-freedom and matching (the programs accept the
+#: messages in any order).
+_TP_PLANES = {"tp_wgt": "W", "tp_grad": "G", "tp_ack": "A"}
 
 Channel = Tuple[int, int, str]  # (src, dst, plane)
 
@@ -142,6 +158,13 @@ class _Capture:
         if src == dst:
             raise ModelError(f"rank {src} sent to itself (tag={tag!r})")
         self.sent.append(_Msg(src, dst, tag, microbatch, plane, data))
+
+    def collective(self, rank: int, op: str, key: Any) -> None:
+        """Record an in-stream collective (e.g. a tensor-parallel weight
+        all-gather) at its position in the rank's op sequence.  Rides the
+        same buffer as sends so the executor sees it in program order, but
+        never becomes a deliverable message."""
+        self.sent.append(_Msg(rank, rank, op, None, COLLECTIVE_PLANE, key))
 
     def plane_view(self, plane: str) -> "_PlaneView":
         return _PlaneView(self, plane)
@@ -209,6 +232,15 @@ class CommModel:
     collectives: Dict[int, List[Tuple[str, Any]]] = field(default_factory=dict)
     groups: List[List[int]] = field(default_factory=list)
     config: Dict[str, Any] = field(default_factory=dict)
+    #: tensor-parallel groups whose in-stream ``tp_*`` collective sequences
+    #: (captured during skeleton extraction) must agree member-for-member
+    tp_groups: List[List[int]] = field(default_factory=list)
+    #: ranks whose programs are *pure reflectors*: they always wait on an
+    #: unrestricted receive ("any"), every delivery triggers only
+    #: constant-content sends, and they finish after a fixed delivery
+    #: count.  The explorer fires deliveries to these ranks eagerly
+    #: (a sound partial-order reduction; see :class:`_Explorer`).
+    reflector_ranks: FrozenSet[int] = frozenset()
 
     def describe(self) -> str:
         args = ",".join(f"{k}={v}" for k, v in self.config.items())
@@ -226,14 +258,21 @@ def _close_all(programs: Dict[int, Generator]) -> None:
 
 def axonn_model(g_inter: int, g_data: int, microbatches: int,
                 pipeline_limit: Optional[int] = None,
-                param_slots: Any = 1) -> CommModel:
+                param_slots: Any = 1, g_intra: int = 1) -> CommModel:
     """AxoNN's message-driven Algorithm 2 — the *real*
     :func:`~repro.runtime.rankprog.inter_layer_step` generator over
     symbolic stages.  ``microbatches`` is the per-rank (per data-parallel
     shard) count, matching ``AxoNNTrainer``; ``param_slots`` (int or
     per-stage sequence) sizes the recorded all-reduce plan for
-    cross-validation against a real trace."""
-    grid = RankGrid(g_inter, g_data)
+    cross-validation against a real trace.
+
+    With ``g_intra > 1`` the grid gains its tensor-parallel axis: group
+    leads run Algorithm 2 with a :class:`~repro.runtime.tp.TPComm`
+    (emitting the per-microbatch weight all-gather and gradient
+    reduce-scatter), followers run the *real*
+    :func:`~repro.runtime.tp.tp_follower_step`, and every ``tp_*``
+    collective is captured in-stream for the per-group order check."""
+    grid = RankGrid(g_inter, g_data, g_intra)
     m = microbatches
     if m < 1:
         raise ValueError("microbatches must be >= 1")
@@ -245,10 +284,19 @@ def axonn_model(g_inter: int, g_data: int, microbatches: int,
         programs: Dict[int, Generator] = {}
         for rank in range(grid.world_size):
             send = (lambda dst, tag, mb, data, _r=rank:
-                    capture.send(_r, dst, tag, mb, data))
+                    capture.send(_r, dst, tag, mb, data,
+                                 plane=_TP_PLANES.get(tag, P2P)))
+            record = (lambda r, op, key, nbytes:
+                      capture.collective(r, op, key))
+            if not grid.is_tp_lead(rank):
+                comm = TPComm(rank, grid, send, record=record)
+                programs[rank] = tp_follower_step(rank, grid, comm, m)
+                continue
+            tp = TPComm(rank, grid, send, record=record) \
+                if g_intra > 1 else None
             programs[rank] = inter_layer_step(
                 rank, grid, _SymbolicStage(), send, [(None, None)] * m,
-                m * g_data, limit)
+                m * g_data, limit, tp=tp)
         return programs
 
     collectives: Dict[int, List[Tuple[str, Any]]] = {}
@@ -260,9 +308,21 @@ def axonn_model(g_inter: int, g_data: int, microbatches: int,
             plan = [("allreduce_fp32", (i, slot)) for slot in range(slots[i])]
             for r in column:
                 collectives[r] = list(plan)
+    tp_groups: List[List[int]] = []
+    if g_intra > 1:
+        for j in range(g_data):
+            for i in range(g_inter):
+                tp_groups.append(grid.tp_group(i, j))
+    config = {"g_inter": g_inter, "g_data": g_data, "m": m, "limit": limit}
+    reflectors: FrozenSet[int] = frozenset()
+    if g_intra > 1:
+        config["g_intra"] = g_intra
+        # TP followers run tp_follower_step: always `yield RECV` ("any"),
+        # one constant-content ack per delivery, done after a fixed count.
+        reflectors = frozenset(r for r in range(grid.world_size)
+                               if not grid.is_tp_lead(r))
     return CommModel("axonn", grid.world_size, make, collectives, groups,
-                     {"g_inter": g_inter, "g_data": g_data, "m": m,
-                      "limit": limit})
+                     config, tp_groups=tp_groups, reflector_ranks=reflectors)
 
 
 def flushing_model(schedule: str, g_inter: int, g_data: int,
@@ -408,6 +468,17 @@ def builtin_models(max_world: int = 8, max_microbatches: int = 4,
                 models.append(axonn_model(g_inter, g_data, m))
                 models.append(flushing_model("1f1b", g_inter, g_data, m))
                 models.append(flushing_model("gpipe", g_inter, g_data, m))
+    # 4D variants: every decomposition with a real tensor-parallel axis.
+    # TP traffic is per-microbatch homogeneous (one weight all-gather, one
+    # gradient reduce-scatter), so m=2 already exercises every fwd/bwd
+    # overlap the TP weave can produce; deeper m only multiplies pipeline
+    # interleavings the 2D models above cover.
+    for g_intra in (2, 4):
+        for g_inter in range(1, max_world // g_intra + 1):
+            for g_data in range(1, max_world // (g_intra * g_inter) + 1):
+                for m in range(1, min(2, max_microbatches) + 1):
+                    models.append(axonn_model(g_inter, g_data, m,
+                                              g_intra=g_intra))
     if include_serve:
         for g_inter in range(2, max_world + 1):
             models.append(serve_model(g_inter, n_requests=3,
@@ -467,23 +538,41 @@ def extract_skeleton(model: CommModel) -> Skeleton:
     capture = _Capture(model.n_ranks)
     programs = model.make_programs(capture)
     ops: Dict[int, List[SkeletonOp]] = {r: [] for r in programs}
-    inboxes: Dict[Tuple[int, str], List[_Msg]] = {}
+    inboxes: Dict[Tuple[int, str], List[Tuple[int, _Msg]]] = {}
     channels: Dict[Channel, None] = {}
     waiting: Dict[int, Tuple[str, ...]] = {}
     live = dict(programs)
+    arrival = 0
 
     def drain() -> None:
+        nonlocal arrival
         for msg in capture.drain():
+            if msg.plane == COLLECTIVE_PLANE:
+                ops[msg.src].append(SkeletonOp(
+                    "collective", msg.src, tag=msg.tag, key=msg.data))
+                continue
             ops[msg.src].append(SkeletonOp(
                 "send", msg.src, msg.dst, msg.tag, msg.microbatch,
                 plane=msg.plane))
             channels.setdefault((msg.src, msg.dst, msg.plane))
-            inboxes.setdefault((msg.dst, msg.plane), []).append(msg)
+            inboxes.setdefault((msg.dst, msg.plane), []).append(
+                (arrival, msg))
+            arrival += 1
 
     def pop_for(rank: int, wait: Tuple[str, ...]) -> Optional[_Msg]:
-        plane = wait[1] if wait[0] == "plane" else P2P
-        box = inboxes.get((rank, plane))
-        return box.pop(0) if box else None
+        if wait[0] == "plane":
+            box = inboxes.get((rank, wait[1]))
+            return box.pop(0)[1] if box else None
+        # "any"/"timed": FIFO-faithful merge — the earliest arrival across
+        # every plane addressed to this rank (the runtime multiplexes all
+        # of a pair's traffic over one FIFO).
+        best_key = None
+        for (dst, _plane), box in inboxes.items():
+            if dst != rank or not box:
+                continue
+            if best_key is None or box[0][0] < inboxes[best_key][0][0]:
+                best_key = (dst, _plane)
+        return inboxes[best_key].pop(0)[1] if best_key is not None else None
 
     def resume(rank: int, gen: Generator, *, start: bool = False,
                packet: Optional[Packet] = None,
@@ -544,7 +633,7 @@ def extract_skeleton(model: CommModel) -> Skeleton:
                 wait_for = {
                     r: sorted({src for (src, dst, _p) in channels
                                if dst == r}) for r in stuck}
-                orphans = [m for box in inboxes.values() for m in box]
+                orphans = [m for box in inboxes.values() for _i, m in box]
                 sent = sum(len(o) for o in ops.values())
                 raise ModelError(
                     "skeleton extraction deadlocked:\n"
@@ -667,6 +756,8 @@ class _Explorer:
     def _log_sends(self, capture: _Capture,
                    out_counts: Dict[Channel, int]) -> None:
         for msg in capture.drain():
+            if msg.plane == COLLECTIVE_PLANE:
+                continue  # ordering mark, not a deliverable message
             ch = (msg.src, msg.dst, msg.plane)
             k = out_counts.get(ch, 0)
             seq = self.log.setdefault(ch, [])
@@ -756,8 +847,8 @@ class _Explorer:
             for ch in self.in_channels[rank]:
                 if wait[0] == "plane" and ch[2] != wait[1]:
                     continue
-                if wait[0] in ("any", "timed") and ch[2] != P2P:
-                    continue
+                # "any"/"timed" accept every plane: the runtime's single
+                # FIFO per rank pair delivers whatever arrives next.
                 produced = behaviors[ch[0]].out_counts.get(ch, 0) \
                     if ch[0] in behaviors else 0
                 if consumed.get(ch, 0) < produced:
@@ -790,6 +881,23 @@ class _Explorer:
                     f"{self.model.describe()}: state space exceeded "
                     f"{self.max_states} states")
             actions = self._enabled(consumed, timeouts, behaviors)
+            # Partial-order reduction: deliveries to reflector ranks are
+            # fired eagerly, one at a time, instead of branching against
+            # everything else.  Sound because a reflector (a) always waits
+            # on "any", so a pending delivery to it can never be disabled
+            # by other actions — any "deadlock" with one pending is no
+            # deadlock at all; (b) reacts to every delivery with only
+            # constant-content sends, so firing it early appends the same
+            # channel contents as firing it late (the counts-quotient
+            # commutes); and (c) its sends can only *enable* other actions
+            # (produced counts grow monotonically), never disable them.
+            # Hence every deadlock / leftover-terminal reachable in the
+            # full graph is reachable with reflector deliveries front-run.
+            eager = [a for a in actions
+                     if a[0] == "deliver"
+                     and a[2] in self.model.reflector_ranks]
+            if eager:
+                actions = [min(eager)]
             if not actions:
                 if all(b.finished for b in behaviors.values()):
                     self.terminals += 1
@@ -867,6 +975,10 @@ class _Explorer:
         def drain() -> None:
             nonlocal sent
             for msg in capture.drain():
+                if msg.plane == COLLECTIVE_PLANE:
+                    trace.append(SkeletonOp("collective", msg.src,
+                                            tag=msg.tag, key=msg.data))
+                    continue
                 trace.append(SkeletonOp("send", msg.src, msg.dst, msg.tag,
                                         msg.microbatch, plane=msg.plane))
                 sent += 1
@@ -918,8 +1030,10 @@ def check_model(model: CommModel, max_states: int = 200_000) -> CheckResult:
     # deterministic extraction itself deadlocks, fall back to exploring
     # the whole system — the DFS will surface the counterexample.
     components: List[List[int]]
+    skeleton: Optional[Skeleton] = None
     try:
-        components = extract_skeleton(model).components()
+        skeleton = extract_skeleton(model)
+        components = skeleton.components()
     except ModelError:
         components = [list(range(model.n_ranks))]
 
@@ -952,6 +1066,22 @@ def check_model(model: CommModel, max_states: int = 200_000) -> CheckResult:
         collective_violations = [
             str(v) for v in check_collective_order(trace, model.groups)]
         violations.extend(collective_violations)
+    if model.tp_groups and skeleton is not None:
+        # The in-stream tp_* collectives captured during extraction: every
+        # member of a tensor-parallel group must have recorded the same
+        # (op, key) sequence.  Per-channel FIFO makes the follower's record
+        # order the lead's emission order in *every* interleaving, so the
+        # deterministic extraction is a sound witness.
+        trace = TraceRecorder()
+        for rank in sorted(skeleton.ops):
+            for o in skeleton.ops[rank]:
+                if o.kind == "collective" and o.tag.startswith("tp_"):
+                    trace.record_collective(rank, o.tag, key=o.key)
+        tp_violations = [
+            str(v) for v in check_collective_order(trace, model.tp_groups,
+                                                   tags=("tp_",))]
+        collective_violations.extend(tp_violations)
+        violations.extend(tp_violations)
 
     return CheckResult(
         model=model.describe(), config=dict(model.config),

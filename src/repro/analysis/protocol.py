@@ -209,16 +209,24 @@ def check_unmatched_sends(trace: TraceRecorder) -> List[Violation]:
 
 
 def check_collective_order(trace: TraceRecorder,
-                           groups: Optional[Sequence[Sequence[int]]] = None
+                           groups: Optional[Sequence[Sequence[int]]] = None,
+                           tags: Optional[Sequence[str]] = None
                            ) -> List[Violation]:
     """Every rank of a group must issue the identical collective sequence.
 
     ``groups`` lists the rank groups that participate in the same
     collectives (e.g. the data-parallel columns of the grid); by default
-    all ranks that recorded any collective form one group.
+    all ranks that recorded any collective form one group.  ``tags``
+    restricts the check to collectives whose op name starts with one of
+    the given prefixes — a grid with several collective planes (the
+    data-parallel ``allreduce_*`` columns, the tensor-parallel ``tp_*``
+    groups) checks each plane against its own groups without the planes
+    contaminating each other's sequences.
     """
     per_rank: Dict[int, List[Tuple[str, Any]]] = {}
     for e in trace.collectives():
+        if tags is not None and not any(e.tag.startswith(t) for t in tags):
+            continue
         per_rank.setdefault(e.rank, []).append((e.tag, e.key))
     if groups is None:
         groups = [sorted(per_rank)] if per_rank else []

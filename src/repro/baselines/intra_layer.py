@@ -33,30 +33,63 @@ import numpy as np
 from ..nn import F, Linear, Module, Tensor
 from ..nn.modules import Parameter
 from ..nn.transformer import MLP, CausalSelfAttention, GPTConfig
+from ..perf.counters import counters as _perf_counters
 
 __all__ = ["CommCounter", "ColumnParallelLinear", "RowParallelLinear",
-           "TensorParallelMLP", "TensorParallelAttention"]
+           "TensorParallelMLP", "TensorParallelAttention", "_split_sizes"]
 
 
 class CommCounter:
     """Counts the collective operations a tensor-parallel forward/backward
-    performs (the quantity the DES cost model prices)."""
+    performs (the quantity the DES cost model prices).
+
+    One namespace: every event is *also* reported to the global
+    :data:`repro.perf.counters` tally under ``tp.allreduce`` /
+    ``tp.allgather`` (plus ``tp.allreduce_bytes`` / ``tp.allgather_bytes``),
+    so a TP layer running inside the trainer and one running as a baseline
+    are counted identically — and never double-booked, because the modules
+    report exclusively through these two methods."""
 
     def __init__(self):
         self.allreduces = 0
         self.allgathers = 0
+        self.allreduce_bytes = 0
+        self.allgather_bytes = 0
+
+    def allreduce(self, nbytes: int = 0) -> None:
+        self.allreduces += 1
+        self.allreduce_bytes += nbytes
+        if _perf_counters.enabled:
+            _perf_counters.bump("tp.allreduce")
+            _perf_counters.bump("tp.allreduce_bytes", nbytes)
+
+    def allgather(self, nbytes: int = 0) -> None:
+        self.allgathers += 1
+        self.allgather_bytes += nbytes
+        if _perf_counters.enabled:
+            _perf_counters.bump("tp.allgather")
+            _perf_counters.bump("tp.allgather_bytes", nbytes)
 
     def reset(self) -> None:
         self.allreduces = 0
         self.allgathers = 0
+        self.allreduce_bytes = 0
+        self.allgather_bytes = 0
 
 
 def _split_sizes(n: int, k: int) -> List[int]:
+    """Split ``n`` into ``k`` near-equal shard sizes, larger shards first
+    (the same convention as :func:`~repro.runtime.stage.partition_layers`).
+
+    Uneven dimensions are legal: ``_split_sizes(10, 4) == [3, 3, 2, 2]``.
+    Only ``k > n`` is rejected — a rank with zero rows would send empty
+    collectives."""
     if k < 1:
         raise ValueError("world size must be >= 1")
-    if n % k != 0:
-        raise ValueError(f"dimension {n} not divisible by {k} ranks")
-    return [n // k] * k
+    if k > n:
+        raise ValueError(f"cannot split dimension {n} across {k} ranks")
+    base, extra = divmod(n, k)
+    return [base + 1] * extra + [base] * (k - extra)
 
 
 class ColumnParallelLinear(Module):
@@ -91,7 +124,7 @@ class ColumnParallelLinear(Module):
         ]
         if not self.gather_output:
             return partials
-        self.counter.allgathers += 1
+        self.counter.allgather(sum(p.data.nbytes for p in partials))
         return F.concat(partials, axis=-1)
 
 
@@ -104,9 +137,15 @@ class RowParallelLinear(Module):
     intermediate all-gather)."""
 
     def __init__(self, dense: Linear, world: int,
-                 counter: Optional[CommCounter] = None):
+                 counter: Optional[CommCounter] = None,
+                 in_sizes: Optional[List[int]] = None):
         super().__init__()
-        sizes = _split_sizes(dense.in_features, world)
+        sizes = in_sizes if in_sizes is not None \
+            else _split_sizes(dense.in_features, world)
+        if len(sizes) != world or sum(sizes) != dense.in_features:
+            raise ValueError(
+                f"in_sizes {sizes} does not partition "
+                f"{dense.in_features} across {world} ranks")
         self.world = world
         self.counter = counter or CommCounter()
         self.in_sizes = sizes
@@ -132,7 +171,7 @@ class RowParallelLinear(Module):
         partial = F.linear(slices[0], self.shards[0])
         for piece, w in zip(slices[1:], self.shards[1:]):
             partial = partial + F.linear(piece, w)  # the all-reduce
-        self.counter.allreduces += 1
+        self.counter.allreduce(partial.data.nbytes)
         if self.bias is not None:
             partial = partial + self.bias
         return partial
@@ -163,20 +202,18 @@ class TensorParallelAttention(Module):
                  counter: Optional[CommCounter] = None):
         super().__init__()
         cfg = dense.cfg
-        if cfg.n_head % world != 0:
-            raise ValueError(
-                f"{cfg.n_head} heads not divisible by {world} ranks")
         self.cfg = cfg
         self.world = world
         self.counter = counter or CommCounter()
-        self.heads_per_rank = cfg.n_head // world
+        # Heads partitioned larger-first: n_head need not divide evenly,
+        # but every rank must own at least one head.
+        self.head_counts = _split_sizes(cfg.n_head, world)
         self._mask = dense._mask
         self.drop = dense.drop
-        # QKV sharded by head: rank r owns heads [r*hpr, (r+1)*hpr).  The
-        # dense qkv weight has layout (3h, h) with rows [q; k; v], each of
-        # which is itself (n_head, head_dim) blocked.
+        # QKV sharded by head: rank r owns head_counts[r] consecutive
+        # heads.  The dense qkv weight has layout (3h, h) with rows
+        # [q; k; v], each of which is itself (n_head, head_dim) blocked.
         h, hd = cfg.hidden, cfg.head_dim
-        hpr = self.heads_per_rank
         self.qkv_shards: List[Parameter] = []
         self.qkv_bias_shards: List[Parameter] = []
         wq = dense.qkv.weight.data[0:h]
@@ -185,19 +222,23 @@ class TensorParallelAttention(Module):
         bq = dense.qkv.bias.data[0:h]
         bk = dense.qkv.bias.data[h:2 * h]
         bv = dense.qkv.bias.data[2 * h:3 * h]
-        for r in range(world):
-            rows = slice(r * hpr * hd, (r + 1) * hpr * hd)
+        head0 = 0
+        for r, hpr in enumerate(self.head_counts):
+            rows = slice(head0 * hd, (head0 + hpr) * hd)
             w = Parameter(np.concatenate([wq[rows], wk[rows], wv[rows]]))
             b = Parameter(np.concatenate([bq[rows], bk[rows], bv[rows]]))
             setattr(self, f"qkv_w{r}", w)
             setattr(self, f"qkv_b{r}", b)
             self.qkv_shards.append(w)
             self.qkv_bias_shards.append(b)
-        self.proj = RowParallelLinear(dense.proj, world, self.counter)
+            head0 += hpr
+        self.proj = RowParallelLinear(
+            dense.proj, world, self.counter,
+            in_sizes=[hpr * hd for hpr in self.head_counts])
 
     def _rank_attention(self, x: Tensor, r: int) -> Tensor:
         b, t, _h = x.shape
-        hpr, hd = self.heads_per_rank, self.cfg.head_dim
+        hpr, hd = self.head_counts[r], self.cfg.head_dim
         qkv = F.linear(x, self.qkv_shards[r], self.qkv_bias_shards[r])
         qkv = qkv.reshape(b, t, 3, hpr, hd).transpose(2, 0, 3, 1, 4)
         q, k, v = qkv[0], qkv[1], qkv[2]

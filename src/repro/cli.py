@@ -20,8 +20,10 @@ Usage::
     python -m repro serve --substrate sim --csv sweep.csv
     python -m repro train --backend process --ranks 4
     python -m repro train --backend cooperative --ranks 2 --steps 5
+    python -m repro train --ranks 2 --g-intra 2   # 4D: tensor-parallel axis
     python -m repro verify               # model-check all comm skeletons
     python -m repro verify --fast        # smaller config sweep (CI)
+    python -m repro scaling4d            # best 4D decomposition per cluster
 
 Each command prints the figure's rows as an aligned table plus the paper-
 claim checklist, mirroring what the benchmark harness asserts.  ``trace``
@@ -554,6 +556,10 @@ def cmd_train(args) -> bool:
     if ranks < 1:
         print("--ranks must be >= 1")
         return False
+    g_intra = args.g_intra
+    if g_intra < 1:
+        print("--g-intra must be >= 1")
+        return False
     n_layer = max(ranks, 2 if args.fast else 4)
     cfg = GPTConfig(vocab_size=64, seq_len=8 if args.fast else 16,
                     n_layer=n_layer, n_head=2,
@@ -568,14 +574,17 @@ def cmd_train(args) -> bool:
 
     def run(backend: str):
         trainer = AxoNNTrainer(cfg, g_inter=ranks, g_data=1,
+                               g_intra=g_intra,
                                microbatch_size=2, backend=backend)
         try:
             return [trainer.train_batch(x, y) for x, y in batches]
         finally:
             trainer.close()
 
-    print(f"\n== train: {steps} steps, {ranks} rank(s), backend="
-          f"{args.backend} (one pipeline stage per rank) ==")
+    world = ranks * g_intra
+    print(f"\n== train: {steps} steps, {world} rank(s) "
+          f"(g_inter={ranks} x g_intra={g_intra}), backend="
+          f"{args.backend} ==")
     reports = run(args.backend)
     rows = [{"step": i, "loss": r.loss, "messages": r.messages}
             for i, r in enumerate(reports)]
@@ -591,6 +600,21 @@ def cmd_train(args) -> bool:
           f"losses bit-identical to the cooperative backend "
           f"({sum(identical)}/{len(identical)} steps)")
     return all(identical)
+
+
+def cmd_scaling4d(args) -> bool:
+    """DES sweep over 4D decompositions: for each cluster size, simulate
+    every ``g_intra x g_inter x g_data`` split and report the fastest
+    feasible one."""
+    sizes = (8, 16) if args.fast else (8, 16, 32, 64)
+    model = args.models[0] if args.models else "12B"
+    rows = ex.sweep_4d(cluster_sizes=sizes, model=model)
+    best = ex.best_4d_decompositions(rows)
+    ok = _emit(f"4D sweep: all decompositions ({model})", rows, None,
+               args.csv)
+    _emit(f"4D sweep: best decomposition per cluster size ({model})",
+          best, None, None)
+    return ok
 
 
 def cmd_verify(args) -> bool:
@@ -678,7 +702,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         choices=sorted(EXPERIMENTS) + ["all", "list", "lint",
                                                        "trace", "faults",
                                                        "serve", "train",
-                                                       "verify"],
+                                                       "verify",
+                                                       "scaling4d"],
                         help="which artefact to regenerate, 'lint' to run "
                              "the repo-specific static analysis, 'trace' "
                              "to emit a Chrome-trace of a small scenario, "
@@ -688,7 +713,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "'train' to run real steps on an execution "
                              "backend (--backend, --ranks, --steps), or "
                              "'verify' to model-check every built-in "
-                             "communication skeleton pre-run")
+                             "communication skeleton pre-run, or "
+                             "'scaling4d' to sweep 4D decompositions on "
+                             "the DES")
     parser.add_argument("--fast", action="store_true",
                         help="reduced sizes for a quick look")
     parser.add_argument("--models", nargs="+", default=None,
@@ -721,8 +748,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "in-process cooperative scheduler or real "
                              "worker processes over shared-memory rings")
     parser.add_argument("--ranks", type=int, default=2,
-                        help="world size for 'train' (g_inter=ranks, "
+                        help="pipeline depth for 'train' (g_inter=ranks, "
                              "g_data=1: one pipeline stage per rank)")
+    parser.add_argument("--g-intra", type=int, default=1, dest="g_intra",
+                        help="tensor-parallel degree for 'train': each "
+                             "stage's layers are sharded across g_intra "
+                             "ranks (world size = ranks * g_intra)")
     parser.add_argument("--steps", type=int, default=None,
                         help="number of 'train' batches (default 4, "
                              "2 with --fast)")
@@ -733,7 +764,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             doc = (EXPERIMENTS[name].__doc__ or "").strip()
             print(f"  {name:<10} {doc}")
         print("  all        run every experiment")
-        print("  lint       repo-specific AST lint (rules REP001-REP009)")
+        print("  lint       repo-specific AST lint (rules REP001-REP010)")
         print("  trace      Chrome-trace of a small scenario "
               "(--substrate, --out, --faults)")
         print("  faults     deterministic fault injection on either "
@@ -744,6 +775,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               "(--backend, --ranks, --steps, --fast)")
         print("  verify     pre-run communication model checker + race-"
               "detector self-check (--fast)")
+        print("  scaling4d  DES sweep of 4D decompositions per cluster "
+              "size (--fast, --models, --csv)")
         return 0
 
     if args.experiment == "lint":
@@ -764,6 +797,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.experiment == "verify":
         return 0 if cmd_verify(args) else 1
+
+    if args.experiment == "scaling4d":
+        return 0 if cmd_scaling4d(args) else 1
 
     targets = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]

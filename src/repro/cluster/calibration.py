@@ -65,6 +65,22 @@ class CommCostModel:
         latency = steps * self.coll_alpha
         return latency + (steps / ranks) * nbytes / bw
 
+    def allgather_time(self, nbytes: int, ranks: int,
+                       intra_node: bool) -> float:
+        """Modeled ring all-gather for ``nbytes`` of *result* per rank:
+        ``(p-1)`` steps each moving ``nbytes / p``."""
+        if ranks <= 1:
+            return 0.0
+        bw = self.coll_bw_intra if intra_node else self.coll_bw_inter
+        steps = ranks - 1
+        return steps * self.coll_alpha + (steps / ranks) * nbytes / bw
+
+    def reduce_scatter_time(self, nbytes: int, ranks: int,
+                            intra_node: bool) -> float:
+        """Modeled ring reduce-scatter: the all-gather's mirror — same
+        step count and volume, reductions instead of copies."""
+        return self.allgather_time(nbytes, ranks, intra_node)
+
 
 @dataclass(frozen=True)
 class ComputeModel:

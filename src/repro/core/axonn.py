@@ -68,6 +68,7 @@ class BatchResult:
             "gpus": self.config.num_gpus,
             "g_inter": self.config.g_inter,
             "g_data": self.config.g_data,
+            "g_intra": self.config.g_intra,
             "mbs": self.config.microbatch_size,
             "memopt": self.config.memopt,
             "pipeline_s": self.pipeline_s,
@@ -89,7 +90,8 @@ def check_memory(cfg: AxoNNConfig,
     breakdown = mm.axonn_bytes(cfg.g_inter, cfg.microbatch_size,
                                memopt=cfg.memopt,
                                bucket_size=cfg.bucket_size,
-                               include_optimizer=cfg.include_optimizer)
+                               include_optimizer=cfg.include_optimizer,
+                               g_intra=cfg.g_intra)
     return breakdown, mm.fits(breakdown, cluster_spec.node.gpu.dram_bytes)
 
 
@@ -172,11 +174,23 @@ def estimate_batch_time(cfg: AxoNNConfig,
     costs = stage_costs(cfg)
     m = cfg.microbatches_per_shard
 
+    coll = cal.backend(cfg.backend_coll)
+    tp_intra = cfg.g_intra <= machine.spec.node.gpus_per_node
+
     def stage_time(c):
-        return cal.compute.time(
+        t = cal.compute.time(
             c.fwd_flops + c.recompute_flops + c.bwd_flops, peak,
             work=c.work_granularity) + 2 * (cal.kernel_launch_overhead
                                             + cal.p2p_handling_overhead)
+        if cfg.g_intra > 1 and c.tp_collective_bytes:
+            # Forward weight all-gather + backward gradient reduce-scatter
+            # (mirrors run_pipeline_phase's extra_time charges).
+            t += (coll.allgather_time(c.tp_collective_bytes, cfg.g_intra,
+                                      tp_intra)
+                  + coll.reduce_scatter_time(c.tp_collective_bytes,
+                                             cfg.g_intra, tp_intra)
+                  + 2 * cal.coll_launch_overhead)
+        return t
 
     bottleneck = max(stage_time(c) for c in costs)
     # Steady state: m rounds of the bottleneck; ramp: pipeline depth - 1.
@@ -197,7 +211,6 @@ def estimate_batch_time(cfg: AxoNNConfig,
         pipeline += 2 * (cfg.g_inter - 1) * hop
 
     # Data-parallel + optimizer (mirrors run_data_parallel_and_optimizer).
-    coll = cal.backend(cfg.backend_coll)
     phi = costs[0].params
     intra = placement.data_group_nodes(0) == 1
     sharing = 1 if intra else min(cfg.g_inter,

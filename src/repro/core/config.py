@@ -14,9 +14,11 @@ __all__ = ["AxoNNConfig"]
 class AxoNNConfig:
     """One AxoNN run configuration (paper Table II row, AxoNN flavor).
 
-    ``g_inter * g_data`` must equal ``num_gpus``; the batch is split into
-    ``g_data`` shards of ``batch_size / g_data`` sequences, each processed
-    as microbatches of ``microbatch_size`` sequences.
+    ``g_intra * g_inter * g_data`` must equal ``num_gpus``; the batch is
+    split into ``g_data`` shards of ``batch_size / g_data`` sequences, each
+    processed as microbatches of ``microbatch_size`` sequences.  With
+    ``g_intra > 1`` every pipeline stage is additionally sharded across a
+    tensor-parallel group (the 4D follow-up's intra-layer axis).
     """
 
     spec: TransformerSpec
@@ -25,6 +27,8 @@ class AxoNNConfig:
     g_data: int
     microbatch_size: int
     batch_size: int
+    #: intra-layer (tensor) parallel degree per pipeline stage
+    g_intra: int = 1
     #: point-to-point backend for the inter-layer phase (paper: "mpi")
     backend_p2p: str = "mpi"
     #: collective backend for the data-parallel phase (paper: "nccl")
@@ -49,11 +53,18 @@ class AxoNNConfig:
     jitter_seed: int = 0
 
     def __post_init__(self):
-        if self.g_inter * self.g_data != self.num_gpus:
+        if self.g_intra < 1:
+            raise ValueError(f"G_intra ({self.g_intra}) must be >= 1")
+        if self.g_intra * self.g_inter * self.g_data != self.num_gpus:
             raise ValueError(
-                f"G_inter ({self.g_inter}) x G_data ({self.g_data}) != "
-                f"num_gpus ({self.num_gpus})"
+                f"G_intra ({self.g_intra}) x G_inter ({self.g_inter}) x "
+                f"G_data ({self.g_data}) != num_gpus ({self.num_gpus})"
             )
+        if self.g_intra > self.spec.n_head:
+            # Uneven head splits are fine; a headless rank is not.
+            raise ValueError(
+                f"G_intra ({self.g_intra}) exceeds attention heads "
+                f"({self.spec.n_head})")
         if self.batch_size % self.g_data != 0:
             raise ValueError("batch size must divide evenly across G_data")
         shard = self.batch_size // self.g_data

@@ -102,8 +102,17 @@ class MemoryModel:
     # -- per-framework totals ------------------------------------------------
     def axonn_bytes(self, g_inter: int, microbatch: int,
                     memopt: bool, bucket_size: int = 4_000_000,
-                    include_optimizer: bool = True) -> MemoryBreakdown:
-        phi = self.spec.params_per_stage(g_inter)
+                    include_optimizer: bool = True,
+                    g_intra: int = 1) -> MemoryBreakdown:
+        """With ``g_intra > 1`` each rank owns ``phi / g_intra`` of the
+        stage's parameter state plus a transient fp32 workspace for the
+        peers' weight shards it all-gathers every forward (the 4D
+        protocol gathers whole weights rather than splitting GEMMs, which
+        is what keeps losses bit-identical to the dense run)."""
+        if g_intra < 1:
+            raise ValueError("g_intra must be >= 1")
+        phi_full = self.spec.params_per_stage(g_inter)
+        phi = phi_full // g_intra
         if memopt:
             state = self.state_bytes_memopt(phi, bucket_size)
             pg = 4 * phi  # fp16 params + fp16 grads resident
@@ -112,6 +121,8 @@ class MemoryModel:
             state = self.state_bytes_baseline(phi, include_optimizer)
             pg = 12 * phi if include_optimizer else state
             opt = state - pg
+        if g_intra > 1:
+            pg += BYTES_FULL * (phi_full - phi)  # gathered-weight workspace
         act = self.activation_bytes(g_inter, microbatch)
         return MemoryBreakdown(pg, max(opt, 0), act)
 

@@ -65,13 +65,29 @@ class StageCost:
     recompute_flops: float  # checkpoint recompute during backward
     work_granularity: float  # per-kernel work for the efficiency model
     activation_bytes: int   # boundary message size
+    #: per-microbatch tensor-parallel collective volume (the weight
+    #: all-gather forward, its mirrored gradient reduce-scatter backward);
+    #: zero when the stage is not intra-layer sharded
+    tp_collective_bytes: int = 0
 
 
 def stage_costs(cfg: AxoNNConfig) -> List[StageCost]:
-    """Cost table for every stage of the pipeline."""
+    """Cost table for every stage of the pipeline.
+
+    With ``g_intra > 1`` each stage's transformer blocks are sharded
+    across the tensor-parallel group: per-rank block flops, parameters and
+    kernel granularity all divide by ``g_intra`` (smaller kernels run less
+    efficiently — the Megatron-LM penalty the ComputeModel encodes), the
+    head and embeddings stay whole on the group lead, and every
+    forward/backward pass additionally pays the group's weight
+    all-gather / gradient reduce-scatter (``tp_collective_bytes``) —
+    exactly the collectives the runtime's :class:`~repro.runtime.tp.TPComm`
+    emits, so the DES twin prices what the transport actually carries.
+    """
     spec = cfg.spec
     mbs = cfg.microbatch_size
-    layer_fwd = spec.layer_forward_flops(mbs)
+    g_intra = cfg.g_intra
+    layer_fwd = spec.layer_forward_flops(mbs) / g_intra
     head_fwd = spec.head_forward_flops(mbs)
     base, extra = divmod(spec.n_layer, cfg.g_inter)
     costs = []
@@ -83,9 +99,14 @@ def stage_costs(cfg: AxoNNConfig) -> List[StageCost]:
         if i == cfg.g_inter - 1:
             fwd += head_fwd
             bwd += 2 * head_fwd
-        phi = n_layers * spec.params_per_layer
+        block_params = n_layers * spec.params_per_layer
+        phi = -(-block_params // g_intra)  # this rank's block shard
         if i == 0 or i == cfg.g_inter - 1:
             phi += spec.embedding_params // 2
+        tp_bytes = 0
+        if g_intra > 1:
+            # fp32 weights of the shards each peer lacks, per microbatch
+            tp_bytes = 4 * (block_params - block_params // g_intra)
         costs.append(StageCost(
             stage=i,
             n_block_layers=n_layers,
@@ -95,6 +116,7 @@ def stage_costs(cfg: AxoNNConfig) -> List[StageCost]:
             recompute_flops=recompute,
             work_granularity=layer_fwd,
             activation_bytes=spec.activation_message_bytes(mbs),
+            tp_collective_bytes=tp_bytes,
         ))
     return costs
 
@@ -149,6 +171,23 @@ def run_pipeline_phase(machine: Machine, cfg: AxoNNConfig,
         handling = machine.cal.p2p_handling_overhead
         sigma, jseed = cfg.compute_jitter, cfg.jitter_seed
 
+        # Tensor-parallel collectives ride the compute events as extra
+        # serial time: each forward all-gathers the stage's sharded
+        # weights across the TP group, each backward reduce-scatters the
+        # matching gradients.  TP groups are packed innermost on the node
+        # (ranks t of one stage are consecutive), so the group is
+        # intra-node whenever it fits on one.
+        tp_fwd = tp_bwd = 0.0
+        if cfg.g_intra > 1 and cost.tp_collective_bytes:
+            coll = machine.cal.backend(cfg.backend_coll)
+            tp_intra = cfg.g_intra <= machine.spec.node.gpus_per_node
+            tp_fwd = (coll.allgather_time(cost.tp_collective_bytes,
+                                          cfg.g_intra, tp_intra)
+                      + machine.cal.coll_launch_overhead)
+            tp_bwd = (coll.reduce_scatter_time(cost.tp_collective_bytes,
+                                               cfg.g_intra, tp_intra)
+                      + machine.cal.coll_launch_overhead)
+
         def fwd(mb: int) -> Generator:
             if track_memory:
                 gpu.memory.allocate(f"row{row}.ckpt{mb}", checkpoint_bytes)
@@ -157,7 +196,7 @@ def run_pipeline_phase(machine: Machine, cfg: AxoNNConfig,
                                    label=f"fwd{mb}",
                                    category="compute",
                                    work=cost.work_granularity,
-                                   extra_time=handling,
+                                   extra_time=handling + tp_fwd,
                                    mb=mb, stage=i)
 
         def bwd(mb: int) -> Generator:
@@ -168,7 +207,7 @@ def run_pipeline_phase(machine: Machine, cfg: AxoNNConfig,
                 (cost.recompute_flops + cost.bwd_flops) * factor,
                 label=f"bwd{mb}", category="compute",
                 work=cost.work_granularity,
-                extra_time=handling,
+                extra_time=handling + tp_bwd,
                 mb=mb, stage=i)
             if track_memory:
                 gpu.memory.free_label(f"row{row}.recompute")

@@ -40,12 +40,14 @@ from .scaling import (
     MODEL_GPUS,
     PAPER_TABLE2,
     Table2Row,
+    best_4d_decompositions,
     fig9_claims,
     fig11_claims,
     table2_row,
     make_axonn_config,
     make_baseline_config,
     strong_scaling_rows,
+    sweep_4d,
     weak_scaling_rows,
 )
 from .resilience import resilience_claims, resilience_report, resilience_rows
@@ -95,7 +97,9 @@ __all__ = [
     "table2_row",
     "make_axonn_config",
     "make_baseline_config",
+    "best_4d_decompositions",
     "strong_scaling_rows",
+    "sweep_4d",
     "weak_scaling_rows",
     "resilience_claims",
     "resilience_report",

@@ -17,7 +17,8 @@ from ..core import AxoNNConfig, WEAK_SCALING_MODELS, simulate_batch
 
 __all__ = ["PAPER_TABLE2", "Table2Row", "table2_row", "weak_scaling_rows",
            "strong_scaling_rows", "fig9_claims", "fig11_claims",
-           "make_axonn_config", "make_baseline_config"]
+           "make_axonn_config", "make_baseline_config", "sweep_4d",
+           "best_4d_decompositions"]
 
 
 @dataclass(frozen=True)
@@ -144,6 +145,66 @@ def strong_scaling_rows(model: str = "12B",
     return rows
 
 
+def sweep_4d(cluster_sizes: Sequence[int] = (8, 16, 32, 64),
+             model: str = "12B", microbatch: int = 4,
+             batch_per_gpu: int = 64,
+             max_g_intra: int = 8,
+             memopt: bool = False) -> List[Dict[str, object]]:
+    """DES sweep over every 4D decomposition of each cluster size.
+
+    For each GPU count ``G`` the sweep enumerates all
+    ``g_intra x g_inter x g_data = G`` with a power-of-two tensor-parallel
+    degree capped at ``min(max_g_intra, n_head)``, simulates one batch per
+    decomposition, and records batch time, memory and feasibility.  The
+    batch grows linearly with the cluster (weak scaling), so the winning
+    decomposition shifts as collective cost and per-GPU memory trade off.
+
+    ``memopt`` defaults to off: with the ``20 phi`` optimizer state
+    resident on the GPU, the tensor axis is what makes deep stages *fit*
+    (the Megatron regime) — exactly the trade the sweep is meant to
+    expose.  With memopt on, CPU offload already solves memory and pure
+    pipeline+data decompositions tend to win on time.
+    """
+    spec = WEAK_SCALING_MODELS[model]
+    rows: List[Dict[str, object]] = []
+    for gpus in cluster_sizes:
+        batch_size = batch_per_gpu * gpus
+        g_intra = 1
+        while g_intra <= min(max_g_intra, spec.n_head, gpus):
+            if gpus % g_intra == 0:
+                rest = gpus // g_intra
+                for g_inter in range(1, min(rest, spec.n_layer) + 1):
+                    if rest % g_inter:
+                        continue
+                    g_data = rest // g_inter
+                    if batch_size % (g_data * microbatch):
+                        continue
+                    cfg = AxoNNConfig(
+                        spec=spec, num_gpus=gpus, g_inter=g_inter,
+                        g_data=g_data, g_intra=g_intra,
+                        microbatch_size=microbatch, batch_size=batch_size,
+                        memopt=memopt)
+                    result = simulate_batch(cfg)
+                    row = result.as_row()
+                    row["batch_size"] = batch_size
+                    rows.append(row)
+            g_intra *= 2
+    return rows
+
+
+def best_4d_decompositions(rows: List[Dict[str, object]]
+                           ) -> List[Dict[str, object]]:
+    """Best decomposition per cluster size: fastest *feasible* one, or the
+    fastest overall when nothing fits (flagged by ``feasible=False``)."""
+    best: List[Dict[str, object]] = []
+    for gpus in sorted({r["gpus"] for r in rows}):
+        candidates = [r for r in rows if r["gpus"] == gpus]
+        feasible = [r for r in candidates if r["feasible"]]
+        pool = feasible or candidates
+        best.append(min(pool, key=lambda r: r["batch_time_s"]))
+    return best
+
+
 def _by(rows, **match):
     return [r for r in rows
             if all(r[k] == v for k, v in match.items())]
@@ -188,3 +249,46 @@ def fig11_claims(rows: List[Dict[str, object]]) -> Dict[str, bool]:
     claims["axonn_per_sample_per_gpu_time_roughly_flat"] = (
         max(ax_times) < 1.3 * min(ax_times))
     return claims
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.experiments.scaling --4d`` — the 4D sweep."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.scaling",
+        description="Scaling experiments (Fig. 9 / Fig. 11 / 4D sweep)")
+    parser.add_argument("--4d", dest="four_d", action="store_true",
+                        help="sweep 4D decompositions per cluster size")
+    parser.add_argument("--model", default="12B",
+                        choices=sorted(WEAK_SCALING_MODELS))
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=[8, 16, 32, 64],
+                        help="cluster sizes (GPU counts) to sweep")
+    parser.add_argument("--microbatch", type=int, default=4)
+    parser.add_argument("--memopt", action="store_true",
+                        help="sweep with the CPU-offload optimizer instead "
+                             "of resident state")
+    args = parser.parse_args(argv)
+    if not args.four_d:
+        parser.error("nothing to do: pass --4d")
+    rows = sweep_4d(cluster_sizes=args.sizes, model=args.model,
+                    microbatch=args.microbatch, memopt=args.memopt)
+    best = best_4d_decompositions(rows)
+    cols = ("gpus", "g_intra", "g_inter", "g_data", "batch_time_s",
+            "memory_gb", "feasible")
+    print(f"{args.model}: best 4D decomposition per cluster size "
+          f"({len(rows)} decompositions simulated)")
+    print("  ".join(f"{c:>12}" for c in cols))
+    for row in best:
+        cells = []
+        for c in cols:
+            v = row[c]
+            cells.append(f"{v:>12.3f}" if isinstance(v, float)
+                         else f"{str(v):>12}")
+        print("  ".join(cells))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

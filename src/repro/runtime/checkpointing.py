@@ -44,7 +44,7 @@ def _dropout_modules(stage: PipelineStage) -> List[Dropout]:
 def trainer_state_dict(trainer: AxoNNTrainer) -> Dict[str, np.ndarray]:
     """Flatten the trainer's full training state to named arrays."""
     state: Dict[str, np.ndarray] = {}
-    for rank in range(trainer.grid.world_size):
+    for rank in sorted(trainer.stages):  # TP followers hold no stage
         stage = trainer.stages[rank]
         prefix = f"rank{rank}"
         for name, p in stage.named_parameters():
@@ -73,12 +73,13 @@ def trainer_state_dict(trainer: AxoNNTrainer) -> Dict[str, np.ndarray]:
         "precision": trainer.precision,
         "g_inter": trainer.grid.g_inter,
         "g_data": trainer.grid.g_data,
+        "g_intra": trainer.grid.g_intra,
         # Dropout RNG bit-generator states, per rank in traversal order.
         # PCG64 state dicts are plain ints, so they ride in the JSON meta.
         "rng_states": {
             f"rank{rank}": [m.rng.bit_generator.state
                             for m in _dropout_modules(trainer.stages[rank])]
-            for rank in range(trainer.grid.world_size)
+            for rank in sorted(trainer.stages)
         },
     }
     state[_META_KEY] = np.frombuffer(
@@ -93,19 +94,21 @@ def load_trainer_state(trainer: AxoNNTrainer,
     The trainer must have the same grid shape and precision mode.
     """
     meta = json.loads(bytes(state[_META_KEY]).decode())
-    if (meta["g_inter"], meta["g_data"]) != (trainer.grid.g_inter,
-                                             trainer.grid.g_data):
+    saved_grid = (meta["g_inter"], meta["g_data"], meta.get("g_intra", 1))
+    live_grid = (trainer.grid.g_inter, trainer.grid.g_data,
+                 trainer.grid.g_intra)
+    if saved_grid != live_grid:
         raise ValueError(
             f"grid mismatch: checkpoint is "
-            f"{meta['g_inter']}x{meta['g_data']}, trainer is "
-            f"{trainer.grid.g_inter}x{trainer.grid.g_data}"
+            f"{saved_grid[0]}x{saved_grid[1]}x{saved_grid[2]}, trainer is "
+            f"{live_grid[0]}x{live_grid[1]}x{live_grid[2]}"
         )
     if meta["precision"] != trainer.precision:
         raise ValueError(
             f"precision mismatch: checkpoint is {meta['precision']!r}, "
             f"trainer is {trainer.precision!r}"
         )
-    for rank in range(trainer.grid.world_size):
+    for rank in sorted(trainer.stages):
         stage = trainer.stages[rank]
         prefix = f"rank{rank}"
         for name, p in stage.named_parameters():
@@ -147,7 +150,7 @@ def load_trainer_state(trainer: AxoNNTrainer,
     trainer.scaler.good_steps = meta.get("loss_scale_good_steps", 0)
     rng_states = meta.get("rng_states")
     if rng_states is not None:
-        for rank in range(trainer.grid.world_size):
+        for rank in sorted(trainer.stages):
             drops = _dropout_modules(trainer.stages[rank])
             saved = rng_states.get(f"rank{rank}", [])
             if len(saved) != len(drops):

@@ -48,10 +48,12 @@ import numpy as np
 from ..analysis.protocol import TraceRecorder
 from ..nn import AdamW, GPTConfig, LossScaler
 from ..obs import RuntimeTracer
+from ..perf.counters import counters as _perf_counters
 from .grid import RankGrid
 from .offload import BucketedOffloadAdamW
 from .rankprog import TAG_BWD, TAG_FWD, inter_layer_step
 from .stage import PipelineStage
+from .tp import TensorParallelStage, TPComm, tp_follower_step
 from .transport import RankTransport
 
 __all__ = ["AxoNNTrainer", "TrainReport"]
@@ -85,7 +87,7 @@ class AxoNNTrainer:
     """Hybrid (inter-layer x data) parallel trainer on the rank transport."""
 
     def __init__(self, cfg: GPTConfig, g_inter: int, g_data: int,
-                 microbatch_size: int, lr: float = 1e-3,
+                 microbatch_size: int, g_intra: int = 1, lr: float = 1e-3,
                  betas: Tuple[float, float] = (0.9, 0.999),
                  weight_decay: float = 0.01,
                  pipeline_limit: Optional[int] = None,
@@ -112,8 +114,11 @@ class AxoNNTrainer:
                              "precision='mixed' (fp16 device gradients)")
         if coarsening_k < 1:
             raise ValueError("coarsening_k must be >= 1")
+        if g_intra > 1 and checkpoint_activations:
+            raise ValueError(
+                "checkpoint_activations is not supported with g_intra > 1")
         self.cfg = cfg
-        self.grid = RankGrid(g_inter, g_data)
+        self.grid = RankGrid(g_inter, g_data, g_intra)
         self.microbatch_size = microbatch_size
         self.precision = precision
         self.offload = offload
@@ -190,10 +195,19 @@ class AxoNNTrainer:
         referencing the old parameter objects must be invalidated by the
         caller (:meth:`invalidate_buffers`).
         """
-        i, _j = self.grid.coord_of(rank)
-        stage = PipelineStage(
-            self.cfg, i, self.grid.g_inter,
-            checkpoint_activations=self.checkpoint_activations)
+        i, _j, t = self.grid.coord3_of(rank)
+        if t != 0:
+            # Tensor-parallel followers hold no stage or optimizer: the
+            # group lead owns the full sharded stage (see runtime.tp);
+            # followers are pure protocol participants.
+            return
+        if self.grid.g_intra > 1:
+            stage: PipelineStage = TensorParallelStage(
+                self.cfg, i, self.grid.g_inter, self.grid.g_intra)
+        else:
+            stage = PipelineStage(
+                self.cfg, i, self.grid.g_inter,
+                checkpoint_activations=self.checkpoint_activations)
         self.stages[rank] = stage
         hp = self._opt_hparams
         if self.offload:
@@ -256,12 +270,45 @@ class AxoNNTrainer:
         generator to its shared-memory endpoints.
         """
         scale = self.scaler.scale if self.precision == "mixed" else 1.0
+        stage = self.stages[rank]
+        send = lambda dst, tag, mb, data: transport.send(rank, dst, tag, mb,
+                                                         data)
+        tp = None
+        if self.grid.g_intra > 1:
+            tp = TPComm(rank, self.grid, send,
+                        wgt_payload=stage.wgt_payload,
+                        grad_payload=stage.grad_payload,
+                        record=self._tp_record)
         return inter_layer_step(
-            rank, self.grid, self.stages[rank],
-            lambda dst, tag, mb, data: transport.send(rank, dst, tag, mb,
-                                                      data),
+            rank, self.grid, stage, send,
             microbatches, total_microbatches, self.pipeline_limit,
-            loss_scale=scale, tracer=self.tracer)
+            loss_scale=scale, tracer=self.tracer, tp=tp)
+
+    def _tp_follower_program(self, rank: int,
+                             transport: RankTransport,
+                             total_microbatches: int) -> Generator:
+        """Reactive rank program for a tensor-parallel follower."""
+        send = lambda dst, tag, mb, data: transport.send(rank, dst, tag, mb,
+                                                         data)
+        comm = TPComm(rank, self.grid, send, record=self._tp_record)
+        return tp_follower_step(rank, self.grid, comm, total_microbatches)
+
+    def _tp_record(self, rank: int, op: str, key: tuple,
+                   nbytes: int) -> None:
+        """Collective sink for the ``tp`` stream: protocol trace, perf
+        counters (``tp.*`` namespace, shared with
+        :class:`~repro.baselines.intra_layer.CommCounter`) and obs spans."""
+        if self.recorder is not None:
+            self.recorder.record_collective(rank, op, key=key)
+        if _perf_counters.enabled:
+            kind = "allgather" if op == "tp_allgather" else "reduce_scatter"
+            _perf_counters.bump(f"tp.{kind}")
+            _perf_counters.bump(f"tp.{kind}_bytes", nbytes)
+        if self.tracer is not None and self.tracer.enabled:
+            now = self.tracer.now()
+            self.tracer.record(rank, "tp", op, now, now, category="tp",
+                               nbytes=nbytes, group=str(key[0]),
+                               direction=key[1], microbatch=key[2])
 
     # -- Algorithm 1, data-parallel phase --------------------------------------
     def _allreduce_fp32(self) -> None:
@@ -397,9 +444,13 @@ class AxoNNTrainer:
                                           tracer=self.tracer)
             programs = {}
             for rank in range(self.grid.world_size):
-                _i, j = self.grid.coord_of(rank)
-                programs[rank] = self._rank_program(rank, transport,
-                                                    groups[j], total_mb)
+                _i, j, t = self.grid.coord3_of(rank)
+                if t == 0:
+                    programs[rank] = self._rank_program(rank, transport,
+                                                        groups[j], total_mb)
+                else:
+                    programs[rank] = self._tp_follower_program(
+                        rank, transport, len(groups[j]))
             transport.run(programs)
             messages = transport.messages_sent
 
@@ -462,7 +513,7 @@ class AxoNNTrainer:
         if overflow:
             self.scaler.update(found_overflow=True)
             return False, chunks
-        for rank in range(self.grid.world_size):
+        for rank in sorted(self.optimizers):
             i, _j = self.grid.coord_of(rank)
             opt = self.optimizers[rank]
             if isinstance(opt, BucketedOffloadAdamW):
@@ -481,12 +532,19 @@ class AxoNNTrainer:
         return self.stages[self.grid.rank_of(i, j)].parameters()
 
     def gather_state(self, j: int = 0) -> Dict[str, np.ndarray]:
-        """Full-model state dict reassembled from pipeline ``j``'s shards."""
+        """Full-model state dict reassembled from pipeline ``j``'s shards.
+
+        Tensor-parallel stages are reassembled into *dense* parameter
+        names/arrays, so states gathered at different ``g_intra`` are
+        directly comparable (the bit-identity acceptance check)."""
         state: Dict[str, np.ndarray] = {}
         for i in range(self.grid.g_inter):
             stage = self.stages[self.grid.rank_of(i, j)]
-            for name, p in stage.named_parameters():
-                state[name] = p.data.copy()
+            if isinstance(stage, TensorParallelStage):
+                state.update(stage.dense_state())
+            else:
+                for name, p in stage.named_parameters():
+                    state[name] = p.data.copy()
         return state
 
 

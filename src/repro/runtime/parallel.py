@@ -800,7 +800,7 @@ class ProcessTransport(BaseRankTransport):
                 _kind, rank, src, tag, microbatch = ev
                 self.recorder.record_recv(rank, src, tag, microbatch)
             elif ev[0] == "collective":
-                _kind, rank, op, key = ev
+                _kind, rank, op, key = ev[:4]  # may carry trailing nbytes
                 self.recorder.record_collective(rank, op, key)
 
     def _merge_spans(self, spans: List[ObsSpan]) -> None:
@@ -826,17 +826,22 @@ def _train_step_task(ctx: WorkerContext, payload: Dict[str, Any]
     from .checkpointing import _dropout_modules
     from .rankprog import inter_layer_step
     from .stage import PipelineStage
+    from .tp import TensorParallelStage, TPComm
 
     rank = ctx.rank
     grid = payload["grid"]
     cfg = payload["cfg"]
-    stage_key = (repr(cfg), grid.g_inter, payload["checkpoint_activations"])
+    stage_key = (repr(cfg), grid.g_inter, grid.g_intra,
+                 payload["checkpoint_activations"])
     stage: Optional[PipelineStage] = ctx.cache.get("stage")
     if stage is None or ctx.cache.get("stage_key") != stage_key:
         i, _j = grid.coord_of(rank)
-        stage = PipelineStage(
-            cfg, i, grid.g_inter,
-            checkpoint_activations=payload["checkpoint_activations"])
+        if grid.g_intra > 1:
+            stage = TensorParallelStage(cfg, i, grid.g_inter, grid.g_intra)
+        else:
+            stage = PipelineStage(
+                cfg, i, grid.g_inter,
+                checkpoint_activations=payload["checkpoint_activations"])
         ctx.cache["stage"] = stage
         ctx.cache["stage_key"] = stage_key
         old = ctx.cache.pop("param_shm", None)
@@ -864,11 +869,18 @@ def _train_step_task(ctx: WorkerContext, payload: Dict[str, Any]
     ctx.kill_after = payload.get("kill_after")
     ctx._maybe_crash()  # a crash scheduled before the first receive
 
+    tp = None
+    if grid.g_intra > 1:
+        tp = TPComm(rank, grid, ctx.send,
+                    wgt_payload=stage.wgt_payload,
+                    grad_payload=stage.grad_payload,
+                    record=_worker_tp_record(ctx))
     gen = inter_layer_step(
         rank, grid, stage, ctx.send, payload["microbatches"],
         payload["total_microbatches"], payload["pipeline_limit"],
         loss_scale=payload["loss_scale"],
-        tracer=ctx.tracer if ctx.tracer.enabled else None)
+        tracer=ctx.tracer if ctx.tracer.enabled else None,
+        tp=tp)
     if isinstance(gen, types.GeneratorType):
         ctx.drive(gen)
 
@@ -888,6 +900,39 @@ def _train_step_task(ctx: WorkerContext, payload: Dict[str, Any]
         "grad_mask": grad_mask,
         "inflight": stage.inflight_microbatches,
     }
+
+
+def _worker_tp_record(ctx: WorkerContext):
+    """Worker-side TP collective sink: events for the parent's recorder
+    and perf counters, plus a zero-width ``tp`` span when tracing."""
+    def record(rank: int, op: str, key: Tuple, nbytes: int) -> None:
+        ctx.events.append(("collective", rank, op, key, nbytes))
+        if ctx.tracer.enabled:
+            now = ctx.tracer.now()
+            ctx.tracer.record(rank, "tp", op, now, now, category="tp",
+                              nbytes=nbytes, group=str(key[0]),
+                              direction=key[1], microbatch=key[2])
+    return record
+
+
+def _tp_follower_task(ctx: WorkerContext, payload: Dict[str, Any]
+                      ) -> Dict[str, Any]:
+    """Worker task for a tensor-parallel follower (``t > 0``): receive the
+    lead's weight/gradient shard messages for the batch and acknowledge
+    each one.  Followers hold no stage, so the reply carries nothing to
+    apply — the parent only merges its events and spans."""
+    from .tp import TPComm, tp_follower_step
+
+    grid = payload["grid"]
+    comm = TPComm(ctx.rank, grid, ctx.send,
+                  record=_worker_tp_record(ctx))
+    ctx.kill_after = payload.get("kill_after")
+    ctx._maybe_crash()
+    gen = tp_follower_step(ctx.rank, grid, comm,
+                           payload["total_microbatches"])
+    if isinstance(gen, types.GeneratorType):
+        ctx.drive(gen)
+    return {"follower": True}
 
 
 class ProcessBackend:
@@ -914,14 +959,27 @@ class ProcessBackend:
         channels = []
         for rank in range(grid.world_size):
             nxt = grid.next_in_pipeline(rank)
-            if nxt is not None:
+            if nxt is not None and grid.is_tp_lead(rank):
+                # Only leads pipeline activations; followers never touch
+                # the inter-layer channels.
                 channels.append((rank, nxt))
                 channels.append((nxt, rank))
+            if grid.is_tp_lead(rank):
+                for peer in grid.tp_peers(rank):
+                    channels.append((rank, peer))
+                    channels.append((peer, rank))
         if ring_capacity is None:
             # Size for several in-flight boundary activations: the largest
             # payload is a (microbatch, seq, hidden) fp32 tensor.
             frame = (4 * trainer.microbatch_size * trainer.cfg.seq_len
                      * trainer.cfg.hidden + 4096)
+            if grid.g_intra > 1:
+                # TP weight messages carry every shard a peer lacks —
+                # bounded by a full stage's parameter block.
+                stage_bytes = max(
+                    (4 * sum(p.size for p in st.parameters())
+                     for st in trainer.stages.values()), default=0)
+                frame = max(frame, stage_bytes + 4096)
             ring_capacity = max(1 << 16, 4 * frame)
         tracing = trainer.tracer is not None and trainer.tracer.enabled
         self.pool = ProcessPool(
@@ -991,6 +1049,14 @@ class ProcessBackend:
 
         from .checkpointing import _dropout_modules
         for rank in range(grid.world_size):
+            if not grid.is_tp_lead(rank):
+                _i, j, _t = grid.coord3_of(rank)
+                self.pool.submit(rank, _tp_follower_task, {
+                    "grid": grid,
+                    "total_microbatches": len(groups[j]),
+                    "kill_after": crash_after.get(rank),
+                })
+                continue
             stage = trainer.stages[rank]
             params = stage.parameters()
             numel = sum(p.size for p in params)
@@ -1044,6 +1110,7 @@ class ProcessBackend:
         return messages
 
     def _apply_replies(self, replies: Dict[int, Tuple]) -> int:
+        from ..perf.counters import counters as _counters
         from .checkpointing import _dropout_modules
         trainer = self.trainer
         messages = 0
@@ -1051,8 +1118,17 @@ class ProcessBackend:
         for rank in sorted(replies):
             status, payload, events, spans, sent = replies[rank]
             messages += sent
-            if trainer.recorder is not None:
-                for ev in events:
+            for ev in events:
+                if ev[0] == "collective":
+                    _kind, src, op, key, nbytes = ev
+                    if trainer.recorder is not None:
+                        trainer.recorder.record_collective(src, op, key=key)
+                    if _counters.enabled:
+                        kind = "allgather" if op == "tp_allgather" \
+                            else "reduce_scatter"
+                        _counters.bump(f"tp.{kind}")
+                        _counters.bump(f"tp.{kind}_bytes", nbytes)
+                elif trainer.recorder is not None:
                     if ev[0] == "send":
                         trainer.recorder.record_send(*ev[1:])
                     elif ev[0] == "recv":
@@ -1065,6 +1141,8 @@ class ProcessBackend:
             if status != "ok":  # pragma: no cover - defensive
                 errors.append(f"rank {rank}: unexpected status {status!r}")
                 continue
+            if payload.get("follower"):
+                continue  # followers hold no stage; events already merged
             if payload["inflight"]:
                 errors.append(
                     f"rank {rank} finished with {payload['inflight']} "

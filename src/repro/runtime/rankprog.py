@@ -27,6 +27,7 @@ import numpy as np
 from ..obs import RuntimeTracer
 from .grid import RankGrid
 from .stage import PipelineStage
+from .tp import TAG_TP_ACK, TPComm
 from .transport import RECV
 
 __all__ = ["TAG_FWD", "TAG_BWD", "inter_layer_step"]
@@ -43,7 +44,8 @@ def inter_layer_step(rank: int, grid: RankGrid, stage: PipelineStage,
                      microbatches: List[Tuple[np.ndarray, np.ndarray]],
                      total_microbatches: int, pipeline_limit: int,
                      loss_scale: float = 1.0,
-                     tracer: Optional[RuntimeTracer] = None) -> Generator:
+                     tracer: Optional[RuntimeTracer] = None,
+                     tp: Optional[TPComm] = None) -> Generator:
     """INTER_LAYER_PARALLEL_STEP for GPU ``g^{i,j}`` (Algorithm 2).
 
     ``send`` is the transport's non-blocking send with the source rank
@@ -51,6 +53,12 @@ def inter_layer_step(rank: int, grid: RankGrid, stage: PipelineStage,
     for the batch (1.0 for fp32).  The caller owns delivering packets into
     the generator in per-channel FIFO order — everything else about the
     schedule is decided here, identically on every backend.
+
+    With ``tp`` (a :class:`~repro.runtime.tp.TPComm`; ``g_intra > 1``),
+    this rank is its tensor-parallel group's *lead*: each forward also
+    emits the group's weight all-gather, each backward the gradient
+    reduce-scatter, and the followers' :data:`~repro.runtime.tp.TAG_TP_ACK`
+    replies are absorbed by the same receive loop.
     """
     i, _j = grid.coord_of(rank)
     prev_rank = grid.prev_in_pipeline(rank)
@@ -77,12 +85,35 @@ def inter_layer_step(rank: int, grid: RankGrid, stage: PipelineStage,
                              category="compute", microbatch=mb, stage=i):
                 return stage.backward(mb, *args)
 
-    # Degenerate pipeline: a single stage runs everything locally.
+    if tp is not None and tp.peers:
+        # Wrap once more: every forward carries the group's weight
+        # all-gather, every backward its gradient reduce-scatter.
+        base_fwd, base_bwd = fwd, bwd
+
+        def fwd(mb, *args, **kwargs):
+            out = base_fwd(mb, *args, **kwargs)
+            tp.emit_weights(mb)
+            return out
+
+        def bwd(mb, *args):
+            g = base_bwd(mb, *args)
+            tp.emit_grads(mb)
+            return g
+
+    tp_acks = 0 if tp is None else m * tp.acks_per_microbatch
+
+    # Degenerate pipeline: a single stage runs everything locally; with a
+    # tensor-parallel group the lead still drains the followers' acks.
     if grid.g_inter == 1:
         for mb in queue:
             fwd(mb, inputs_of(mb), targets=targets_of(mb),
                 loss_divisor=divisor, loss_scale=loss_scale)
             bwd(mb)
+        for _ in range(tp_acks):
+            pkt = yield RECV
+            if pkt.tag != TAG_TP_ACK:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"rank {rank} received unexpected packet {pkt}")
         return
         yield  # pragma: no cover - makes this function a generator
 
@@ -101,6 +132,7 @@ def inter_layer_step(rank: int, grid: RankGrid, stage: PipelineStage,
         expected += m  # forward activations from upstream
     if next_rank is not None:
         expected += m  # output gradients from downstream
+    expected += tp_acks  # intra-group acknowledgements
 
     # Steady state (lines 11-31): message-driven dispatch.
     received = 0
@@ -127,6 +159,9 @@ def inter_layer_step(rank: int, grid: RankGrid, stage: PipelineStage,
                     send(next_rank, TAG_FWD, nxt, out)
             else:
                 send(prev_rank, TAG_BWD, mb, grad_in)
+        elif tp is not None and pkt.tag == TAG_TP_ACK \
+                and pkt.src in tp.peers:
+            pass  # intra-group acknowledgement; already counted
         else:  # pragma: no cover - defensive
             raise RuntimeError(
                 f"rank {rank} received unexpected packet {pkt}"

@@ -1,4 +1,4 @@
-"""Unit tests for the repo-specific AST lint rules (REP001-REP008)."""
+"""Unit tests for the repo-specific AST lint rules (REP001-REP010)."""
 
 import textwrap
 
@@ -419,6 +419,95 @@ class TestREP008:
         assert lint_source(src) == []
 
 
+class TestREP010:
+    def test_sink_record_without_group_flagged(self):
+        src = """
+        def emit(trace, rank, mb):
+            trace.record_collective(rank, "tp_allgather", key=("fwd", mb))
+        """
+        assert _codes(src) == ["REP010"]
+
+    def test_sink_record_with_group_key_clean(self):
+        src = """
+        def emit(trace, rank, mb, group_key):
+            trace.record_collective(rank, "tp_allgather",
+                                    key=(group_key, "fwd", mb))
+        """
+        assert _codes(src) == []
+
+    def test_raw_record_call_without_group_flagged(self):
+        src = """
+        def emit(self, mb, nbytes):
+            self.record(self.rank, "tp_reduce_scatter", ("bwd", mb), nbytes)
+        """
+        assert _codes(src) == ["REP010"]
+
+    def test_wrapper_forwarding_group_key_clean(self):
+        # The TPComm shape: the wrapper owns the group key, call sites
+        # pass only (op, direction, microbatch, nbytes).
+        src = """
+        class Comm:
+            def record_collective(self, op, direction, microbatch, nbytes):
+                self.record(self.rank, op,
+                            (self.group_key, direction, microbatch), nbytes)
+
+        def emit(comm, mb, n):
+            comm.record_collective("tp_allgather", "fwd", mb, n)
+        """
+        assert _codes(src) == []
+
+    def test_wrapper_dropping_group_key_flagged(self):
+        src = """
+        class Comm:
+            def record_collective(self, op, direction, microbatch, nbytes):
+                self.record(self.rank, op, (direction, microbatch), nbytes)
+        """
+        assert _codes(src) == ["REP010"]
+
+    def test_mispaired_direction_flagged(self):
+        # A reduce-scatter labeled "fwd" would make the follower's record
+        # order diverge from the lead's.
+        src = """
+        def emit(comm, mb, n):
+            comm.record_collective("tp_reduce_scatter", "fwd", mb, n)
+        """
+        assert _codes(src) == ["REP010"]
+
+    def test_canonical_pairings_clean(self):
+        src = """
+        def emit(comm, mb, n):
+            comm.record_collective("tp_allgather", "fwd", mb, n)
+            comm.record_collective("tp_reduce_scatter", "bwd", mb, n)
+        """
+        assert _codes(src) == []
+
+    def test_variable_op_untouched(self):
+        # Sinks that relay a variable op (engine/parallel replay paths)
+        # cannot be judged statically and are left alone.
+        src = """
+        def relay(recorder, rank, op, key):
+            recorder.record_collective(rank, op, key=key)
+        """
+        assert _codes(src) == []
+
+    def test_raw_sink_definition_exempt(self):
+        # TraceRecorder.record_collective has no `direction` parameter:
+        # it is the sink itself, not the TP wrapper.
+        src = """
+        class TraceRecorder:
+            def record_collective(self, rank, op, key=None):
+                self._record(kind="collective", rank=rank, tag=op, key=key)
+        """
+        assert _codes(src) == []
+
+    def test_non_tp_collectives_untouched(self):
+        src = """
+        def emit(recorder, rank, slot):
+            recorder.record_collective(rank, "allreduce_fp32", key=(0, slot))
+        """
+        assert _codes(src) == []
+
+
 class TestMachinery:
     def test_suppression_comment(self):
         src = "rng = np.random.default_rng()  # lint-ok: REP003 reason\n"
@@ -444,4 +533,4 @@ class TestMachinery:
     def test_rule_catalogue_complete(self):
         assert set(RULES) == {"REP001", "REP002", "REP003", "REP004",
                               "REP005", "REP006", "REP007", "REP008",
-                              "REP009"}
+                              "REP009", "REP010"}

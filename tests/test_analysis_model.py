@@ -118,6 +118,58 @@ class TestDeadlockMutant:
             extract_skeleton(deadlock_mutant_model())
 
 
+class Test4DTensorParallel:
+    def test_tp_grids_verify(self):
+        for g_inter, g_data, g_intra in ((2, 1, 2), (1, 2, 2), (2, 2, 2)):
+            result = check_model(axonn_model(g_inter, g_data, 2,
+                                             g_intra=g_intra))
+            assert result.ok, (g_inter, g_data, g_intra, result.violations)
+            assert result.collectives_consistent
+
+    def test_followers_marked_as_reflectors(self):
+        from repro.runtime.grid import RankGrid
+        model = axonn_model(2, 1, 2, g_intra=2)
+        grid = RankGrid(2, 1, 2)
+        followers = frozenset(r for r in range(grid.world_size)
+                              if not grid.is_tp_lead(r))
+        assert model.reflector_ranks == followers
+        # A dense grid has no reflectors: the reduction must not touch it.
+        assert axonn_model(2, 1, 2).reflector_ranks == frozenset()
+
+    def test_reflector_reduction_shrinks_the_state_space(self):
+        """Eagerly firing deliveries to TP followers is a *reduction*:
+        same verdict, strictly fewer states than branching against the
+        full action set."""
+        from dataclasses import replace
+        model = axonn_model(1, 2, 2, g_intra=2)
+        reduced = check_model(model)
+        full = check_model(replace(model, reflector_ranks=frozenset()))
+        assert reduced.ok and full.ok
+        assert reduced.states < full.states
+
+    def test_tp_skeleton_collectives_carry_group_keys(self):
+        sk = extract_skeleton(axonn_model(2, 1, 2, g_intra=2))
+        tp_ops = [o for rank in sk.ops for o in sk.ops[rank]
+                  if o.kind == "collective" and o.tag.startswith("tp_")]
+        assert tp_ops, "TP grids must record tp_* collectives in-stream"
+        assert all(o.key is not None for o in tp_ops)
+
+    def test_tampered_member_order_is_a_violation(self):
+        """The invariant the checker proves: two members of one TP group
+        recording the same collectives in different orders must trip the
+        order check."""
+        from repro.analysis import check_collective_order
+        trace = TraceRecorder()
+        trace.record_collective(0, "tp_allgather", key=((0, 0), "fwd", 0))
+        trace.record_collective(0, "tp_reduce_scatter",
+                                key=((0, 0), "bwd", 0))
+        trace.record_collective(1, "tp_reduce_scatter",
+                                key=((0, 0), "bwd", 0))
+        trace.record_collective(1, "tp_allgather", key=((0, 0), "fwd", 0))
+        violations = check_collective_order(trace, [[0, 1]], tags=("tp_",))
+        assert violations
+
+
 class TestCrossValidation:
     """The static skeletons must agree op-for-op with TraceRecorder
     traces of actual runs — the extractor drives the production

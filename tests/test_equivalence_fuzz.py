@@ -121,3 +121,89 @@ def test_process_backend_bit_identical_to_cooperative(grid, seed):
     for rec in (coop_rec, proc_rec):
         assert check_unmatched_sends(rec) == []
         assert check_match_order(rec) == []
+
+
+# valid (g_inter, g_data, g_intra, microbatch, batch) 4D shapes; n_head=2
+# caps g_intra at 2 for the fuzz configs.
+TP_GRIDS = [
+    (1, 1, 2, 2, 4), (2, 1, 2, 2, 4), (1, 2, 2, 2, 4), (3, 1, 2, 1, 4),
+]
+
+
+@given(
+    grid=st.sampled_from(TP_GRIDS),
+    seed=st.integers(0, 1000),
+    precision=st.sampled_from(["fp32", "mixed"]),
+)
+@settings(max_examples=12, deadline=None)
+def test_tensor_parallel_axis_matches_dense(grid, seed, precision):
+    """``g_intra > 1`` is bit-identical to the dense ``g_intra = 1`` run:
+    dropout stays on (the TP lead owns the stage's RNG state, so sharding
+    the parameters must not move any draw) and mixed precision is fuzzed
+    too (gathered weights round-trip through the same dtypes)."""
+    g_inter, g_data, g_intra, mbs, batch = grid
+    rng = np.random.default_rng(seed)
+    batches = [(rng.integers(0, CFG_DROP.vocab_size,
+                             (batch, CFG_DROP.seq_len)),
+                rng.integers(0, CFG_DROP.vocab_size,
+                             (batch, CFG_DROP.seq_len)))
+               for _ in range(2)]
+
+    def run(g_intra_):
+        trainer = AxoNNTrainer(CFG_DROP, g_inter=g_inter, g_data=g_data,
+                               microbatch_size=mbs, g_intra=g_intra_,
+                               lr=1e-3, precision=precision)
+        try:
+            losses = [trainer.train_batch(x, y).loss for x, y in batches]
+            return losses, trainer.gather_state()
+        finally:
+            trainer.close()
+
+    dense_losses, dense_state = run(1)
+    tp_losses, tp_state = run(g_intra)
+    assert tp_losses == dense_losses  # exact, not approx
+    assert set(tp_state) == set(dense_state)
+    for key in dense_state:
+        assert np.array_equal(tp_state[key], dense_state[key]), key
+
+
+# kept tiny: every example spawns g_inter * g_data * g_intra processes.
+TP_PROCESS_GRIDS = [(2, 1, 2, 2, 4), (1, 2, 2, 2, 4)]
+
+
+@given(
+    grid=st.sampled_from(TP_PROCESS_GRIDS),
+    seed=st.integers(0, 1000),
+    precision=st.sampled_from(["fp32", "mixed"]),
+)
+@settings(max_examples=4, deadline=None)
+def test_process_backend_4d_bit_identical_to_cooperative(grid, seed,
+                                                         precision):
+    """The cross-substrate contract extends to the TP axis: real worker
+    processes running sharded stages (dropout on, either precision) must
+    reproduce the cooperative backend's losses and weights exactly."""
+    g_inter, g_data, g_intra, mbs, batch = grid
+    rng = np.random.default_rng(seed)
+    batches = [(rng.integers(0, CFG_DROP.vocab_size,
+                             (batch, CFG_DROP.seq_len)),
+                rng.integers(0, CFG_DROP.vocab_size,
+                             (batch, CFG_DROP.seq_len)))
+               for _ in range(2)]
+
+    def run(backend):
+        trainer = AxoNNTrainer(CFG_DROP, g_inter=g_inter, g_data=g_data,
+                               microbatch_size=mbs, g_intra=g_intra,
+                               lr=1e-3, precision=precision,
+                               backend=backend)
+        try:
+            losses = [trainer.train_batch(x, y).loss for x, y in batches]
+            return losses, trainer.gather_state()
+        finally:
+            trainer.close()
+
+    coop_losses, coop_state = run("cooperative")
+    proc_losses, proc_state = run("process")
+    assert proc_losses == coop_losses  # exact, not approx
+    assert set(proc_state) == set(coop_state)
+    for key in coop_state:
+        assert np.array_equal(proc_state[key], coop_state[key]), key

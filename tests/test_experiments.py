@@ -233,3 +233,32 @@ class TestServingExperiment:
         from repro.experiments.serving import SERVED_MODEL_CFG
         per_req = kv_cache_bytes(SERVED_MODEL_CFG) / model.g_inter
         assert per_req * model.effective_max_active < 16e9
+
+
+class Test4DSweep:
+    def test_sweep_enumerates_tensor_parallel_decompositions(self):
+        rows = ex.sweep_4d(cluster_sizes=(16,))
+        assert rows
+        # Every row is a complete decomposition of the cluster size.
+        for row in rows:
+            assert row["g_inter"] * row["g_data"] * row["g_intra"] == 16
+        # The tensor axis is actually explored, not just g_intra=1.
+        assert any(row["g_intra"] > 1 for row in rows)
+
+    def test_best_prefers_feasible_decompositions(self):
+        rows = ex.sweep_4d(cluster_sizes=(16, 32))
+        best = ex.best_4d_decompositions(rows)
+        assert [row["gpus"] for row in best] == [16, 32]
+        for row in best:
+            feasible = [r for r in rows if r["gpus"] == row["gpus"]
+                        and r["feasible"]]
+            if feasible:
+                assert row["feasible"]
+                assert row["batch_time_s"] == min(r["batch_time_s"]
+                                                  for r in feasible)
+
+    def test_cli_entry_point_prints_table(self, capsys):
+        from repro.experiments.scaling import main
+        assert main(["--4d", "--sizes", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "g_intra" in out

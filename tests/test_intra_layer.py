@@ -51,8 +51,30 @@ class TestColumnParallel:
         np.testing.assert_allclose(rebuilt, dense.weight.grad, rtol=1e-4,
                                    atol=1e-6)
 
-    def test_indivisible_rejected(self):
-        dense = Linear(8, 10)
+    def test_uneven_split_exact(self):
+        """10 output rows across 4 ranks: shards [3, 3, 2, 2], forward and
+        backward bit-exact against the dense layer."""
+        dense = Linear(8, 10, rng=np.random.default_rng(7))
+        tp = ColumnParallelLinear(dense, 4)
+        assert [w.data.shape[0] for w in tp.shards] == [3, 3, 2, 2]
+        x1 = tensor((3, 8), requires_grad=True)
+        x2 = Tensor(x1.data.copy(), requires_grad=True)
+        out_d = dense(x1)
+        out_t = tp(x2)
+        # Forward is bit-exact: every output element is one dot product
+        # over the same operands in the same order.
+        np.testing.assert_array_equal(out_t.data, out_d.data)
+        (out_d ** 2).sum().backward()
+        (out_t ** 2).sum().backward()
+        # Backward sums per-shard input-grad contributions (split-K), so
+        # only the summation order differs from dense.
+        np.testing.assert_allclose(x2.grad, x1.grad, rtol=1e-6, atol=1e-8)
+        rebuilt = np.concatenate([w.grad for w in tp.shards], axis=0)
+        np.testing.assert_allclose(rebuilt, dense.weight.grad, rtol=1e-6,
+                                   atol=1e-8)
+
+    def test_zero_row_rank_rejected(self):
+        dense = Linear(8, 3)
         with pytest.raises(ValueError):
             ColumnParallelLinear(dense, 4)
 
@@ -144,10 +166,26 @@ class TestTensorParallelAttention:
         np.testing.assert_allclose(tp(x).data, dense(x).data, rtol=1e-4,
                                    atol=1e-5)
 
-    def test_heads_divisibility_checked(self):
+    def test_uneven_heads_match_dense(self):
+        """4 heads across 3 ranks: head_counts [2, 1, 1]; the row-parallel
+        projection follows the head partition, not an even hidden split."""
+        dense = CausalSelfAttention(CFG, np.random.default_rng(5))
+        tp = TensorParallelAttention(dense, 3)
+        assert tp.head_counts == [2, 1, 1]
+        hd = CFG.head_dim
+        assert tp.proj.in_sizes == [2 * hd, hd, hd]
+        x1 = tensor((2, CFG.seq_len, CFG.hidden), requires_grad=True)
+        x2 = Tensor(x1.data.copy(), requires_grad=True)
+        np.testing.assert_allclose(tp(x2).data, dense(x1).data, rtol=1e-4,
+                                   atol=1e-5)
+        dense(x1).sum().backward()
+        tp(x2).sum().backward()
+        np.testing.assert_allclose(x2.grad, x1.grad, rtol=1e-4, atol=1e-5)
+
+    def test_more_ranks_than_heads_rejected(self):
         dense = CausalSelfAttention(CFG, np.random.default_rng(5))
         with pytest.raises(ValueError):
-            TensorParallelAttention(dense, 3)
+            TensorParallelAttention(dense, CFG.n_head + 1)
 
     def test_one_allreduce_per_forward(self):
         counter = CommCounter()

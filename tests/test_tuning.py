@@ -111,7 +111,9 @@ class TestTuning:
     def test_as_row(self):
         row = tune_axonn(SPEC, 48, 16384, refine_top=0).as_row()
         assert row["framework"] == "axonn"
-        assert row["g_intra"] is None
+        # g_intra is a first-class grid axis; the 3D tuner sweeps only
+        # the dense decomposition, so the row reports the identity axis.
+        assert row["g_intra"] == 1
 
     def test_infeasible_model_raises(self):
         """A 100 B model cannot fit on 6 GPUs no matter the configuration."""
