@@ -1,0 +1,74 @@
+"""Schedule benchmark: DES makespan + bubble per shipped schedule (PR 9).
+
+Simulates one batch of every shipped IR schedule
+(:mod:`repro.sched.builders`) on the DES twin at pipeline depths 4 and 8
+with 8 microbatches (12B-layer stage costs, no jitter — the numbers are
+deterministic, so any drift is a cost-model or schedule change, not
+noise), and records makespan, bubble fraction and peak activation
+residency.  Writes ``BENCH_PR9.json`` at the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_schedules.py
+
+``check_regression.py`` re-simulates and compares against the committed
+file: makespans must not grow past the threshold, and the structural
+wins the PR's acceptance bar pinned (interleaved and zero-bubble beat
+1F1B's bubble at depth 4) must still hold.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.sched import SCHEDULE_NAMES, build_schedule  # noqa: E402
+from repro.sched.des import simulate_schedule  # noqa: E402
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
+
+STAGE_COUNTS = (4, 8)
+MICROBATCHES = 8
+
+
+def bench_schedules() -> Dict[str, Dict[str, Dict[str, float]]]:
+    """``{stages: {schedule: {makespan_s, bubble_fraction, ...}}}``."""
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for n_stages in STAGE_COUNTS:
+        per_stage: Dict[str, Dict[str, float]] = {}
+        for name in SCHEDULE_NAMES:
+            try:
+                sched = build_schedule(name, n_stages, MICROBATCHES)
+            except ValueError:
+                continue  # e.g. interleaved off its round constraint
+            sim = simulate_schedule(sched)
+            per_stage[name] = {
+                "makespan_s": sim.makespan,
+                "bubble_fraction": sim.bubble_fraction,
+                "peak_activation_bytes": sim.peak_memory,
+            }
+            print(f"  S={n_stages} {name:>12}: makespan "
+                  f"{sim.makespan:.4f}s bubble {sim.bubble_fraction:.4f}")
+        results[str(n_stages)] = per_stage
+    return results
+
+
+def main() -> int:
+    print(f"schedule DES benchmark: stages={STAGE_COUNTS} "
+          f"microbatches={MICROBATCHES}")
+    schedules = bench_schedules()
+    report = {
+        "config": {"stage_counts": list(STAGE_COUNTS),
+                   "microbatches": MICROBATCHES, "model": "12B",
+                   "sigma": 0.0},
+        "schedules": schedules,
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

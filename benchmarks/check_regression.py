@@ -36,6 +36,7 @@ from typing import Dict, Tuple
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import bench_scaling  # noqa: E402  (needs the path tweak above)
+import bench_schedules  # noqa: E402
 import bench_serving  # noqa: E402
 import bench_wallclock  # noqa: E402
 
@@ -81,6 +82,49 @@ def check_serving(baseline_path: Path, threshold: float) -> bool:
     return failed
 
 
+def check_schedules(baseline_path: Path, threshold: float) -> bool:
+    """Compare fresh schedule-DES numbers against ``BENCH_PR9.json``.
+
+    Returns True when a regression was detected.  The simulation is
+    deterministic (no jitter), so makespans growing past ``threshold``
+    means the cost model or a schedule changed.  The PR's structural
+    acceptance bar — interleaved and zero-bubble beat 1F1B's bubble
+    fraction at depth 4 — is re-asserted on the fresh numbers.
+    """
+    if not baseline_path.exists():
+        print(f"no schedule baseline found at {baseline_path}; nothing to "
+              f"compare against.\nRun `PYTHONPATH=src python "
+              f"benchmarks/bench_schedules.py` to record one.")
+        return False
+    baseline = json.loads(baseline_path.read_text())["schedules"]
+
+    failed = False
+    fresh = bench_schedules.bench_schedules()
+    for stages, per_sched in fresh.items():
+        for name, stats in per_sched.items():
+            base = baseline.get(stages, {}).get(name)
+            if base is None:
+                print(f"S={stages} {name:>12}: new schedule, no baseline")
+                continue
+            ratio = stats["makespan_s"] / base["makespan_s"]
+            status = "ok"
+            if ratio > 1.0 + threshold:
+                status = "REGRESSION"
+                failed = True
+            print(f"S={stages} {name:>12}: makespan "
+                  f"{stats['makespan_s']:.4f}s vs baseline "
+                  f"{base['makespan_s']:.4f}s ({ratio:.2f}x)  {status}")
+    at4 = fresh.get("4", {})
+    if at4:
+        bar = at4["1f1b"]["bubble_fraction"]
+        for name in ("interleaved", "zb-h1"):
+            ok = name in at4 and at4[name]["bubble_fraction"] < bar
+            print(f"acceptance: {name} bubble beats 1f1b ({bar:.4f}) at "
+                  f"S=4: {'ok' if ok else 'REGRESSION'}")
+            failed = failed or not ok
+    return failed
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--threshold", type=float, default=0.20,
@@ -91,6 +135,9 @@ def main(argv=None) -> int:
     parser.add_argument("--scaling-baseline", type=Path,
                         default=bench_scaling.OUTPUT,
                         help="committed BENCH_PR6.json to compare against")
+    parser.add_argument("--schedules-baseline", type=Path,
+                        default=bench_schedules.OUTPUT,
+                        help="committed BENCH_PR9.json to compare against")
     parser.add_argument("--bench-root", type=Path, default=REPO_ROOT,
                         help="directory globbed for BENCH_PR*.json trainer "
                              "baselines")
@@ -99,6 +146,8 @@ def main(argv=None) -> int:
     failed = check_trainers(args.threshold, args.bench_root)
     failed = check_serving(args.serving_baseline, args.threshold) or failed
     failed = check_scaling(args.scaling_baseline, args.threshold) or failed
+    failed = check_schedules(args.schedules_baseline,
+                             args.threshold) or failed
     return 1 if failed else 0
 
 

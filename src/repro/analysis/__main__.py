@@ -2,7 +2,7 @@
 
 Subcommands:
 
-* ``lint [paths...]`` — run the repo-specific AST lint (REP001-REP010)
+* ``lint [paths...]`` — run the repo-specific AST lint (REP001-REP011)
   over the given files/directories (default: the installed ``repro``
   package).  Exit code 1 if any issue is found.  ``--json`` / ``--sarif``
   switch the report format for CI tooling.

@@ -82,6 +82,16 @@ breakage the test suite may not catch:
   pairing (weight all-gather is forward, gradient reduce-scatter is
   backward).
 
+* **REP011** — schedule code must emit IR, not hand-rolled rank loops.
+  The schedules-as-data contract is that everything under a ``sched``
+  package is *data* (task tuples + dependency edges) consumed by the one
+  compiler in ``repro/sched/compile.py``: a builder that directly
+  ``yield RECV``-drives a transport, or yields the flushing planes
+  ``"F"`` / ``"B"``, has silently become a second compiler whose control
+  flow the validator and the model checker never see.  Flagged for any
+  function inside a ``sched`` directory other than ``compile.py``;
+  legitimate exceptions carry a ``# lint-ok: REP011`` suppression.
+
 Suppression: append ``# lint-ok: REP003 <reason>`` to the offending line
 (bare ``# lint-ok`` suppresses every rule on that line).
 
@@ -121,6 +131,8 @@ RULES: Dict[str, str] = {
               "pair ops with their protocol direction (tp_allgather/fwd, "
               "tp_reduce_scatter/bwd) so every group member records the "
               "same order",
+    "REP011": "schedule builders must emit IR: no raw `yield RECV` loops "
+              "or plane-constant yields outside repro.sched.compile",
 }
 
 SUPPRESS_MARK = "lint-ok"
@@ -788,6 +800,34 @@ def _check_rep010_tree(tree: ast.AST, issues: List[LintIssue],
                     "comm.group_key) in the record's key"))
 
 
+# -- REP011 ------------------------------------------------------------------
+
+def _check_rep011(fn: ast.AST, issues: List[LintIssue], path: str) -> None:
+    """Schedule packages hold data, not rank programs.
+
+    Inside a ``sched`` directory every rank program belongs to the one
+    compiler module (``compile.py``); a builder/metric/search function
+    that itself ``yield RECV``s or yields the flushing plane constants
+    ("F"/"B") is a second, unverified lowering.
+    """
+    p = Path(path)
+    if "sched" not in p.parts or p.name == "compile.py":
+        return
+    is_rank, yields = _is_rank_program(fn)
+    plane_yields = [
+        y for y in yields
+        if isinstance(y, ast.Yield) and isinstance(y.value, ast.Constant)
+        and y.value.value in ("F", "B")
+    ]
+    if is_rank or plane_yields:
+        node = plane_yields[0] if plane_yields else fn
+        issues.append(LintIssue(
+            path, node.lineno, node.col_offset, "REP011",
+            f"{getattr(fn, 'name', '<lambda>')!r} hand-rolls a rank "
+            f"program inside a sched package; schedule code must emit IR "
+            f"tasks and leave lowering to repro.sched.compile"))
+
+
 # -- driver ------------------------------------------------------------------
 
 def lint_source(source: str, path: str = "<string>") -> List[LintIssue]:
@@ -807,6 +847,7 @@ def lint_source(source: str, path: str = "<string>") -> List[LintIssue]:
             _check_rep008(node, issues, path)
             _check_rep009(node, issues, path)
             _check_rep010(node, issues, path)
+            _check_rep011(node, issues, path)
     _check_rep003(tree, issues, path)
     _check_rep004(tree, issues, path)
     _check_rep007(tree, issues, path)
@@ -845,7 +886,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro.analysis lint",
-        description="Repo-specific AST lint (rules REP001-REP010).")
+        description="Repo-specific AST lint (rules REP001-REP011).")
     parser.add_argument("paths", nargs="*", default=None,
                         help="files or directories (default: the installed "
                              "repro package)")

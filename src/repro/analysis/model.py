@@ -73,6 +73,7 @@ __all__ = [
     "deadlock_mutant_model",
     "extract_skeleton",
     "flushing_model",
+    "scheduled_model",
     "serve_model",
 ]
 
@@ -368,6 +369,62 @@ def flushing_model(schedule: str, g_inter: int, g_data: int,
                      {"g_inter": g_inter, "g_data": g_data, "m": m})
 
 
+def scheduled_model(schedule: Any, g_inter: int, g_data: int,
+                    microbatches: int, param_slots: Any = 1) -> CommModel:
+    """Any IR schedule, lowered by the *real* compiler.
+
+    ``schedule`` is a shipped builder name or a validated
+    :class:`~repro.sched.ir.Schedule` instance (e.g. a search
+    perturbation).  Drives :func:`repro.sched.compile.lower_rank` — the
+    same lowering the :class:`~repro.sched.compile.ScheduledPipelineTrainer`
+    executes — with symbolic stages over the two tag planes, so
+    interleaved and zero-bubble schedules get the identical
+    deadlock-freedom / complete-matching proof as the hardcoded
+    baselines.  Raises ``ValueError`` for grids the builder rejects
+    (e.g. interleaved needs ``microbatches % g_inter == 0``).
+    """
+    from ..sched.builders import build_schedule
+    from ..sched.compile import lower_rank
+    from ..sched.ir import Schedule
+    grid = RankGrid(g_inter, g_data)
+    m = microbatches
+    if isinstance(schedule, Schedule):
+        if schedule.n_stages != g_inter or schedule.n_microbatches != m:
+            raise ValueError(
+                f"schedule {schedule.name} is for "
+                f"{schedule.n_stages}x{schedule.n_microbatches}, not "
+                f"{g_inter}x{m}")
+        sched, schedule = schedule, schedule.name
+    else:
+        sched = build_schedule(schedule, g_inter, m)
+    slots = ([param_slots] * g_inter if isinstance(param_slots, int)
+             else list(param_slots))
+
+    def make(capture: _Capture) -> Dict[int, Generator]:
+        fwd_net = capture.plane_view("F")
+        bwd_net = capture.plane_view("B")
+        return {
+            rank: lower_rank(
+                sched, grid, rank,
+                {v: _SymbolicStage() for v in range(sched.n_virtual)},
+                fwd_net, bwd_net, [(None, None)] * m, m * g_data)
+            for rank in range(grid.world_size)
+        }
+
+    collectives: Dict[int, List[Tuple[str, Any]]] = {}
+    groups: List[List[int]] = []
+    if g_data > 1:
+        for i in range(g_inter):
+            column = grid.data_parallel_ranks(i)
+            groups.append(column)
+            plan = [("allreduce_fp32", (i, slot)) for slot in range(slots[i])]
+            for r in column:
+                collectives[r] = list(plan)
+    return CommModel(f"sched-{schedule}", grid.world_size, make,
+                     collectives, groups,
+                     {"g_inter": g_inter, "g_data": g_data, "m": m})
+
+
 def serve_model(g_inter: int, n_requests: int, max_new_tokens: int = 2,
                 max_batch: int = 2, pipeline_limit: Optional[int] = None,
                 max_active: Optional[int] = None) -> CommModel:
@@ -468,6 +525,16 @@ def builtin_models(max_world: int = 8, max_microbatches: int = 4,
                 models.append(axonn_model(g_inter, g_data, m))
                 models.append(flushing_model("1f1b", g_inter, g_data, m))
                 models.append(flushing_model("gpipe", g_inter, g_data, m))
+                # Every shipped IR schedule through the real compiler
+                # (interleaved rejects grids with m % g_inter != 0 or a
+                # depth-one pipeline; skip those instead of special-casing).
+                for sched_name in ("axonn", "1f1b", "gpipe", "interleaved",
+                                   "zb-h1"):
+                    try:
+                        models.append(scheduled_model(sched_name, g_inter,
+                                                      g_data, m))
+                    except ValueError:
+                        continue
     # 4D variants: every decomposition with a real tensor-parallel axis.
     # TP traffic is per-microbatch homogeneous (one weight all-gather, one
     # gradient reduce-scatter), so m=2 already exercises every fwd/bwd

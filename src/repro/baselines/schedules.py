@@ -19,12 +19,15 @@ baselines (the other being blocking NCCL point-to-point sends).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 __all__ = ["one_f_one_b_schedule", "gpipe_schedule", "max_inflight",
            "bubble_fraction"]
 
 Op = Tuple[str, int]  # ("F"|"B", microbatch)
+#: stage-tagged form: ("F"|"B"|"W", stage, microbatch) — a rank that owns
+#: several virtual stages interleaves their ops in one sequence
+StagedOp = Tuple[str, int, int]
 
 
 def one_f_one_b_schedule(stage: int, n_stages: int,
@@ -59,22 +62,47 @@ def gpipe_schedule(stage: int, n_stages: int,
             + [("B", mb) for mb in range(n_microbatches)])
 
 
-def max_inflight(ops: List[Op]) -> int:
-    """Peak number of microbatches with a live forward activation."""
-    live = 0
+def max_inflight(ops: Sequence[Op]) -> int:
+    """Peak resident forward activations of one rank, counted per stage.
+
+    Accepts the legacy ``("F"|"B", microbatch)`` form (one stage per
+    rank — the counter is that stage's) and the stage-tagged
+    ``("F"|"B"|"W", stage, microbatch)`` form, where each virtual stage
+    gets its own counter and the rank's estimate is the *maximum over
+    its stages*, not the sum over every op in the sequence — a GPipe
+    rank holding 8 microbatches of one stage needs 8 activations'
+    memory, not ``8 x stages``.  When a stage splits its backward, the
+    releasing op is the deferred weight pass ``("W", stage, mb)``; a
+    plain ``B`` for a microbatch with a matching ``W`` does not free
+    the activation.
+    """
+    staged = [op if len(op) == 3 else (op[0], 0, op[1]) for op in ops]
+    has_w = {(s, mb) for kind, s, mb in staged if kind == "W"}
+    live: dict = {}
     peak = 0
-    for kind, _mb in ops:
+    for kind, s, mb in staged:
         if kind == "F":
-            live += 1
-            peak = max(peak, live)
-        else:
-            live -= 1
+            live[s] = live.get(s, 0) + 1
+            peak = max(peak, live[s])
+        elif kind == "W" or (kind == "B" and (s, mb) not in has_w):
+            live[s] = live.get(s, 0) - 1
     return peak
 
 
-def bubble_fraction(n_stages: int, n_microbatches: int) -> float:
-    """Idle fraction of a flushing pipeline:
-    ``(S - 1) / (m + S - 1)`` (Narayanan et al.)."""
+def bubble_fraction(n_stages: int, n_microbatches: int,
+                    schedule: str = "1f1b") -> float:
+    """Idle fraction of a static pipeline, derived from the schedule IR.
+
+    Historically this returned the 1F1B closed form
+    ``(S - 1) / (m + S - 1)`` (Narayanan et al.) regardless of which
+    schedule the caller ran.  It now builds the named schedule in
+    :mod:`repro.sched` and measures the critical path of the actual
+    task DAG; for 1F1B the result coincides with the closed form on
+    every grid (pinned by tests), and interleaved / zero-bubble
+    schedules are priced honestly instead of being mislabeled.
+    """
     if n_stages < 1 or n_microbatches < 1:
         raise ValueError("stages and microbatches must be >= 1")
-    return (n_stages - 1) / (n_microbatches + n_stages - 1)
+    # Local import: repro.sched.builders imports this module's op lists.
+    from ..sched.metrics import ir_bubble_fraction
+    return ir_bubble_fraction(n_stages, n_microbatches, schedule)

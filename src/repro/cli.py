@@ -47,6 +47,10 @@ model-checks all interleavings for deadlock-freedom / complete matching /
 collective-order consistency, proves the seeded deadlock mutant is caught
 with a wait-for-graph counterexample, and self-checks the shared-memory
 race detector on synthetic ring traffic plus its torn-write mutant.
+``sched`` drives the schedules-as-data subsystem: list the shipped IR
+schedule builders with their analytic bubble/memory metrics, search
+orderings in the DES under compute jitter, and replay the winner on the
+functional substrate with loss equivalence as the acceptance oracle.
 """
 
 from __future__ import annotations
@@ -677,6 +681,64 @@ def cmd_verify(args) -> bool:
     return ok
 
 
+def cmd_sched(args) -> bool:
+    """Schedules-as-data driver: list the shipped IR schedules with
+    their analytic metrics, search orderings in the DES under jitter
+    (--search), and replay the winner on the functional substrate with
+    the equivalence harness as the acceptance oracle (--replay)."""
+    from .sched import SCHEDULE_NAMES, build_schedule
+    from .sched.metrics import critical_path, peak_resident_activations
+    S = args.ranks
+    m = args.microbatches
+
+    do_search = args.search or args.replay
+    if args.list or not do_search:
+        print(f"\n== shipped schedules as IR ({S} stages, {m} "
+              f"microbatches) ==")
+        print(f"  {'name':<12} {'tasks':>6} {'chunks':>6} "
+              f"{'bubble':>8} {'peak-act':>9}")
+        for name in SCHEDULE_NAMES:
+            try:
+                sched = build_schedule(name, S, m)
+            except ValueError as e:
+                print(f"  {name:<12} (not buildable here: {e})")
+                continue
+            cp = critical_path(sched)
+            peak = max(peak_resident_activations(sched))
+            n_tasks = sum(len(o) for o in sched.rank_order)
+            print(f"  {name:<12} {n_tasks:>6} {sched.n_chunks:>6} "
+                  f"{cp.bubble_fraction:>8.4f} {peak:>9}")
+        if not do_search:
+            return True
+
+    from .sched.search import replay_winner, search_schedules
+    print(f"\n== DES schedule search ({S} stages, {m} microbatches, "
+          f"jitter sigma=0.1) ==")
+    ranked = search_schedules(S, m, n_perturbations=4 if args.fast else 8)
+    print(f"  {'rank':>4} {'name':<16} {'makespan':>10} {'bubble':>8} "
+          f"{'peak-act-MiB':>12}")
+    for pos, r in enumerate(ranked[:8]):
+        print(f"  {pos:>4} {r.name:<16} {r.sim.makespan:>10.4f} "
+              f"{r.sim.bubble_fraction:>8.4f} "
+              f"{r.sim.peak_memory / 2**20:>12.1f}")
+    winner = ranked[0].schedule
+    if not args.replay:
+        return True
+
+    print(f"\n== replaying winner {winner.name!r} on the functional "
+          f"substrate ==")
+    try:
+        report = replay_winner(winner)
+    except RuntimeError as e:
+        print(f"  [FAIL] {e}")
+        return False
+    losses = ", ".join(f"{l:.6f}" for l in report["losses"])
+    print(f"  [ok] losses match flushing 1F1B: {losses}")
+    print(f"  peak resident activations per rank: "
+          f"{report['peak_resident_activations']}")
+    return True
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "fig1": cmd_fig1,
     "fig3": cmd_fig3,
@@ -703,6 +765,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                                        "trace", "faults",
                                                        "serve", "train",
                                                        "verify",
+                                                       "sched",
                                                        "scaling4d"],
                         help="which artefact to regenerate, 'lint' to run "
                              "the repo-specific static analysis, 'trace' "
@@ -713,7 +776,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "'train' to run real steps on an execution "
                              "backend (--backend, --ranks, --steps), or "
                              "'verify' to model-check every built-in "
-                             "communication skeleton pre-run, or "
+                             "communication skeleton pre-run, 'sched' to "
+                             "list/search/replay IR pipeline schedules, or "
                              "'scaling4d' to sweep 4D decompositions on "
                              "the DES")
     parser.add_argument("--fast", action="store_true",
@@ -757,6 +821,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--steps", type=int, default=None,
                         help="number of 'train' batches (default 4, "
                              "2 with --fast)")
+    parser.add_argument("--list", action="store_true",
+                        help="'sched': print the shipped IR schedules "
+                             "with their analytic metrics")
+    parser.add_argument("--search", action="store_true",
+                        help="'sched': search schedule orderings in the "
+                             "DES under compute jitter")
+    parser.add_argument("--replay", action="store_true",
+                        help="'sched': replay the search winner on the "
+                             "functional substrate (implies --search)")
+    parser.add_argument("--microbatches", type=int, default=4,
+                        help="microbatch count for 'sched' (default 4)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -764,7 +839,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             doc = (EXPERIMENTS[name].__doc__ or "").strip()
             print(f"  {name:<10} {doc}")
         print("  all        run every experiment")
-        print("  lint       repo-specific AST lint (rules REP001-REP010)")
+        print("  lint       repo-specific AST lint (rules REP001-REP011)")
         print("  trace      Chrome-trace of a small scenario "
               "(--substrate, --out, --faults)")
         print("  faults     deterministic fault injection on either "
@@ -775,6 +850,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               "(--backend, --ranks, --steps, --fast)")
         print("  verify     pre-run communication model checker + race-"
               "detector self-check (--fast)")
+        print("  sched      pipeline schedules as data: list IR builders, "
+              "search in the DES, replay the winner "
+              "(--list, --search, --replay, --ranks, --microbatches)")
         print("  scaling4d  DES sweep of 4D decompositions per cluster "
               "size (--fast, --models, --csv)")
         return 0
@@ -797,6 +875,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.experiment == "verify":
         return 0 if cmd_verify(args) else 1
+
+    if args.experiment == "sched":
+        return 0 if cmd_sched(args) else 1
 
     if args.experiment == "scaling4d":
         return 0 if cmd_scaling4d(args) else 1

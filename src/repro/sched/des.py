@@ -1,0 +1,161 @@
+"""Lower a schedule onto the DES performance twin.
+
+One simulated GPU per *physical* rank walks its program order: compute
+tasks run on the GPU's compute stream with the real stage cost tables
+(:func:`repro.core.phases.stage_costs`, built for the virtual pipeline
+so each chunk carries its true share of layers) perturbed by the same
+:func:`~repro.core.phases.jitter_factor` the message-driven/static
+ablation uses; comm tasks become :class:`Messenger` sends and stash-
+reordered receives (the wire delivers in arrival order, programs
+consume in schedule order — exactly the process-backend discipline).
+
+Zero-bubble pricing: when a schedule splits ``W`` out of ``BWD``, the
+backward-proper flops are halved between the two tasks, so ``W`` can
+fill what would otherwise be drain bubble — this is where ZB-H1's win
+over 1F1B is measured (the functional substrate deliberately does not
+split; see :mod:`repro.sched.compile`).
+
+Activation residency is tracked per rank in bytes of boundary-sized
+activations (+1 per ``FWD``, released at ``W`` when split else ``BWD``)
+— the searcher's memory objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..cluster import Machine, summit
+from ..comm import Message, Messenger
+from ..core import AxoNNConfig, WEAK_SCALING_MODELS
+from ..core.phases import StageCost, jitter_factor, stage_costs
+from .ir import BWD, FWD, RECV_ACT, RECV_GRAD, SEND_ACT, SEND_GRAD, W, \
+    Schedule
+
+__all__ = ["SchedSimResult", "simulate_schedule", "virtual_stage_costs"]
+
+
+@dataclass(frozen=True)
+class SchedSimResult:
+    """Outcome of one simulated batch of a schedule."""
+
+    schedule: str
+    makespan: float                      #: seconds for the whole batch
+    busy: Tuple[float, ...]              #: per-rank compute-stream time
+    bubble_fraction: float               #: 1 - mean(busy) / makespan
+    peak_activation_bytes: Tuple[int, ...]  #: per-rank residency peak
+
+    @property
+    def peak_memory(self) -> int:
+        return max(self.peak_activation_bytes, default=0)
+
+
+def virtual_stage_costs(schedule: Schedule, spec=None,
+                        microbatch_size: int = 1) -> List[StageCost]:
+    """Real cost table for the schedule's *virtual* pipeline.
+
+    Builds the existing :func:`stage_costs` for a ``n_virtual``-deep
+    pipeline, so interleaved chunks automatically carry ``1/V`` of the
+    layers (and the head lands on the last virtual stage) — no separate
+    cost model for virtual stages.
+    """
+    spec = spec or WEAK_SCALING_MODELS["12B"]
+    vs = schedule.n_virtual
+    if vs > spec.n_layer:
+        raise ValueError(f"{vs} virtual stages exceed spec's "
+                         f"{spec.n_layer} layers")
+    cfg = AxoNNConfig(
+        spec=spec, num_gpus=vs, g_inter=vs, g_data=1,
+        microbatch_size=microbatch_size,
+        batch_size=microbatch_size * schedule.n_microbatches,
+        include_optimizer=False, memopt=False)
+    return stage_costs(cfg)
+
+
+def simulate_schedule(schedule: Schedule, *, spec=None,
+                      microbatch_size: int = 1, sigma: float = 0.0,
+                      seed: int = 0,
+                      costs: Optional[List[StageCost]] = None,
+                      machine: Optional[Machine] = None,
+                      backend_p2p: str = "mpi") -> SchedSimResult:
+    """Simulate one batch of ``schedule`` on the DES; return timings."""
+    S = schedule.n_stages
+    costs = costs or virtual_stage_costs(schedule, spec, microbatch_size)
+    if len(costs) != schedule.n_virtual:
+        raise ValueError(f"cost table has {len(costs)} entries for "
+                         f"{schedule.n_virtual} virtual stages")
+    machine = machine or Machine(spec=summit(max(1, -(-S // 6))))
+    env = machine.env
+    messenger = Messenger(machine, machine.cal.backend(backend_p2p))
+    busy = [0.0] * S
+    peak_bytes = [0] * S
+
+    def rank_proc(r: int):
+        gpu = machine.gpu(r)
+        stash: Dict[Tuple[str, int], Message] = {}
+        resident = 0
+
+        def recv(tag: str, mb: int):
+            while (tag, mb) not in stash:
+                msg = yield messenger.irecv(r)
+                stash[(msg.tag, msg.meta["mb"])] = msg
+            return stash.pop((tag, mb))
+
+        for task in schedule.rank_order[r]:
+            v, mb = task.stage, task.mb
+            cost = costs[v]
+            if task.kind == RECV_ACT:
+                yield from recv(f"act{v}", mb)
+            elif task.kind == RECV_GRAD:
+                yield from recv(f"grad{v}", mb)
+            elif task.kind == FWD:
+                resident += cost.activation_bytes
+                peak_bytes[r] = max(peak_bytes[r], resident)
+                flops = cost.fwd_flops * jitter_factor(
+                    sigma, seed, v, mb, 0)
+                t0 = env.now
+                yield from gpu.compute(flops, label=f"fwd{mb}",
+                                       category="compute",
+                                       work=cost.work_granularity,
+                                       mb=mb, stage=v)
+                busy[r] += env.now - t0
+            elif task.kind in (BWD, W):
+                flops = cost.bwd_flops
+                if schedule.has_w(v, mb):
+                    flops /= 2.0  # split: input-grad half / weight half
+                if task.kind == W or not schedule.has_w(v, mb):
+                    resident -= cost.activation_bytes
+                kind_label = "wgrad" if task.kind == W else "bwd"
+                flops *= jitter_factor(sigma, seed, v, mb, 1)
+                t0 = env.now
+                yield from gpu.compute(flops, label=f"{kind_label}{mb}",
+                                       category="compute",
+                                       work=cost.work_granularity,
+                                       mb=mb, stage=v)
+                busy[r] += env.now - t0
+            elif task.kind == SEND_ACT:
+                dst = schedule.placement(v + 1)
+                messenger.isend(Message(r, dst, cost.activation_bytes,
+                                        tag=f"act{v + 1}",
+                                        meta={"mb": mb}))
+            elif task.kind == SEND_GRAD:
+                dst = schedule.placement(v - 1)
+                messenger.isend(Message(r, dst, cost.activation_bytes,
+                                        tag=f"grad{v - 1}",
+                                        meta={"mb": mb}))
+
+    def phase():
+        procs = [env.process(rank_proc(r), name=f"sched-rank{r}")
+                 for r in range(S)]
+        yield env.all_of(procs)
+        messenger.check_drained()
+
+    start = env.now
+    env.process(phase(), name=f"sched-{schedule.name}")
+    machine.run()
+    makespan = env.now - start
+    mean_busy = sum(busy) / S if S else 0.0
+    bubble = 0.0 if makespan <= 0 else 1.0 - mean_busy / makespan
+    return SchedSimResult(
+        schedule=schedule.name, makespan=makespan, busy=tuple(busy),
+        bubble_fraction=bubble, peak_activation_bytes=tuple(peak_bytes))

@@ -1,0 +1,169 @@
+"""Schedule search: perturb in the cheap twin, accept on the real one.
+
+The search space is program orderings of the IR: a *perturbation*
+swaps two adjacent tasks in one rank's order and keeps the move only
+if the validator still accepts the schedule (deps, FIFO discipline and
+activation limits all survive), so every candidate is executable by
+construction.  Candidates — the shipped builders plus perturbations of
+the best of them — are scored in the DES under compute jitter
+(makespan first, peak activation residency as tiebreak), and the
+winner is *replayed on the functional substrate* against the flushing
+1F1B baseline: identical losses there are the acceptance oracle, the
+same equivalence harness the baselines use.  A schedule that searches
+well but trains differently is a bug, not a win.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .builders import SCHEDULE_NAMES, build_schedule
+from .des import SchedSimResult, simulate_schedule
+from .ir import Schedule, ScheduleError, validate
+from .metrics import peak_resident_activations
+
+__all__ = ["perturb", "candidate_schedules", "search_schedules",
+           "replay_winner", "SearchResult"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SearchResult:
+    """One scored candidate, ranked by (makespan, peak memory)."""
+
+    schedule: Schedule
+    sim: SchedSimResult
+
+    @property
+    def name(self) -> str:
+        return self.schedule.name
+
+    @property
+    def key(self) -> Tuple[float, int]:
+        return (self.sim.makespan, self.sim.peak_memory)
+
+
+def perturb(schedule: Schedule, rng: np.random.Generator,
+            n_swaps: int = 4, label: Optional[str] = None) -> Schedule:
+    """Random validator-gated adjacent swaps of one rank's order.
+
+    Each attempted swap is kept only if the perturbed schedule still
+    validates; invalid moves are reverted, so the result is always a
+    runnable schedule (possibly identical to the input when every move
+    was rejected).
+    """
+    orders = [list(order) for order in schedule.rank_order]
+    made = 0
+    for _ in range(n_swaps * 4):  # budget: invalid moves don't count
+        if made >= n_swaps:
+            break
+        r = int(rng.integers(0, schedule.n_stages))
+        if len(orders[r]) < 2:
+            continue
+        k = int(rng.integers(0, len(orders[r]) - 1))
+        orders[r][k], orders[r][k + 1] = orders[r][k + 1], orders[r][k]
+        candidate = dataclasses.replace(
+            schedule,
+            name=label or f"{schedule.name}~perturbed",
+            rank_order=tuple(tuple(o) for o in orders))
+        try:
+            validate(candidate)
+        except ScheduleError:
+            orders[r][k], orders[r][k + 1] = orders[r][k + 1], orders[r][k]
+            continue
+        made += 1
+    return dataclasses.replace(
+        schedule, name=label or f"{schedule.name}~perturbed",
+        rank_order=tuple(tuple(o) for o in orders))
+
+
+def candidate_schedules(n_stages: int, n_microbatches: int) -> List[Schedule]:
+    """Every shipped builder that accepts this grid (interleaved needs
+    ``m % S == 0`` and at least two stages)."""
+    out = []
+    for name in SCHEDULE_NAMES:
+        try:
+            out.append(build_schedule(name, n_stages, n_microbatches))
+        except ValueError:
+            continue
+    return out
+
+
+def search_schedules(n_stages: int, n_microbatches: int, *,
+                     n_perturbations: int = 8, sigma: float = 0.1,
+                     seed: int = 0, spec=None,
+                     microbatch_size: int = 1) -> List[SearchResult]:
+    """Score shipped schedules + perturbations of the best; rank all.
+
+    Returns every scored candidate sorted best-first.  Deterministic
+    for a given seed: the jitter stream and the perturbation RNG are
+    both seeded.
+    """
+    rng = np.random.default_rng(seed)
+    pool = candidate_schedules(n_stages, n_microbatches)
+    if not pool:
+        raise ValueError(f"no shipped schedule accepts "
+                         f"{n_stages}x{n_microbatches}")
+
+    def score(s: Schedule) -> SearchResult:
+        return SearchResult(s, simulate_schedule(
+            s, spec=spec, microbatch_size=microbatch_size,
+            sigma=sigma, seed=seed))
+
+    scored = sorted((score(s) for s in pool), key=lambda r: r.key)
+    base = scored[0].schedule
+    for k in range(n_perturbations):
+        cand = perturb(base, rng, label=f"{base.name}~p{k}")
+        scored.append(score(cand))
+    scored.sort(key=lambda r: r.key)
+    return scored
+
+
+def replay_winner(winner: Schedule, cfg=None, n_batches: int = 2,
+                  batch_size: int = 8, rel_tol: float = 2e-4
+                  ) -> Dict[str, object]:
+    """Acceptance oracle: train the winner, compare to flushing 1F1B.
+
+    Any valid schedule computes the same update (the schedule only
+    reorders work), so the winner's per-batch losses must match the
+    hardcoded baseline to numerical tolerance.  Raises RuntimeError on
+    divergence; returns a replay report otherwise.
+    """
+    from ..baselines.functional_pipeline import FlushingPipelineTrainer
+    from ..nn import GPTConfig, LMBatches, SyntheticCorpus
+    from .compile import ScheduledPipelineTrainer
+    if cfg is None:
+        n_layer = max(winner.n_virtual, 4)
+        cfg = GPTConfig(vocab_size=19, seq_len=8, n_layer=n_layer,
+                        n_head=2, hidden=12, dropout=0.0, init_seed=11)
+    m = winner.n_microbatches
+    if batch_size % m != 0:
+        batch_size = m
+    mbs = batch_size // m
+    corpus = SyntheticCorpus(cfg.vocab_size, 4000, seed=0)
+    batches = LMBatches(corpus, batch_size=batch_size, seq_len=cfg.seq_len)
+    ref = FlushingPipelineTrainer(cfg, g_inter=winner.n_stages, g_data=1,
+                                  microbatch_size=mbs, schedule="1f1b")
+    cand = ScheduledPipelineTrainer(cfg, g_inter=winner.n_stages,
+                                    microbatch_size=mbs, schedule=winner)
+    ref_losses, cand_losses = [], []
+    for i in range(n_batches):
+        x, y = batches.batch(i)
+        ref_losses.append(ref.train_batch(x, y))
+        cand_losses.append(cand.train_batch(x, y))
+    for a, b in zip(ref_losses, cand_losses):
+        if not np.isfinite(b) or abs(a - b) > rel_tol * abs(a):
+            raise RuntimeError(
+                f"replay diverged: {winner.name} loss {b} vs 1F1B {a}")
+    return {
+        "schedule": winner.name,
+        "n_stages": winner.n_stages,
+        "n_microbatches": m,
+        "losses": cand_losses,
+        "reference_losses": ref_losses,
+        "peak_resident_activations": list(
+            peak_resident_activations(winner)),
+        "accepted": True,
+    }

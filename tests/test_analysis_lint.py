@@ -1,4 +1,4 @@
-"""Unit tests for the repo-specific AST lint rules (REP001-REP010)."""
+"""Unit tests for the repo-specific AST lint rules (REP001-REP011)."""
 
 import textwrap
 
@@ -508,6 +508,58 @@ class TestREP010:
         assert _codes(src) == []
 
 
+class TestREP011:
+    SCHED = "src/repro/sched/builders.py"
+
+    @staticmethod
+    def _codes_at(source, path):
+        return [i.code for i in lint_source(textwrap.dedent(source), path)]
+
+    def test_recv_loop_in_sched_flagged(self):
+        src = """
+        def build(transport, m):
+            for _ in range(m):
+                pkt = yield RECV
+        """
+        assert self._codes_at(src, self.SCHED) == ["REP011"]
+
+    def test_plane_yield_in_sched_flagged(self):
+        src = """
+        def build(net, m):
+            pkt = yield "F"
+            net.send(0, 1, "F", 0, pkt.data)
+        """
+        assert self._codes_at(src, self.SCHED) == ["REP011"]
+
+    def test_compile_module_exempt(self):
+        src = """
+        def lower(net, m):
+            pkt = yield "F"
+            net.send(0, 1, "F", 0, pkt.data)
+        """
+        assert self._codes_at(src, "src/repro/sched/compile.py") == []
+
+    def test_outside_sched_untouched(self):
+        src = """
+        def program(transport, m):
+            for _ in range(m):
+                pkt = yield RECV
+        """
+        assert self._codes_at(src, "src/repro/runtime/rankprog.py") == []
+
+    def test_pure_ir_builder_clean(self):
+        src = """
+        def build(n_stages, m):
+            return [("F", mb) for mb in range(m)]
+        """
+        assert self._codes_at(src, self.SCHED) == []
+
+    def test_suppression_honored(self):
+        src = ('def build(net):\n'
+               '    pkt = yield "F"  # lint-ok: REP011 demo\n')
+        assert self._codes_at(src, self.SCHED) == []
+
+
 class TestMachinery:
     def test_suppression_comment(self):
         src = "rng = np.random.default_rng()  # lint-ok: REP003 reason\n"
@@ -533,4 +585,4 @@ class TestMachinery:
     def test_rule_catalogue_complete(self):
         assert set(RULES) == {"REP001", "REP002", "REP003", "REP004",
                               "REP005", "REP006", "REP007", "REP008",
-                              "REP009", "REP010"}
+                              "REP009", "REP010", "REP011"}

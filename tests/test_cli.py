@@ -76,7 +76,8 @@ class TestCLI:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "serve" in out
-        assert "REP010" in out
+        assert "REP011" in out
+        assert "sched" in out
         assert "scaling4d" in out
         assert "train" in out
         assert "verify" in out

@@ -322,6 +322,37 @@ def test_sigkill_recovery_is_bit_identical():
     assert losses == ref_losses  # exact equality, not approx
 
 
+def test_sigkill_tp_follower_respawns_whole_group():
+    """A dead tensor-parallel *follower* cannot be rebuilt alone (its
+    shards live with the group lead): recovery must expand the failure
+    to the full TP group, respawn it, and still converge bit-identically.
+    Rank 1 at g_inter=2 x g_intra=2 is stage 0's follower (t=1)."""
+    cfg = GPTConfig(vocab_size=17, seq_len=6, n_layer=2, n_head=2, hidden=8,
+                    dropout=0.0, init_seed=5)
+    rng = np.random.default_rng(4)
+    batches = [(rng.integers(0, 17, (4, 6)), rng.integers(0, 17, (4, 6)))
+               for _ in range(3)]
+
+    reference = AxoNNTrainer(cfg, g_inter=2, g_data=1, g_intra=2,
+                             microbatch_size=2)
+    ref_losses = [reference.train_batch(x, y).loss for x, y in batches]
+
+    plan = FaultPlan.of(Fault(kind="crash", rank=1, step=1, tick=1))
+    trainer = AxoNNTrainer(cfg, g_inter=2, g_data=1, g_intra=2,
+                           microbatch_size=2, backend="process")
+    resilient = ResilientTrainer(trainer, plan)
+    try:
+        losses = [resilient.train_batch(x, y).loss for x, y in batches]
+    finally:
+        trainer.close()
+
+    assert resilient.total_recoveries == 1
+    event = resilient.recoveries[0]
+    assert event.tp_groups == ((0, 1),)   # stage 0's intra group
+    assert 0 in event.dead and 1 in event.dead  # lead dragged in
+    assert losses == ref_losses  # exact equality, not approx
+
+
 def test_channel_faults_rejected_on_process_backend():
     cfg = GPTConfig(vocab_size=17, seq_len=6, n_layer=2, n_head=2, hidden=8,
                     dropout=0.0, init_seed=5)

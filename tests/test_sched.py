@@ -1,0 +1,312 @@
+"""Tests for repro.sched — schedules as data (PR 9).
+
+The IR validator must reject malformed DAGs before anything runs; the
+compiler must reproduce the hardcoded flushing trainer bit-for-bit on
+both backends; the new schedules (interleaved, ZB-H1) must train to the
+same update and beat 1F1B's bubble; and every schedule the validator
+accepts must be provable by the model checker (the hypothesis fuzz at
+the bottom drives random perturbations through the full
+validate -> compile -> check pipeline).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import TraceRecorder
+from repro.analysis.model import check_model, scheduled_model
+from repro.baselines import FlushingPipelineTrainer
+from repro.baselines.schedules import bubble_fraction, max_inflight
+from repro.nn import GPTConfig, LMBatches, SyntheticCorpus
+from repro.sched import (
+    FWD,
+    SCHEDULE_NAMES,
+    SEND_ACT,
+    ScheduledPipelineTrainer,
+    ScheduleError,
+    build_schedule,
+    critical_path,
+    ir_bubble_fraction,
+    peak_resident_activations,
+    validate,
+)
+from repro.sched.ir import Task
+from repro.sched.search import perturb, replay_winner, search_schedules
+
+CFG = GPTConfig(vocab_size=19, seq_len=8, n_layer=4, n_head=2, hidden=12,
+                dropout=0.0, init_seed=11)
+
+
+def make_batches(batch_size=8, seed=0):
+    corpus = SyntheticCorpus(CFG.vocab_size, 4000, seed=seed)
+    return LMBatches(corpus, batch_size=batch_size, seq_len=CFG.seq_len)
+
+
+def trace_tuples(recorder):
+    return [(e.kind, e.rank, e.peer, e.tag, e.microbatch)
+            for e in recorder.events]
+
+
+class TestValidator:
+    @pytest.mark.parametrize("name", SCHEDULE_NAMES)
+    @pytest.mark.parametrize("n_stages,m", [(2, 2), (2, 4), (4, 4)])
+    def test_shipped_builders_validate(self, name, n_stages, m):
+        try:
+            sched = build_schedule(name, n_stages, m)
+        except ValueError:
+            pytest.skip(f"{name} rejects {n_stages}x{m}")
+        validate(sched)  # builders validate at build; re-assert idempotent
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            build_schedule("wave", 2, 2)
+
+    def test_missing_dependency_rejected(self):
+        sched = build_schedule("1f1b", 2, 2)
+        deps = dict(sched.deps)
+        deps[Task(FWD, 1, 0)] = frozenset()  # FWD needs its RECV_ACT
+        bad = dataclasses.replace(sched, deps=deps)
+        with pytest.raises(ScheduleError, match="missing required"):
+            validate(bad)
+
+    def test_cycle_rejected(self):
+        sched = build_schedule("1f1b", 2, 2)
+        deps = dict(sched.deps)
+        # An extra (ordering-only) edge closing a loop: FWD[0,0] already
+        # reaches BWD[0,0] through the dataflow, so this is a cycle.
+        deps[Task(FWD, 0, 0)] = (deps.get(Task(FWD, 0, 0), frozenset())
+                                 | {Task("BWD", 0, 0)})
+        bad = dataclasses.replace(sched, deps=deps)
+        with pytest.raises(ScheduleError, match="cycle"):
+            validate(bad)
+
+    def test_fifo_swap_rejected(self):
+        # Rank 0 produces microbatch 1 before 0 while rank 1 still
+        # consumes 0 then 1: acyclic, but the channel FIFO is violated.
+        sched = build_schedule("1f1b", 2, 2)
+        orders = [list(o) for o in sched.rank_order]
+        assert orders[0][:4] == [Task(FWD, 0, 0), Task(SEND_ACT, 0, 0),
+                                 Task(FWD, 0, 1), Task(SEND_ACT, 0, 1)]
+        orders[0][0], orders[0][2] = orders[0][2], orders[0][0]
+        orders[0][1], orders[0][3] = orders[0][3], orders[0][1]
+        bad = dataclasses.replace(
+            sched, rank_order=tuple(tuple(o) for o in orders))
+        with pytest.raises(ScheduleError, match="FIFO mismatch"):
+            validate(bad)
+
+    def test_activation_overflow_rejected(self):
+        # GPipe holds every microbatch's activation through the flush.
+        sched = build_schedule("gpipe", 2, 4)
+        bad = dataclasses.replace(sched, activation_limit=1)
+        with pytest.raises(ScheduleError, match="in-flight"):
+            validate(bad)
+
+    def test_misplaced_task_rejected(self):
+        sched = build_schedule("1f1b", 2, 2)
+        orders = [list(o) for o in sched.rank_order]
+        orders[0][0] = Task(FWD, 1, 0)  # stage 1 lives on rank 1
+        bad = dataclasses.replace(
+            sched, rank_order=tuple(tuple(o) for o in orders))
+        with pytest.raises(ScheduleError):
+            validate(bad)
+
+
+class TestMetrics:
+    @pytest.mark.parametrize("n_stages,m", [(2, 4), (3, 6), (4, 8)])
+    def test_1f1b_bubble_matches_closed_form(self, n_stages, m):
+        closed = (n_stages - 1) / (m + n_stages - 1)
+        assert ir_bubble_fraction(n_stages, m, "1f1b") == \
+            pytest.approx(closed)
+        cp = critical_path(build_schedule("1f1b", n_stages, m))
+        assert cp.bubble_fraction == pytest.approx(closed)
+
+    def test_interleaved_and_zb_beat_1f1b_at_4x8(self):
+        bar = ir_bubble_fraction(4, 8, "1f1b")
+        assert ir_bubble_fraction(4, 8, "interleaved") < bar
+        assert ir_bubble_fraction(4, 8, "zb-h1") < bar
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ir_bubble_fraction(0, 4)
+        with pytest.raises(ValueError):
+            ir_bubble_fraction(4, 0)
+
+    def test_peak_resident_activations(self):
+        # GPipe holds all m per rank; 1F1B caps rank r at S - r.
+        assert peak_resident_activations(build_schedule("gpipe", 2, 4)) \
+            == (4, 4)
+        assert peak_resident_activations(build_schedule("1f1b", 4, 8)) \
+            == (4, 3, 2, 1)
+
+
+class TestBaselinesBridge:
+    """Satellite: baselines.schedules delegates to the IR metrics."""
+
+    def test_bubble_fraction_delegates_to_ir(self):
+        assert bubble_fraction(4, 8) == ir_bubble_fraction(4, 8, "1f1b")
+        assert bubble_fraction(2, 4, schedule="gpipe") == \
+            ir_bubble_fraction(2, 4, "gpipe")
+        with pytest.raises(ValueError):
+            bubble_fraction(0, 4)
+
+    def test_max_inflight_legacy_two_tuples(self):
+        assert max_inflight([("F", 0), ("F", 1), ("B", 0), ("B", 1)]) == 2
+        assert max_inflight([("F", 0), ("B", 0), ("F", 1), ("B", 1)]) == 1
+
+    def test_max_inflight_per_stage_with_w_split(self):
+        # B does not release the activation when a matching W exists;
+        # only the deferred weight-gradient task does.
+        ops = [("F", 0, 0), ("F", 0, 1), ("B", 0, 0), ("F", 0, 2),
+               ("W", 0, 0), ("B", 0, 1), ("W", 0, 1), ("B", 0, 2),
+               ("W", 0, 2)]
+        assert max_inflight(ops) == 3
+
+    def test_max_inflight_counts_stages_separately(self):
+        # Two virtual stages on one rank: the peak is per stage, not the
+        # raw F-minus-B running total across both.
+        ops = [("F", 0, 0), ("F", 2, 0), ("B", 2, 0), ("B", 0, 0)]
+        assert max_inflight(ops) == 1
+
+
+class TestCompiledBitIdentity:
+    @pytest.mark.parametrize("schedule", ["1f1b", "gpipe"])
+    @pytest.mark.parametrize("g_inter,g_data,mbs", [(2, 1, 2), (4, 2, 1)])
+    def test_matches_hardcoded_trainer(self, schedule, g_inter, g_data, mbs):
+        """Compiled-IR 1F1B/GPipe replay the hardcoded trainer exactly:
+        same losses, same weights, same communication trace."""
+        batches = make_batches()
+        rec_ref, rec_ir = TraceRecorder(), TraceRecorder()
+        ref = FlushingPipelineTrainer(CFG, g_inter, g_data, mbs,
+                                      schedule=schedule, recorder=rec_ref)
+        comp = ScheduledPipelineTrainer(CFG, g_inter, g_data=g_data,
+                                        microbatch_size=mbs,
+                                        schedule=schedule, recorder=rec_ir)
+        for i in range(3):
+            x, y = batches.batch(i)
+            assert comp.train_batch(x, y) == ref.train_batch(x, y)
+        ref_state, ir_state = ref.gather_state(), comp.gather_state()
+        assert ref_state.keys() == ir_state.keys()
+        for k in ref_state:
+            assert np.array_equal(ir_state[k], ref_state[k]), k
+        assert len(rec_ref.events) > 0
+        assert trace_tuples(rec_ir) == trace_tuples(rec_ref)
+
+    def test_process_backend_bit_identical(self):
+        batches = make_batches()
+        coop = ScheduledPipelineTrainer(CFG, 2, microbatch_size=2,
+                                        schedule="1f1b")
+        proc = ScheduledPipelineTrainer(CFG, 2, microbatch_size=2,
+                                        schedule="1f1b", backend="process")
+        try:
+            for i in range(2):
+                x, y = batches.batch(i)
+                assert proc.train_batch(x, y) == coop.train_batch(x, y)
+            cs, ps = coop.gather_state(), proc.gather_state()
+            for k in cs:
+                assert np.array_equal(ps[k], cs[k]), k
+        finally:
+            proc.close()
+
+    @pytest.mark.parametrize("name", ["axonn", "interleaved", "zb-h1"])
+    def test_new_schedules_compute_the_same_update(self, name):
+        """Every schedule only reorders work: losses must equal the
+        flushing 1F1B baseline's exactly (finite by implication)."""
+        batches = make_batches()
+        ref = FlushingPipelineTrainer(CFG, 2, 1, 2, schedule="1f1b")
+        cand = ScheduledPipelineTrainer(CFG, 2, microbatch_size=2,
+                                        schedule=name)
+        for i in range(2):
+            x, y = batches.batch(i)
+            loss = cand.train_batch(x, y)
+            assert np.isfinite(loss)
+            assert loss == ref.train_batch(x, y)
+
+    def test_trainer_rejects_bad_configs(self):
+        with pytest.raises(ValueError):
+            ScheduledPipelineTrainer(CFG, 2, schedule="wave")
+        with pytest.raises(ValueError):  # built for 4 stages, trainer has 2
+            ScheduledPipelineTrainer(CFG, 2,
+                                     schedule=build_schedule("1f1b", 4, 4))
+        with pytest.raises(ValueError):  # 8 virtual stages > 4 layers
+            ScheduledPipelineTrainer(CFG, 4, schedule="interleaved")
+        wet = dataclasses.replace(CFG, dropout=0.1)
+        with pytest.raises(ValueError):
+            ScheduledPipelineTrainer(wet, 2, schedule="1f1b",
+                                     backend="process")
+
+
+class TestSearch:
+    def test_perturb_is_always_valid(self):
+        sched = build_schedule("1f1b", 2, 4)
+        rng = np.random.default_rng(7)
+        for k in range(5):
+            cand = perturb(sched, rng, n_swaps=3, label=f"p{k}")
+            assert cand.name == f"p{k}"
+            validate(cand)  # must not raise
+
+    def test_search_is_deterministic_and_ranked(self):
+        a = search_schedules(2, 4, n_perturbations=2, sigma=0.1, seed=3)
+        b = search_schedules(2, 4, n_perturbations=2, sigma=0.1, seed=3)
+        assert [r.name for r in a] == [r.name for r in b]
+        assert [r.sim.makespan for r in a] == [r.sim.makespan for r in b]
+        assert all(x.key <= y.key for x, y in zip(a, a[1:]))
+
+    def test_replay_accepts_the_winner(self):
+        results = search_schedules(2, 4, n_perturbations=2, sigma=0.1,
+                                   seed=0)
+        report = replay_winner(results[0].schedule, n_batches=1)
+        assert report["accepted"]
+        assert report["losses"] == pytest.approx(
+            report["reference_losses"], rel=2e-4)
+
+
+class TestCheckerIntegration:
+    @pytest.mark.parametrize("name", SCHEDULE_NAMES)
+    @pytest.mark.parametrize("g_inter,g_data,m", [(2, 1, 2), (2, 2, 2),
+                                                  (4, 1, 4)])
+    def test_shipped_schedules_prove_clean(self, name, g_inter, g_data, m):
+        try:
+            model = scheduled_model(name, g_inter, g_data, m)
+        except ValueError:
+            pytest.skip(f"{name} rejects {g_inter}x{m}")
+        result = check_model(model)
+        assert result.ok, result
+
+    def test_schedule_instances_accepted(self):
+        sched = build_schedule("zb-h1", 2, 3)
+        assert check_model(scheduled_model(sched, 2, 1, 3)).ok
+        with pytest.raises(ValueError):  # grid mismatch
+            scheduled_model(sched, 4, 1, 3)
+
+
+class TestFuzzPerturbedSchedules:
+    """Validator-accepted implies checker-proven (or an honest reject)."""
+
+    @given(name=st.sampled_from(["1f1b", "gpipe", "zb-h1", "axonn"]),
+           seed=st.integers(0, 10_000), n_swaps=st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_valid_perturbation_is_deadlock_free(self, name, seed, n_swaps):
+        sched = build_schedule(name, 2, 3)
+        rng = np.random.default_rng(seed)
+        cand = perturb(sched, rng, n_swaps=n_swaps)
+        validate(cand)  # perturb() guarantees this; re-assert
+        result = check_model(scheduled_model(cand, 2, 1, 3))
+        assert result.ok, result
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_dropped_task_is_rejected(self, seed):
+        # Every task in a 2-stage 1F1B is dataflow-required, so removing
+        # any one must be caught statically, never at run time.
+        sched = build_schedule("1f1b", 2, 3)
+        rng = np.random.default_rng(seed)
+        r = int(rng.integers(0, sched.n_stages))
+        orders = [list(o) for o in sched.rank_order]
+        del orders[r][int(rng.integers(0, len(orders[r])))]
+        bad = dataclasses.replace(
+            sched, rank_order=tuple(tuple(o) for o in orders))
+        with pytest.raises(ScheduleError):
+            validate(bad)
