@@ -14,7 +14,13 @@ it re-measures one process-backend step (:mod:`bench_scaling`) and —
 only on machines with >= 4 cores — asserts the >= 2x scaling bar at 4
 ranks.  The scaling section is skipped (with a message) when this
 machine's core count differs from the one the baseline was recorded
-on, since process-backend times are not comparable across core counts.  Exits nonzero when any metric regressed by more than the
+on, since process-backend times are not comparable across core counts.
+When ``BENCH_PR10.json`` is present the elastic-fleet DES is re-run and
+gated: the diurnal p99 TTFTs and replica-seconds must hold, and the
+structural acceptance bars — both elastic policies >= 25% cheaper than
+static at the same met SLO, disaggregated beating unified p99 at equal
+hardware — are re-asserted on the fresh rows.  Exits nonzero when any
+metric regressed by more than the
 threshold (default 20%), so CI can fail the build::
 
     PYTHONPATH=src python benchmarks/check_regression.py
@@ -35,7 +41,8 @@ from typing import Dict, Tuple
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-import bench_scaling  # noqa: E402  (needs the path tweak above)
+import bench_fleet  # noqa: E402  (needs the path tweak above)
+import bench_scaling  # noqa: E402
 import bench_schedules  # noqa: E402
 import bench_serving  # noqa: E402
 import bench_wallclock  # noqa: E402
@@ -125,6 +132,76 @@ def check_schedules(baseline_path: Path, threshold: float) -> bool:
     return failed
 
 
+def check_fleet(baseline_path: Path, threshold: float) -> bool:
+    """Compare fresh elastic-fleet numbers against ``BENCH_PR10.json``.
+
+    Returns True when a regression was detected.  The fleet DES is
+    deterministic, so diurnal/flash p99 TTFT or replica-seconds drifting
+    past ``threshold`` means the cost model or a policy changed.  On top
+    of the drift gate, the PR's structural bars are re-asserted on the
+    fresh rows: under the diurnal trace every elastic policy must pay
+    <= 75% of static's replica-seconds while holding the p99 SLO static
+    holds, and the disaggregated split must beat the unified pool's p99
+    TTFT at equal hardware.
+    """
+    if not baseline_path.exists():
+        print(f"no fleet baseline found at {baseline_path}; nothing to "
+              f"compare against.\nRun `PYTHONPATH=src python "
+              f"benchmarks/bench_fleet.py` to record one.")
+        return False
+    baseline = json.loads(baseline_path.read_text())["fleet"]
+
+    failed = False
+    fresh = bench_fleet.bench_fleet()
+    for section in ("diurnal", "flash"):
+        base_rows = {r["policy"]: r for r in baseline.get(section, [])}
+        for row in fresh[section]:
+            base = base_rows.get(row["policy"])
+            if base is None:
+                print(f"{section} {row['policy']:>12}: new policy, "
+                      f"no baseline")
+                continue
+            for key in ("ttft_p99_ms", "replica_seconds"):
+                ratio = row[key] / base[key] if base[key] else 1.0
+                status = "ok"
+                if ratio > 1.0 + threshold:
+                    status = "REGRESSION"
+                    failed = True
+                print(f"{section} {row['policy']:>12} {key}: "
+                      f"{row[key]:.1f} vs baseline {base[key]:.1f} "
+                      f"({ratio:.2f}x)  {status}")
+
+    # structural acceptance bars, on the fresh rows
+    from repro.experiments import AUTOSCALE_SLO_S
+    slo_ms = AUTOSCALE_SLO_S * 1e3
+    by_policy = {r["policy"]: r for r in fresh["diurnal"]}
+    static = by_policy["static-peak"]
+    for name in ("reactive", "predictive"):
+        row = by_policy[name]
+        holds = (static["ttft_p99_ms"] > slo_ms
+                 or row["ttft_p99_ms"] <= slo_ms)
+        cheaper = row["replica_seconds"] <= 0.75 * static["replica_seconds"]
+        ok = holds and cheaper
+        print(f"acceptance: {name} meets the SLO static meets at <= 75% "
+              f"of its replica-seconds: {'ok' if ok else 'REGRESSION'}")
+        failed = failed or not ok
+    uni = next(r for r in fresh["disaggregation"]
+               if r["policy"] == "unified")
+    dis = next(r for r in fresh["disaggregation"]
+               if r["policy"] == "disaggregated")
+    ok = dis["ttft_p99_ms"] < uni["ttft_p99_ms"]
+    print(f"acceptance: disaggregated p99 {dis['ttft_p99_ms']:.1f}ms beats "
+          f"unified {uni['ttft_p99_ms']:.1f}ms at equal hardware: "
+          f"{'ok' if ok else 'REGRESSION'}")
+    failed = failed or not ok
+    ok = fresh["failover"]["lost"] == 0
+    print(f"acceptance: failover loses nothing "
+          f"(lost={fresh['failover']['lost']:.0f}): "
+          f"{'ok' if ok else 'REGRESSION'}")
+    failed = failed or not ok
+    return failed
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--threshold", type=float, default=0.20,
@@ -138,6 +215,9 @@ def main(argv=None) -> int:
     parser.add_argument("--schedules-baseline", type=Path,
                         default=bench_schedules.OUTPUT,
                         help="committed BENCH_PR9.json to compare against")
+    parser.add_argument("--fleet-baseline", type=Path,
+                        default=bench_fleet.OUTPUT,
+                        help="committed BENCH_PR10.json to compare against")
     parser.add_argument("--bench-root", type=Path, default=REPO_ROOT,
                         help="directory globbed for BENCH_PR*.json trainer "
                              "baselines")
@@ -148,6 +228,7 @@ def main(argv=None) -> int:
     failed = check_scaling(args.scaling_baseline, args.threshold) or failed
     failed = check_schedules(args.schedules_baseline,
                              args.threshold) or failed
+    failed = check_fleet(args.fleet_baseline, args.threshold) or failed
     return 1 if failed else 0
 
 

@@ -20,7 +20,7 @@ Five pillars protect the contracts the rest of the codebase relies on:
   graph-leak detector.  Zero overhead when disabled — the hot paths test a
   single ``enabled`` attribute, exactly like :mod:`repro.perf.counters`.
 
-* :mod:`repro.analysis.lint` — repo-specific AST lint rules (REP001-REP011)
+* :mod:`repro.analysis.lint` — repo-specific AST lint rules (REP001-REP012)
   runnable as ``python -m repro.analysis lint <paths>`` or via the opt-in
   ``pytest -m lint`` gate.
 

@@ -2,7 +2,7 @@
 
 Subcommands:
 
-* ``lint [paths...]`` — run the repo-specific AST lint (REP001-REP011)
+* ``lint [paths...]`` — run the repo-specific AST lint (REP001-REP012)
   over the given files/directories (default: the installed ``repro``
   package).  Exit code 1 if any issue is found.  ``--json`` / ``--sarif``
   switch the report format for CI tooling.

@@ -92,6 +92,16 @@ breakage the test suite may not catch:
   function inside a ``sched`` directory other than ``compile.py``;
   legitimate exceptions carry a ``# lint-ok: REP011`` suppression.
 
+* **REP012** — fleet policy code must be replayable: inside
+  :mod:`repro.fleet`, no ambient wall-clock reads (``time.time``,
+  ``time.monotonic``, ``datetime.now`` and friends) and no stdlib
+  ``random.*`` draws; RNGs must be built from an explicit seed (the
+  REP007 provenance test).  Autoscaling decisions are a pure function of
+  the :class:`~repro.fleet.policy.FleetObservation` — its ``now_s`` field
+  is the only clock — so a policy smuggling in real time or hidden RNG
+  state would diverge the DES from the functional fleet and break the
+  scale-event determinism test.
+
 Suppression: append ``# lint-ok: REP003 <reason>`` to the offending line
 (bare ``# lint-ok`` suppresses every rule on that line).
 
@@ -133,6 +143,10 @@ RULES: Dict[str, str] = {
               "same order",
     "REP011": "schedule builders must emit IR: no raw `yield RECV` loops "
               "or plane-constant yields outside repro.sched.compile",
+    "REP012": "fleet policy code (repro.fleet) must be replayable: no "
+              "wall-clock reads, no stdlib random.* draws, and RNGs built "
+              "from an explicit seed — the FleetObservation's now_s is "
+              "the only clock",
 }
 
 SUPPRESS_MARK = "lint-ok"
@@ -828,6 +842,58 @@ def _check_rep011(fn: ast.AST, issues: List[LintIssue], path: str) -> None:
             f"tasks and leave lowering to repro.sched.compile"))
 
 
+# -- REP012 ------------------------------------------------------------------
+
+#: ambient clock reads a fleet policy must never make
+_WALL_CLOCK_CALLS = {
+    ("time", "time"), ("time", "time_ns"),
+    ("time", "monotonic"), ("time", "monotonic_ns"),
+    ("time", "perf_counter"), ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+}
+#: stdlib `random` module draws (hidden process-wide state)
+_STDLIB_RANDOM = {"random", "randint", "randrange", "choice", "choices",
+                  "shuffle", "sample", "uniform", "gauss", "normalvariate",
+                  "expovariate", "betavariate", "seed", "getrandbits"}
+
+
+def _check_rep012(tree: ast.AST, issues: List[LintIssue], path: str) -> None:
+    """Fleet code is replay-critical: sim time and seeded streams only."""
+    if "fleet" not in Path(path).parts:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = tuple(_dotted(node.func))
+        if chain in _WALL_CLOCK_CALLS or (
+                "datetime" in chain[:-1]
+                and chain[-1] in ("now", "utcnow", "today")):
+            issues.append(LintIssue(
+                path, node.lineno, node.col_offset, "REP012",
+                f"{'.'.join(chain)}() reads the ambient wall clock inside "
+                f"repro.fleet; autoscaling decisions must be a pure "
+                f"function of FleetObservation.now_s (simulated/round "
+                f"time) or they cannot be replayed deterministically"))
+        elif len(chain) == 2 and chain[0] == "random" \
+                and chain[1] in _STDLIB_RANDOM:
+            issues.append(LintIssue(
+                path, node.lineno, node.col_offset, "REP012",
+                f"stdlib random.{chain[1]}() draws from hidden process "
+                f"state inside repro.fleet; use an explicitly seeded "
+                f"np.random.Generator threaded through the caller"))
+        elif chain[-1:] == ("default_rng",) and (
+                len(chain) != 3 or chain[:2] in (("np", "random"),
+                                                 ("numpy", "random"))):
+            seed_exprs = list(node.args) + [kw.value for kw in node.keywords]
+            if seed_exprs and not any(_mentions_seed(e) for e in seed_exprs):
+                issues.append(LintIssue(
+                    path, node.lineno, node.col_offset, "REP012",
+                    "fleet RNG seeded from something that is not an "
+                    "explicit seed; scale events and admission draws must "
+                    "replay — derive the argument from a *seed*-named "
+                    "value or an int literal"))
+
+
 # -- driver ------------------------------------------------------------------
 
 def lint_source(source: str, path: str = "<string>") -> List[LintIssue]:
@@ -853,6 +919,7 @@ def lint_source(source: str, path: str = "<string>") -> List[LintIssue]:
     _check_rep007(tree, issues, path)
     _check_rep008_tree(tree, issues, path)
     _check_rep010_tree(tree, issues, path)
+    _check_rep012(tree, issues, path)
     suppressed = _suppressions(source)
     out = []
     for issue in issues:
@@ -886,7 +953,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro.analysis lint",
-        description="Repo-specific AST lint (rules REP001-REP011).")
+        description="Repo-specific AST lint (rules REP001-REP012).")
     parser.add_argument("paths", nargs="*", default=None,
                         help="files or directories (default: the installed "
                              "repro package)")

@@ -71,6 +71,7 @@ __all__ = [
     "check_model",
     "compare_with_trace",
     "deadlock_mutant_model",
+    "disagg_serve_model",
     "extract_skeleton",
     "flushing_model",
     "scheduled_model",
@@ -472,6 +473,82 @@ def serve_model(g_inter: int, n_requests: int, max_new_tokens: int = 2,
         "tokens": max_new_tokens, "max_batch": max_batch})
 
 
+class _SymbolicDisaggStage(_SymbolicServeStage):
+    """Adds the KV-handoff surface: exported blocks are empty (KV content
+    is irrelevant to communication structure) and imports accept them."""
+
+    def export_kv(self, rid: int) -> Tuple[int, Dict[int, Any]]:
+        return 1, {}
+
+    def import_kv(self, rid: int, pos: int, blocks: Dict[int, Any]) -> None:
+        return None
+
+
+def disagg_serve_model(g_prefill: int, g_decode: int, n_requests: int,
+                       max_new_tokens: int = 2, max_batch: int = 2,
+                       pipeline_limit: Optional[int] = None,
+                       prefill_limit: Optional[int] = None,
+                       max_active: Optional[int] = None) -> CommModel:
+    """The disaggregated prefill/decode KV-handoff protocol — the *real*
+    :class:`~repro.fleet.engine.DisaggPipelineServer` scheduler / prefill
+    / decode programs over symbolic stages.
+
+    This is the proof the fleet layer leans on: KV pieces (``TAG_KV``)
+    flowing home to the scheduler, merged ingests (``TAG_INGEST``)
+    relayed through the decode pipe, and decode groups (``TAG_DEC``)
+    interleaving with them must be deadlock-free under *every* delivery
+    order, for any request count the bounded window can produce.
+    """
+    if g_prefill < 1 or g_decode < 1:
+        raise ValueError("need g_prefill >= 1 and g_decode >= 1")
+    if g_prefill + g_decode < 2:
+        raise ValueError("a one-rank world never communicates")
+    if n_requests < 1 or max_new_tokens < 1:
+        raise ValueError("need at least one request and one token")
+    from ..fleet.engine import DisaggPipelineServer
+
+    def make(capture: _Capture) -> Dict[int, Generator]:
+        shell = object.__new__(DisaggPipelineServer)
+        shell.cfg = None
+        shell.g_prefill = g_prefill
+        shell.g_decode = g_decode
+        shell.n_ranks = g_prefill + g_decode
+        shell.max_batch = max_batch
+        shell.pipeline_limit = max(
+            1, pipeline_limit if pipeline_limit is not None else g_decode)
+        shell.prefill_limit = max(
+            1, prefill_limit if prefill_limit is not None else g_prefill)
+        shell.max_active = (max_active if max_active is not None
+                            else max_batch * shell.pipeline_limit)
+        shell.recorder = None
+        shell.prefill_stages = [_SymbolicDisaggStage()
+                                for _ in range(g_prefill)]
+        shell.decode_stages = [_SymbolicDisaggStage()
+                               for _ in range(g_decode)]
+        reqs = {
+            rid: Request(rid, np.zeros(1, dtype=np.int64), max_new_tokens,
+                         greedy=True, seed=rid)
+            for rid in range(n_requests)
+        }
+        order = [reqs[rid] for rid in range(n_requests)]
+        results: Dict[int, List[int]] = {rid: [] for rid in range(n_requests)}
+        programs: Dict[int, Generator] = {
+            0: DisaggPipelineServer._scheduler_program(
+                shell, capture, reqs, order, results)}
+        for r in range(1, g_prefill):
+            programs[r] = DisaggPipelineServer._prefill_program(
+                shell, r, capture)
+        for j in range(g_decode):
+            programs[g_prefill + j] = DisaggPipelineServer._decode_program(
+                shell, j, capture, reqs)
+        return programs
+
+    return CommModel("disagg-serve", g_prefill + g_decode, make, config={
+        "g_prefill": g_prefill, "g_decode": g_decode,
+        "requests": n_requests, "tokens": max_new_tokens,
+        "max_batch": max_batch})
+
+
 def _deferred_backward_tail(capture: _Capture, grid: RankGrid, rank: int,
                             m: int) -> Generator:
     """The seeded bug: the last stage holds each gradient until the *next*
@@ -550,6 +627,16 @@ def builtin_models(max_world: int = 8, max_microbatches: int = 4,
         for g_inter in range(2, max_world + 1):
             models.append(serve_model(g_inter, n_requests=3,
                                       max_new_tokens=2, max_batch=2))
+        # The disaggregated KV-handoff protocol at every single-prefill
+        # split (the fleet smoke configs: KV merging is then local, the
+        # scheduler has a single inbound source, and the model is
+        # confluent).  Multi-rank prefill pools give the scheduler two
+        # inbound sources (KV pieces and tokens) whose arrival order
+        # steers the pump — inherently non-confluent, so those splits are
+        # covered by the runtime token-identity tests instead.
+        for g_decode in range(1, max_world):
+            models.append(disagg_serve_model(
+                1, g_decode, n_requests=3, max_new_tokens=2, max_batch=2))
     return models
 
 

@@ -545,6 +545,128 @@ def cmd_serve(args) -> bool:
     return ok
 
 
+# -- fleet: elastic serving fleet on both substrates --------------------------
+
+def _fleet_functional(fast: bool, seed: int) -> Dict:
+    """Two live demos over RankTransport: the disaggregated KV-handoff
+    server emitting serial-identical tokens, and a real elastic fleet
+    scaling 1 -> 2 -> 1 under a flash crowd with zero lost requests."""
+    import numpy as np
+
+    from .fleet import DisaggPipelineServer, FleetServer, ReactivePolicy
+    from .nn import GPT, GPTConfig, generate
+    from .serve import ArrivalSpec, RequestSpec, make_requests
+
+    cfg = GPTConfig(vocab_size=61, seq_len=48, n_layer=4, n_head=2,
+                    hidden=16)
+    spec = RequestSpec(mean_prompt=6, mean_new_tokens=6, seed=seed)
+    requests = make_requests(cfg, 8 if fast else 16, spec)
+    model = GPT(cfg)  # same (init_seed, slot) weights as the stage shards
+
+    def serial(req):
+        return generate(model, req.prompt, req.max_new_tokens,
+                        temperature=req.temperature, top_k=req.top_k,
+                        rng=np.random.default_rng(req.seed),
+                        greedy=req.greedy)
+
+    disagg = DisaggPipelineServer(cfg, g_prefill=2, g_decode=2,
+                                  max_batch=4).serve(requests)
+    disagg_rows = [{
+        "rid": req.rid, "prompt": int(np.asarray(req.prompt).size),
+        "new_tokens": req.max_new_tokens,
+        "identical": bool(np.array_equal(disagg[req.rid], serial(req))),
+    } for req in requests]
+
+    # a flash crowd at t=2s forces the reactive policy up, the decay back
+    # down: every request must come back serial-identical even though the
+    # fleet membership changed underneath them
+    n_elastic = 30
+    elastic_reqs = make_requests(cfg, n_elastic, spec)
+    times = ArrivalSpec(rate_per_s=1.0, seed=5, kind="flash",
+                        flash_at_s=2.0, flash_factor=15.0) \
+        .sample_times(horizon_s=12.0)
+    trace = list(zip(times, elastic_reqs))[:n_elastic]
+    fleet = FleetServer(cfg, ReactivePolicy(min_replicas=1, max_replicas=2,
+                                            cooldown_s=2.0),
+                        g_inter=2, max_batch=4, serve_per_round=2)
+    report = fleet.run(trace)
+    elastic_identical = all(
+        np.array_equal(report.results[req.rid], serial(req))
+        for _, req in trace if req.rid in report.results)
+    kinds = [e.kind for e in report.events]
+    return {
+        "disagg_rows": disagg_rows,
+        "elastic": {
+            "requests": len(trace),
+            "admitted": report.n_admitted,
+            "completed": report.n_completed,
+            "lost": report.n_lost,
+            "rounds": report.rounds,
+            "replica_rounds": report.replica_rounds,
+            "max_replicas": report.max_replicas_seen,
+            "scale_events": [(e.t_s, e.kind, e.n_from, e.n_to)
+                             for e in report.events],
+            "token_identical": elastic_identical,
+        },
+        "passed": (all(r["identical"] for r in disagg_rows)
+                   and elastic_identical and report.n_lost == 0
+                   and "up" in kinds and "down" in kinds),
+    }
+
+
+def cmd_fleet(args) -> bool:
+    """Elastic serving fleet: functional disaggregation + scaling demos,
+    plus the DES autoscaling-economics, disaggregation and shared-path
+    failover scenarios with their acceptance claims."""
+    import json
+    substrates = ["runtime", "sim"] if args.substrate == "both" \
+        else [args.substrate]
+    seed = args.seed if args.seed is not None else 0
+    report: Dict[str, object] = {}
+    ok = True
+
+    if "runtime" in substrates:
+        result = _fleet_functional(args.fast, seed)
+        report["runtime"] = result
+        _emit("fleet: disaggregated prefill/decode server vs serial "
+              "generate (2 prefill + 2 decode ranks)",
+              result["disagg_rows"], None, None)
+        el = result["elastic"]
+        _emit("fleet: elastic 1 -> 2 -> 1 under a flash crowd",
+              [{k: v for k, v in el.items() if k != "scale_events"}],
+              None, None)
+        for t, kind, n_from, n_to in el["scale_events"]:
+            print(f"    t={t:5.1f}s  {kind:<5} {n_from} -> {n_to}")
+        print("\n== fleet: functional equivalence ==")
+        print(f"  [{'PASS' if result['passed'] else 'FAIL'}] KV handoff "
+              "and elastic membership changes are invisible in the "
+              "tokens: everything matches serial generate, nothing lost")
+        ok = ok and result["passed"]
+
+    if "sim" in substrates:
+        from .experiments import (autoscaling_rows, disagg_rows,
+                                  fleet_claims, fleet_failover)
+        auto = autoscaling_rows(args.fast, seed=seed)
+        disagg = disagg_rows(args.fast, seed=seed)
+        failover = fleet_failover(args.fast, seed=seed)
+        claims = fleet_claims(auto, disagg, failover)
+        report["sim"] = {"autoscaling": auto, "disaggregation": disagg,
+                         "failover": failover, "claims": claims}
+        ok = _emit("fleet: autoscaling economics under diurnal traffic "
+                   "(DES, static vs reactive vs predictive)",
+                   auto, None, args.csv) and ok
+        _emit("fleet: prefill/decode disaggregation at equal hardware "
+              "(8 replicas, decode-heavy mix)", disagg, None, None)
+        ok = _emit("fleet: crash + planned retire on the shared "
+                   "decommission path", [failover], claims, None) and ok
+
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report, fh, indent=2, default=float)
+        print(f"\nwrote fleet report to {args.report}")
+    return ok
+
+
 # -- train: real training steps on either execution backend -------------------
 
 def cmd_train(args) -> bool:
@@ -763,7 +885,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "list", "lint",
                                                        "trace", "faults",
-                                                       "serve", "train",
+                                                       "serve", "fleet",
+                                                       "train",
                                                        "verify",
                                                        "sched",
                                                        "scaling4d"],
@@ -839,12 +962,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             doc = (EXPERIMENTS[name].__doc__ or "").strip()
             print(f"  {name:<10} {doc}")
         print("  all        run every experiment")
-        print("  lint       repo-specific AST lint (rules REP001-REP011)")
+        print("  lint       repo-specific AST lint (rules REP001-REP012)")
         print("  trace      Chrome-trace of a small scenario "
               "(--substrate, --out, --faults)")
         print("  faults     deterministic fault injection on either "
               "substrate (--substrate, --plan, --seed, --report)")
         print("  serve      pipeline inference serving on either substrate "
+              "(--substrate, --fast, --csv, --report)")
+        print("  fleet      elastic serving fleet: autoscaling, "
+              "prefill/decode disaggregation, SLO admission "
               "(--substrate, --fast, --csv, --report)")
         print("  train      real training steps on an execution backend "
               "(--backend, --ranks, --steps, --fast)")
@@ -869,6 +995,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.experiment == "serve":
         return 0 if cmd_serve(args) else 1
+
+    if args.experiment == "fleet":
+        return 0 if cmd_fleet(args) else 1
 
     if args.experiment == "train":
         return 0 if cmd_train(args) else 1

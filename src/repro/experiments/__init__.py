@@ -18,6 +18,7 @@ Index (see DESIGN.md for the full mapping):
 * extensions — :mod:`.ablations`
 * resilience (MTBF x checkpoint interval vs. Young/Daly) — :mod:`.resilience`
 * serving (load sweep, Little's law, replica failover) — :mod:`.serving`
+* elastic fleet (autoscaling, disaggregation, SLOs) — :mod:`.fleet`
 """
 
 from .ablations import (
@@ -49,6 +50,16 @@ from .scaling import (
     strong_scaling_rows,
     sweep_4d,
     weak_scaling_rows,
+)
+from .fleet import (
+    AUTOSCALE_SLO_S,
+    autoscale_serving_model,
+    autoscaling_rows,
+    disagg_rows,
+    disagg_serving_model,
+    fleet_claims,
+    fleet_failover,
+    fleet_report,
 )
 from .resilience import resilience_claims, resilience_report, resilience_rows
 from .serving import (
@@ -104,6 +115,14 @@ __all__ = [
     "resilience_claims",
     "resilience_report",
     "resilience_rows",
+    "AUTOSCALE_SLO_S",
+    "autoscale_serving_model",
+    "autoscaling_rows",
+    "disagg_rows",
+    "disagg_serving_model",
+    "fleet_claims",
+    "fleet_failover",
+    "fleet_report",
     "serving_claims",
     "serving_closed_loop",
     "serving_failover",

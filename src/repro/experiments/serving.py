@@ -111,6 +111,8 @@ def serving_failover(fast: bool = False, *,
         "completed": float(stats.n_completed),
         "restarted": float(stats.n_restarts),
         "rejected": float(stats.n_rejected),
+        "rejected_backpressure": float(stats.n_rejected_backpressure),
+        "rejected_down": float(stats.n_rejected_down),
         "lost": float(stats.n_admitted - stats.n_completed),
     }
 

@@ -1,0 +1,50 @@
+"""Elastic serving fleet: autoscaling, disaggregation, SLO admission.
+
+The production layer above :mod:`repro.serve`, on both substrates:
+
+* :mod:`repro.fleet.policy` — deterministic autoscaling policies
+  (static / reactive-with-hysteresis / predictive-sinusoid) over the
+  shared :class:`FleetObservation` contract;
+* :mod:`repro.fleet.slo` — SLO classes, the stable priority queue, and
+  load-shedding admission control, shared verbatim by both substrates;
+* :mod:`repro.fleet.engine` — the functional path:
+  :class:`DisaggPipelineServer` (prefill/decode disaggregation as an
+  explicit KV-handoff wire protocol, token-identical to the unified
+  server) and :class:`FleetServer` (a real elastic fleet of pipeline
+  replicas where scale-down and crash share one decommission path);
+* :mod:`repro.fleet.sim` — the DES twin: replica-seconds vs p99 TTFT
+  economics of autoscaling under diurnal/flash-crowd traffic, cold
+  starts, drains, and priced KV handoffs.
+"""
+
+from .engine import (DisaggPipelineServer, FleetRunReport, FleetServer,
+                     TAG_DEC, TAG_INGEST, TAG_KV)
+from .policy import (AutoscalerPolicy, FleetObservation, PredictivePolicy,
+                     ReactivePolicy, ScaleEvent, StaticPolicy)
+from .sim import (FleetModel, FleetStats, service_rate_per_replica,
+                  simulate_fleet)
+from .slo import (AdmissionController, DEFAULT_SLO_CLASSES, PriorityQueue,
+                  SLOClass)
+
+__all__ = [
+    "AutoscalerPolicy",
+    "FleetObservation",
+    "ScaleEvent",
+    "StaticPolicy",
+    "ReactivePolicy",
+    "PredictivePolicy",
+    "SLOClass",
+    "DEFAULT_SLO_CLASSES",
+    "PriorityQueue",
+    "AdmissionController",
+    "DisaggPipelineServer",
+    "FleetServer",
+    "FleetRunReport",
+    "TAG_KV",
+    "TAG_INGEST",
+    "TAG_DEC",
+    "FleetModel",
+    "FleetStats",
+    "service_rate_per_replica",
+    "simulate_fleet",
+]

@@ -1,0 +1,252 @@
+"""Autoscaling policies: deterministic controllers over fleet observations.
+
+The contract is deliberately narrow so the same policy object drives both
+substrates: the elastic DES (:mod:`repro.fleet.sim`) and the functional
+fleet (:class:`repro.fleet.engine.FleetServer`) each build a
+:class:`FleetObservation` from what they can actually measure, call
+:meth:`AutoscalerPolicy.decide`, and act on the returned *target* replica
+count.  Policies never see wall-clock time or ambient randomness — every
+decision is a pure function of the observation stream plus the policy's
+own constructor arguments (lint rule REP012 enforces this mechanically).
+
+Three concrete policies:
+
+* :class:`StaticPolicy` — a fixed fleet, the provisioning baseline;
+* :class:`ReactivePolicy` — queueing-theoretic tracking with a hysteresis
+  band (distinct scale-up/scale-down load thresholds) plus a cooldown, so
+  a load sitting between the thresholds never flaps;
+* :class:`PredictivePolicy` — fits a sinusoid to the observed arrival-rate
+  history by deterministic least squares and provisions for the rate
+  *cold-start seconds in the future*, absorbing diurnal swings before the
+  queue feels them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FleetObservation",
+    "ScaleEvent",
+    "AutoscalerPolicy",
+    "StaticPolicy",
+    "ReactivePolicy",
+    "PredictivePolicy",
+]
+
+
+@dataclass(frozen=True)
+class FleetObservation:
+    """What a substrate can measure between control decisions."""
+
+    now_s: float                 #: simulated (or round) time of the decision
+    queue_depth: int             #: requests waiting for admission to a replica
+    n_live: int                  #: replicas currently able to serve
+    n_provisioning: int          #: replicas paying their cold start
+    n_draining: int              #: replicas finishing work before retirement
+    utilization: float           #: mean busy fraction of live replicas [0, 1]
+    arrival_rate: float          #: observed arrivals/s over the last window
+    service_rate_per_replica: float  #: requests/s one replica sustains
+
+    @property
+    def n_provisioned(self) -> int:
+        """Replicas being paid for (cold-starting counts; draining counts)."""
+        return self.n_live + self.n_provisioning + self.n_draining
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One acted-upon policy decision, for reports and determinism tests."""
+
+    t_s: float
+    kind: str        #: "up" | "down" | "crash"
+    n_from: int
+    n_to: int
+    reason: str
+    pool: str = "unified"
+
+    def as_dict(self) -> dict:
+        return {"t_s": self.t_s, "kind": self.kind, "n_from": self.n_from,
+                "n_to": self.n_to, "reason": self.reason, "pool": self.pool}
+
+
+class AutoscalerPolicy:
+    """Interface: observation stream in, target replica count out.
+
+    ``decide`` may keep internal state (cooldown clocks, rate history), but
+    that state must be derived solely from the observations it was fed —
+    two policies constructed with the same arguments and fed the same
+    observation sequence return the same decision sequence.
+    """
+
+    name = "policy"
+
+    def reset(self) -> None:
+        """Forget accumulated state (start of a fresh run)."""
+
+    def decide(self, obs: FleetObservation) -> int:
+        """Target number of provisioned replicas after this control tick."""
+        raise NotImplementedError
+
+
+class StaticPolicy(AutoscalerPolicy):
+    """Fixed-size fleet — the peak-provisioned baseline."""
+
+    name = "static"
+
+    def __init__(self, n_replicas: int):
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        self.n_replicas = n_replicas
+
+    def decide(self, obs: FleetObservation) -> int:
+        return self.n_replicas
+
+
+class ReactivePolicy(AutoscalerPolicy):
+    """Track offered load with a hysteresis band and a cooldown.
+
+    Let ``rho = arrival_rate / (n_provisioned * mu)`` with ``mu`` the
+    per-replica service rate derated by ``target_utilization``.  The
+    controller scales *up* one step when ``rho > up_threshold`` (or the
+    queue per live replica exceeds ``queue_high`` — bursts outrun rate
+    estimates), and scales *down* one step only when the fleet one replica
+    smaller would still sit below ``down_threshold``.  Because
+    ``up_threshold > down_threshold``, a scale-up can never immediately
+    qualify for scale-down: after growing at ``rho > up``, the shrink test
+    against the *same* fleet size reads ``rho < down < up`` — false.  The
+    ``cooldown_s`` clock additionally spaces consecutive events.
+    """
+
+    name = "reactive"
+
+    def __init__(self, min_replicas: int = 1, max_replicas: int = 8,
+                 target_utilization: float = 0.75,
+                 up_threshold: float = 1.0, down_threshold: float = 0.7,
+                 queue_high: int = 4, cooldown_s: float = 10.0):
+        if not 1 <= min_replicas <= max_replicas:
+            raise ValueError("need 1 <= min_replicas <= max_replicas")
+        if not 0.0 < down_threshold < up_threshold:
+            raise ValueError("need 0 < down_threshold < up_threshold "
+                             "(the hysteresis band)")
+        if not 0.0 < target_utilization <= 1.0:
+            raise ValueError("target_utilization must be in (0, 1]")
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.target_utilization = target_utilization
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self.queue_high = queue_high
+        self.cooldown_s = cooldown_s
+        self.reset()
+
+    def reset(self) -> None:
+        self._last_event_s: Optional[float] = None
+
+    def _cooling(self, now: float) -> bool:
+        return (self._last_event_s is not None
+                and now - self._last_event_s < self.cooldown_s)
+
+    def decide(self, obs: FleetObservation) -> int:
+        prov = max(1, obs.n_provisioned)
+        mu = obs.service_rate_per_replica * self.target_utilization
+        if mu <= 0:
+            return prov
+        rho = obs.arrival_rate / (prov * mu)
+        queue_pressure = (obs.n_live > 0 and
+                          obs.queue_depth > self.queue_high * obs.n_live)
+        if (rho > self.up_threshold or queue_pressure) \
+                and prov < self.max_replicas:
+            if self._cooling(obs.now_s):
+                return prov
+            self._last_event_s = obs.now_s
+            return prov + 1
+        if prov > self.min_replicas:
+            rho_smaller = obs.arrival_rate / ((prov - 1) * mu)
+            if rho_smaller < self.down_threshold and obs.queue_depth == 0:
+                if self._cooling(obs.now_s):
+                    return prov
+                self._last_event_s = obs.now_s
+                return prov - 1
+        return prov
+
+
+class PredictivePolicy(AutoscalerPolicy):
+    """Provision for the arrival rate ``lead_s`` seconds ahead.
+
+    Keeps the ``(t, observed rate)`` history and, once ``min_history``
+    points span at least half a period, fits ``rate(t) = c0 + c1 sin(wt)
+    + c2 cos(wt)`` by least squares at the configured ``period_s`` (the
+    operator knows the demand cycle; estimating the frequency itself is
+    out of scope).  The decision provisions ``ceil(rate(t + lead_s) /
+    (mu * target_utilization))`` replicas, so capacity lands *before* the
+    demand does — the lead should cover the cold start plus a control
+    interval.  Until the fit is possible it falls back to reactive-style
+    tracking of the current rate.
+    """
+
+    name = "predictive"
+
+    def __init__(self, period_s: float, lead_s: float,
+                 min_replicas: int = 1, max_replicas: int = 8,
+                 target_utilization: float = 0.75, min_history: int = 8,
+                 max_history: int = 4096):
+        if period_s <= 0 or lead_s < 0:
+            raise ValueError("period_s must be positive, lead_s >= 0")
+        if not 1 <= min_replicas <= max_replicas:
+            raise ValueError("need 1 <= min_replicas <= max_replicas")
+        if not 0.0 < target_utilization <= 1.0:
+            raise ValueError("target_utilization must be in (0, 1]")
+        self.period_s = period_s
+        self.lead_s = lead_s
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.target_utilization = target_utilization
+        self.min_history = min_history
+        self.max_history = max_history
+        self.reset()
+
+    def reset(self) -> None:
+        self._history: List[Tuple[float, float]] = []
+
+    def _fit(self) -> Optional[np.ndarray]:
+        if len(self._history) < self.min_history:
+            return None
+        ts = np.array([t for t, _ in self._history])
+        if ts[-1] - ts[0] < 0.5 * self.period_s:
+            return None
+        rates = np.array([r for _, r in self._history])
+        w = 2.0 * np.pi / self.period_s
+        basis = np.stack([np.ones_like(ts), np.sin(w * ts),
+                          np.cos(w * ts)], axis=1)
+        coef, *_ = np.linalg.lstsq(basis, rates, rcond=None)
+        return coef
+
+    def predict_rate(self, t: float) -> Optional[float]:
+        """The fitted arrival rate at time ``t`` (None before enough data)."""
+        coef = self._fit()
+        if coef is None:
+            return None
+        w = 2.0 * np.pi / self.period_s
+        return float(max(0.0, coef[0] + coef[1] * np.sin(w * t)
+                         + coef[2] * np.cos(w * t)))
+
+    def decide(self, obs: FleetObservation) -> int:
+        self._history.append((obs.now_s, obs.arrival_rate))
+        if len(self._history) > self.max_history:
+            self._history = self._history[-self.max_history:]
+        mu = obs.service_rate_per_replica * self.target_utilization
+        if mu <= 0:
+            return max(1, obs.n_provisioned)
+        rate = self.predict_rate(obs.now_s + self.lead_s)
+        if rate is None:
+            rate = obs.arrival_rate  # not enough history: track, don't guess
+        target = max(1, math.ceil(rate / mu)) if rate > 0 else 1
+        # never shrink below what the visible queue needs right now
+        if obs.queue_depth > 0:
+            target = max(target, obs.n_provisioned)
+        return min(self.max_replicas, max(self.min_replicas, target))

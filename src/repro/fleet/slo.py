@@ -1,0 +1,139 @@
+"""SLO classes, priority queueing, and load-shedding admission control.
+
+Shared by both substrates: the elastic DES and the functional
+:class:`~repro.fleet.engine.FleetServer` push admitted requests through
+the same :class:`PriorityQueue` and run the same :class:`AdmissionController`
+verdict logic, so a scheduling-policy change cannot silently diverge the
+two.  Everything here is deterministic: ties inside a priority class break
+by admission sequence number (FIFO), and the shed decision is a pure
+function of the queue state and the class's wait budget.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Generic, List, Optional, Tuple, TypeVar
+
+__all__ = ["SLOClass", "DEFAULT_SLO_CLASSES", "PriorityQueue",
+           "AdmissionController", "ADMIT", "SHED", "BACKPRESSURE", "DOWN"]
+
+T = TypeVar("T")
+
+#: admission verdicts
+ADMIT = "admit"
+SHED = "shed"                  #: rejected by SLO-aware load shedding
+BACKPRESSURE = "backpressure"  #: rejected because the bounded queue is full
+DOWN = "down"                  #: rejected because no replica is alive
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """A service tier: scheduling priority plus latency budgets.
+
+    ``priority`` orders the admission queue (lower runs first);
+    ``ttft_slo_s`` is the attainment target reported per class;
+    ``max_wait_s`` is the shed budget — a request whose *estimated* queue
+    wait already exceeds it is rejected at the front door rather than
+    admitted into a queue it cannot clear in time (shedding before the
+    p99 collapses, instead of after).
+    """
+
+    name: str = "standard"
+    priority: int = 1
+    ttft_slo_s: float = 2.0
+    max_wait_s: float = float("inf")
+
+    def __post_init__(self):
+        if self.priority < 0:
+            raise ValueError("priority must be >= 0")
+        if self.ttft_slo_s <= 0 or self.max_wait_s <= 0:
+            raise ValueError("ttft_slo_s and max_wait_s must be positive")
+
+
+#: the two-tier default: interactive traffic preempts batch and sheds early
+DEFAULT_SLO_CLASSES = (
+    SLOClass(name="interactive", priority=0, ttft_slo_s=1.0, max_wait_s=5.0),
+    SLOClass(name="batch", priority=2, ttft_slo_s=30.0),
+)
+
+
+class PriorityQueue(Generic[T]):
+    """Stable priority queue: (priority, admission sequence) heap order."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, T]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, item: T, priority: int) -> None:
+        heapq.heappush(self._heap, (priority, self._seq, item))
+        self._seq += 1
+
+    def push_front(self, item: T, priority: int) -> None:
+        """Re-admit ahead of same-priority peers (failover requeues)."""
+        self._seq += 1
+        heapq.heappush(self._heap, (priority, -self._seq, item))
+
+    def pop(self) -> T:
+        return heapq.heappop(self._heap)[2]
+
+    def peek_priority(self) -> Optional[int]:
+        return self._heap[0][0] if self._heap else None
+
+    def count_at_or_above(self, priority: int) -> int:
+        """Queued items that would run before a new item of ``priority``
+        (equal or more-urgent priority — lower value is more urgent)."""
+        return sum(1 for p, _, _ in self._heap if p <= priority)
+
+    def drain(self) -> List[T]:
+        items = [heapq.heappop(self._heap)[2] for _ in range(len(self._heap))]
+        return items
+
+
+class AdmissionController:
+    """Front-door verdicts: admit, shed (SLO), backpressure, or down.
+
+    ``queue_capacity`` bounds the *total* queue (backpressure, the serve.sim
+    semantics); the shed test estimates this request's queue wait as
+    ``depth_ahead / fleet_service_rate`` — work ahead of it at equal or
+    higher priority divided by the live fleet's aggregate admission rate —
+    and rejects when that estimate blows the class's ``max_wait_s`` budget.
+    """
+
+    def __init__(self, classes: Tuple[SLOClass, ...] = DEFAULT_SLO_CLASSES,
+                 queue_capacity: int = 64):
+        if not classes:
+            raise ValueError("need at least one SLO class")
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        self.classes: Dict[str, SLOClass] = {c.name: c for c in classes}
+        if len(self.classes) != len(classes):
+            raise ValueError("duplicate SLO class names")
+        self.queue_capacity = queue_capacity
+
+    def slo_class(self, name: str) -> SLOClass:
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise KeyError(f"unknown SLO class {name!r}; have "
+                           f"{sorted(self.classes)}") from None
+
+    def verdict(self, cls: SLOClass, queue_depth: int, depth_ahead: int,
+                n_live: int, fleet_service_rate: float) -> str:
+        """Admission decision for one arriving request.
+
+        ``queue_depth`` is the whole queue, ``depth_ahead`` only the work
+        that would run before this request (same or better priority).
+        """
+        if n_live <= 0:
+            return DOWN
+        if queue_depth >= self.queue_capacity:
+            return BACKPRESSURE
+        if fleet_service_rate > 0 and cls.max_wait_s != float("inf"):
+            est_wait_s = depth_ahead / fleet_service_rate
+            if est_wait_s > cls.max_wait_s:
+                return SHED
+        return ADMIT

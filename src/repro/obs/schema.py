@@ -48,8 +48,9 @@ CATEGORIES = ("compute", "p2p", "allreduce", "optimizer", "h2d", "d2h",
               "other", "fault", "recovery", "checkpoint")
 
 #: canonical stream names in display order (Chrome-trace tid assignment);
-#: ``fault`` carries the resilience layer's markers
-STREAMS = ("compute", "aux", "dma", "net", "fault", "serve")
+#: ``fault`` carries the resilience layer's markers, ``fleet`` the elastic
+#: serving layer's lifecycle (scale-up/down, cold starts, drains, crashes)
+STREAMS = ("compute", "aux", "dma", "net", "fault", "serve", "fleet")
 
 
 @dataclass(frozen=True)

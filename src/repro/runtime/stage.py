@@ -245,6 +245,40 @@ class InferenceStage:
         self._caches.pop(rid)
         self._pos.pop(rid)
 
+    # -- KV handoff (disaggregated prefill/decode) -------------------------
+    def export_kv(self, rid: int
+                  ) -> Tuple[int, Dict[int, Tuple[np.ndarray, np.ndarray]]]:
+        """Snapshot request ``rid``'s filled KV rows for transfer.
+
+        Returns ``(pos, blocks)`` where ``blocks`` maps *global* layer-slot
+        indices to ``(k, v)`` arrays holding only the used prefix.  The
+        global keys let a pool with a different pipeline depth re-shard the
+        same layers: each importing stage picks out the slots it owns.
+        """
+        if rid not in self._caches:
+            raise RuntimeError(f"request {rid} not started on stage "
+                               f"{self.stage_index}")
+        blocks = {
+            self.slot_range[0] + li: (c.k[:, :, :c.length].copy(),
+                                      c.v[:, :, :c.length].copy())
+            for li, c in self._caches[rid].items()
+        }
+        return self._pos[rid], blocks
+
+    def import_kv(self, rid: int, pos: int,
+                  blocks: Dict[int, Tuple[np.ndarray, np.ndarray]]) -> None:
+        """Admit request ``rid`` seeded from an :meth:`export_kv` snapshot.
+
+        Only the slots this stage owns are consumed; ``blocks`` may carry
+        the whole network's caches (the ingest message fans past every
+        stage of the importing pool).
+        """
+        self.start_request(rid)
+        for li, cache in self._caches[rid].items():
+            k, v = blocks[self.slot_range[0] + li]
+            cache.extend(k, v)
+        self._pos[rid] = pos
+
     # -- execution ---------------------------------------------------------
     def forward(self, rid: int, data: np.ndarray) -> np.ndarray:
         """One forward-only pass for request ``rid``.

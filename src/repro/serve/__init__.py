@@ -19,7 +19,7 @@ from .sim import (
     simulate_serving,
     sweep_offered_load,
 )
-from .workload import ArrivalSpec, RequestSpec, make_requests
+from .workload import ARRIVAL_KINDS, ArrivalSpec, RequestSpec, make_requests
 
 __all__ = [
     "PipelineServer",
@@ -29,6 +29,7 @@ __all__ = [
     "simulate_closed_loop",
     "simulate_serving",
     "sweep_offered_load",
+    "ARRIVAL_KINDS",
     "ArrivalSpec",
     "RequestSpec",
     "make_requests",

@@ -137,7 +137,10 @@ class ServingStats:
     offered_req_s: float
     n_arrived: int = 0
     n_admitted: int = 0
-    n_rejected: int = 0
+    #: rejected because every live replica's admission queue was full
+    n_rejected_backpressure: int = 0
+    #: rejected because no replica was alive at all (whole cluster down)
+    n_rejected_down: int = 0
     n_completed: int = 0
     n_restarts: int = 0
     tokens_out: int = 0
@@ -145,6 +148,14 @@ class ServingStats:
     tpot_s: List[float] = field(default_factory=list)
     sojourn_s: List[float] = field(default_factory=list)
     concurrency_integral: float = 0.0  #: integral of in-system count dt
+
+    @property
+    def n_rejected(self) -> int:
+        """All front-door rejections.  Backpressure (queues full) and
+        whole-cluster-down are distinct failure modes — one means the
+        fleet is undersized, the other that it is absent — so they are
+        counted separately and summed here for the legacy view."""
+        return self.n_rejected_backpressure + self.n_rejected_down
 
     @property
     def throughput_tok_s(self) -> float:
@@ -248,12 +259,12 @@ class _Cluster:
         live = [r for r in self.replicas if r.alive]
         if not live:
             if not forced:  # whole cluster down: drop at the front door
-                self.stats.n_rejected += 1
+                self.stats.n_rejected_down += 1
             return False
         rep = min(live, key=lambda r: (r.load, r.index))
         if not forced:
             if len(rep.queue) >= self.model.queue_capacity:
-                self.stats.n_rejected += 1
+                self.stats.n_rejected_backpressure += 1
                 return False
             self.stats.n_admitted += 1
             self._track(+1)
@@ -507,5 +518,7 @@ def sweep_offered_load(model: ServingModel, load_fractions: List[float],
             "tpot_ms": stats.mean_tpot_s * 1e3,
             "completed": float(stats.n_completed),
             "rejected": float(stats.n_rejected),
+            "rejected_backpressure": float(stats.n_rejected_backpressure),
+            "rejected_down": float(stats.n_rejected_down),
         })
     return rows

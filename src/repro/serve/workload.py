@@ -7,10 +7,19 @@ under different arrival intensities:
   generation budgets, sampling settings) for the functional engine and the
   DES twin alike;
 * :class:`ArrivalSpec` — an arrival-process description consumed by
-  :func:`repro.sim.poisson_process`: constant-rate Poisson, or a bursty
+  :func:`repro.sim.poisson_process`: constant-rate Poisson, a bursty
   on/off modulated Poisson (rate multiplied by ``burst_factor`` during the
-  "on" fraction of each period — a square-wave intensity, the standard
-  simple model for diurnal/bursty traffic).
+  "on" fraction of each period — a square-wave intensity), a *diurnal*
+  sinusoidally modulated Poisson (multi-hour period, the fleet
+  autoscaling workload), or a *flash crowd* (a sudden rate spike that
+  decays exponentially back to the base rate).
+
+Every kind is a seeded inhomogeneous Poisson process driven by the same
+sequential-exponential sampler, so :meth:`ArrivalSpec.sample_times`
+reproduces — draw for draw — the arrival instants the DES's
+:func:`repro.sim.poisson_process` generates from the same spec.  That is
+what lets a functional-substrate fleet run replay the exact trace a DES
+sweep was scored on.
 """
 
 from __future__ import annotations
@@ -23,7 +32,7 @@ import numpy as np
 from ..nn import GPTConfig
 from .engine import Request
 
-__all__ = ["ArrivalSpec", "RequestSpec", "make_requests"]
+__all__ = ["ARRIVAL_KINDS", "ArrivalSpec", "RequestSpec", "make_requests"]
 
 
 @dataclass(frozen=True)
@@ -69,15 +78,34 @@ def make_requests(cfg: GPTConfig, n: int,
     return requests
 
 
+#: arrival-process shapes understood by :class:`ArrivalSpec`
+ARRIVAL_KINDS = ("poisson", "diurnal", "flash")
+
+
 @dataclass(frozen=True)
 class ArrivalSpec:
-    """Seeded (possibly bursty) Poisson arrival process.
+    """Seeded (possibly modulated) Poisson arrival process.
 
-    ``rate_per_s`` is the *mean* arrival rate.  With ``burst_factor > 1``
-    the instantaneous rate follows a square wave of period
-    ``burst_period_s``: ``burst_factor`` times the base rate during the
-    first ``burst_fraction`` of each period, and proportionally less in
-    the remainder, so the long-run mean stays ``rate_per_s``.
+    ``rate_per_s`` is the *base* arrival rate; ``kind`` selects how the
+    instantaneous rate moves around it:
+
+    ``poisson``
+        constant rate, or — with ``burst_factor > 1`` — a square wave of
+        period ``burst_period_s``: ``burst_factor`` times the base rate
+        during the first ``burst_fraction`` of each period and
+        proportionally less in the remainder, so the long-run mean stays
+        ``rate_per_s``.
+    ``diurnal``
+        sinusoidal modulation ``rate * (1 + amplitude *
+        sin(2*pi*t/period))`` with a multi-hour ``diurnal_period_s`` —
+        the canonical day/night demand curve the fleet autoscaler is
+        sized against.  ``diurnal_phase`` shifts where in the cycle the
+        run starts (0 starts at the mean on the way up).
+    ``flash``
+        flash crowd: base rate until ``flash_at_s``, then an instantaneous
+        jump to ``flash_factor`` times the base that decays back
+        exponentially with time constant ``flash_decay_s`` — a spike with
+        a heavy shoulder, the anti-diurnal stress case.
     """
 
     rate_per_s: float
@@ -85,10 +113,22 @@ class ArrivalSpec:
     burst_factor: float = 1.0
     burst_period_s: float = 10.0
     burst_fraction: float = 0.3
+    kind: str = "poisson"
+    # diurnal parameters
+    diurnal_period_s: float = 4 * 3600.0
+    diurnal_amplitude: float = 0.8
+    diurnal_phase: float = 0.0
+    # flash-crowd parameters
+    flash_at_s: float = 60.0
+    flash_factor: float = 5.0
+    flash_decay_s: float = 30.0
 
     def __post_init__(self):
         if self.rate_per_s <= 0:
             raise ValueError("rate_per_s must be positive")
+        if self.kind not in ARRIVAL_KINDS:
+            raise ValueError(f"unknown arrival kind {self.kind!r}; "
+                             f"expected one of {ARRIVAL_KINDS}")
         if self.burst_factor < 1.0:
             raise ValueError("burst_factor must be >= 1")
         if not 0.0 < self.burst_fraction < 1.0:
@@ -100,20 +140,59 @@ class ArrivalSpec:
             raise ValueError(
                 "burst_factor * burst_fraction must stay < 1 so the "
                 "off-phase rate remains positive")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1) so the "
+                             "overnight rate stays positive")
+        if self.diurnal_period_s <= 0:
+            raise ValueError("diurnal_period_s must be positive")
+        if self.flash_factor < 1.0:
+            raise ValueError("flash_factor must be >= 1")
+        if self.flash_at_s < 0 or self.flash_decay_s <= 0:
+            raise ValueError("flash_at_s must be >= 0 and flash_decay_s "
+                             "positive")
+
+    def rate_at(self, now: float) -> float:
+        """Instantaneous arrival rate at simulated time ``now``."""
+        base = self.rate_per_s
+        if self.kind == "diurnal":
+            phase = 2.0 * np.pi * (now / self.diurnal_period_s) \
+                + self.diurnal_phase
+            return base * (1.0 + self.diurnal_amplitude * np.sin(phase))
+        if self.kind == "flash":
+            if now < self.flash_at_s:
+                return base
+            decay = np.exp(-(now - self.flash_at_s) / self.flash_decay_s)
+            return base * (1.0 + (self.flash_factor - 1.0) * decay)
+        if self.burst_factor == 1.0:
+            return base
+        hi = base * self.burst_factor
+        lo = base * (1.0 - self.burst_factor * self.burst_fraction) / \
+            (1.0 - self.burst_fraction)
+        phase = (now % self.burst_period_s) / self.burst_period_s
+        return hi if phase < self.burst_fraction else lo
 
     def mean_interarrival(self) -> Callable[[float], float]:
         """The ``mean_interval_s(now)`` callable for
         :func:`repro.sim.poisson_process`."""
-        base = self.rate_per_s
-        if self.burst_factor == 1.0:
+        if self.kind == "poisson" and self.burst_factor == 1.0:
+            base = self.rate_per_s
             return lambda _now: 1.0 / base
-        hi = base * self.burst_factor
-        lo = base * (1.0 - self.burst_factor * self.burst_fraction) / \
-            (1.0 - self.burst_fraction)
-        period, on = self.burst_period_s, self.burst_fraction
+        return lambda now: 1.0 / self.rate_at(now)
 
-        def mean(now: float) -> float:
-            phase = (now % period) / period
-            return 1.0 / (hi if phase < on else lo)
+    def sample_times(self, horizon_s: float) -> List[float]:
+        """The arrival instants in ``[0, horizon_s)`` — exactly the times
+        :func:`repro.sim.poisson_process` fires for this spec.
 
-        return mean
+        Replays the DES's draw order (one exponential per arrival, mean
+        re-evaluated at the current time) from a fresh
+        ``default_rng(seed)``, so a functional-substrate run consuming
+        this list sees the identical trace a DES run was scored on.
+        """
+        rng = np.random.default_rng(self.seed)
+        mean = self.mean_interarrival()
+        now, times = 0.0, []
+        while True:
+            now += float(rng.exponential(mean(now)))
+            if now >= horizon_s:
+                return times
+            times.append(now)

@@ -1,4 +1,4 @@
-"""Unit tests for the repo-specific AST lint rules (REP001-REP011)."""
+"""Unit tests for the repo-specific AST lint rules (REP001-REP012)."""
 
 import textwrap
 
@@ -560,6 +560,57 @@ class TestREP011:
         assert self._codes_at(src, self.SCHED) == []
 
 
+class TestREP012:
+    """Fleet policy code must be replayable: no wall clocks, no unseeded
+    randomness anywhere under a ``fleet`` path component."""
+
+    FLEET = "src/repro/fleet/policy.py"
+
+    @staticmethod
+    def _codes_at(source, path):
+        return [i.code for i in lint_source(textwrap.dedent(source), path)]
+
+    def test_wall_clock_flagged(self):
+        src = "import time\nt = time.time()\n"
+        assert self._codes_at(src, self.FLEET) == ["REP012"]
+
+    def test_monotonic_and_perf_counter_flagged(self):
+        for call in ("time.monotonic()", "time.perf_counter()",
+                     "time.time_ns()"):
+            src = f"import time\nt = {call}\n"
+            assert self._codes_at(src, self.FLEET) == ["REP012"], call
+
+    def test_datetime_now_flagged(self):
+        src = "from datetime import datetime\nt = datetime.now()\n"
+        assert self._codes_at(src, self.FLEET) == ["REP012"]
+
+    def test_stdlib_random_flagged(self):
+        src = "import random\nx = random.random()\n"
+        assert self._codes_at(src, "src/repro/fleet/sim.py") == ["REP012"]
+
+    def test_unseeded_default_rng_flagged(self):
+        src = ("import numpy as np\n"
+               "r = np.random.default_rng(worker_id)\n")
+        assert self._codes_at(src, self.FLEET) == ["REP012"]
+
+    def test_seed_derived_rng_allowed(self):
+        for arg in ("seed + 1", "req.seed", "self.seed"):
+            src = f"import numpy as np\nr = np.random.default_rng({arg})\n"
+            assert self._codes_at(src, self.FLEET) == [], arg
+
+    def test_outside_fleet_untouched(self):
+        src = "import time\nt = time.time()\n"
+        assert self._codes_at(src, "src/repro/serve/sim.py") == []
+
+    def test_any_fleet_path_component_counts(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert self._codes_at(src, "tests/fleet/helper.py") == ["REP012"]
+
+    def test_suppression_honored(self):
+        src = "import time\nt = time.time()  # lint-ok: REP012 demo\n"
+        assert self._codes_at(src, self.FLEET) == []
+
+
 class TestMachinery:
     def test_suppression_comment(self):
         src = "rng = np.random.default_rng()  # lint-ok: REP003 reason\n"
@@ -585,4 +636,4 @@ class TestMachinery:
     def test_rule_catalogue_complete(self):
         assert set(RULES) == {"REP001", "REP002", "REP003", "REP004",
                               "REP005", "REP006", "REP007", "REP008",
-                              "REP009", "REP010", "REP011"}
+                              "REP009", "REP010", "REP011", "REP012"}

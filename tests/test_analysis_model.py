@@ -14,11 +14,13 @@ from repro.analysis.model import (
     check_model,
     compare_with_trace,
     deadlock_mutant_model,
+    disagg_serve_model,
     extract_skeleton,
     flushing_model,
     serve_model,
 )
 from repro.baselines import FlushingPipelineTrainer
+from repro.fleet import DisaggPipelineServer
 from repro.nn import GPTConfig, LMBatches, SyntheticCorpus
 from repro.runtime import AxoNNTrainer
 from repro.serve.engine import PipelineServer, Request
@@ -68,6 +70,26 @@ class TestCheckerSweep:
             assert result.deadlock_free
             assert result.matching_complete
             assert result.collectives_consistent
+
+    @pytest.mark.parametrize("g_decode", [1, 2, 3])
+    def test_disagg_handoff_protocol_deadlock_free(self, g_decode):
+        """The KV-handoff protocol at the smoke config family: one
+        prefill rank feeding 1..3 decode ranks, every interleaving."""
+        result = check_model(disagg_serve_model(
+            1, g_decode, n_requests=3, max_new_tokens=2, max_batch=2))
+        assert result.ok, result.violations
+        assert result.deadlock_free
+        assert result.matching_complete
+
+    def test_multi_rank_prefill_pool_is_out_of_scope(self):
+        """With g_prefill >= 2 the scheduler has two inbound sources
+        (KV pieces and decode tokens) and its pump reacts to arrival
+        order, so the counts-quotient is unsound — the checker must
+        refuse rather than mis-verify.  Runtime token-identity tests
+        cover those splits instead."""
+        with pytest.raises(ModelError, match="non-confluent"):
+            check_model(disagg_serve_model(
+                2, 2, n_requests=3, max_new_tokens=2, max_batch=2))
             assert result.states >= 1
             assert result.counterexample is None
 
@@ -226,4 +248,21 @@ class TestCrossValidation:
         assert set(outputs) == {0, 1, 2}
         model = serve_model(3, n_requests=3, max_new_tokens=2,
                             max_batch=2)
+        assert compare_with_trace(extract_skeleton(model), rec) == []
+
+    def test_disagg_skeleton_matches_runtime_trace(self):
+        """The KV-handoff wire protocol, op-for-op: the symbolic
+        disaggregated model predicts exactly the sends/recvs a real
+        DisaggPipelineServer run records."""
+        rec = TraceRecorder()
+        cfg = self._cfg(n_layer=3)
+        server = DisaggPipelineServer(cfg, g_prefill=1, g_decode=2,
+                                      max_batch=2, recorder=rec)
+        requests = [Request(rid, np.zeros(1, dtype=np.int64),
+                            max_new_tokens=2, greedy=True, seed=rid)
+                    for rid in range(3)]
+        outputs = server.serve(requests)
+        assert set(outputs) == {0, 1, 2}
+        model = disagg_serve_model(1, 2, n_requests=3, max_new_tokens=2,
+                                   max_batch=2)
         assert compare_with_trace(extract_skeleton(model), rec) == []

@@ -76,7 +76,8 @@ class TestCLI:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "serve" in out
-        assert "REP011" in out
+        assert "fleet" in out
+        assert "REP012" in out
         assert "sched" in out
         assert "scaling4d" in out
         assert "train" in out
@@ -112,6 +113,24 @@ class TestCLI:
         assert float(rows[0]["load_fraction"]) == 0.25
         doc = json.loads(report_path.read_text())
         assert all(doc["sim"]["claims"].values())
+
+    def test_fleet_functional_fast(self, capsys):
+        assert main(["fleet", "--fast", "--substrate", "runtime"]) == 0
+        out = capsys.readouterr().out
+        assert "functional equivalence" in out
+        assert "[PASS]" in out
+        assert "[FAIL]" not in out
+
+    def test_fleet_sim_fast_with_report(self, tmp_path, capsys):
+        report_path = tmp_path / "fleet.json"
+        assert main(["fleet", "--fast", "--substrate", "sim",
+                     "--report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[FAIL]" not in out
+        doc = json.loads(report_path.read_text())
+        assert all(doc["sim"]["claims"].values())
+        policies = [r["policy"] for r in doc["sim"]["autoscaling"]]
+        assert policies == ["static-peak", "reactive", "predictive"]
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
